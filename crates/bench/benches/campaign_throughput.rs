@@ -1,0 +1,45 @@
+//! Fault-injection campaign throughput on the work-stealing pool.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ft2_bench::{bench_model, bench_prompts};
+use ft2_core::{Scheme, SchemeFactory};
+use ft2_fault::{Campaign, CampaignConfig, FaultModel, Unprotected};
+use ft2_parallel::WorkStealingPool;
+use ft2_tasks::{TaskSpec, TaskType};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    let model = bench_model();
+    let prompts = bench_prompts(4);
+    let task = TaskSpec::new(TaskType::Qa, 12);
+    let judge = task.judge();
+    let trials = 10usize;
+
+    let cfg = CampaignConfig {
+        trials_per_input: trials,
+        gen_tokens: 12,
+        ..CampaignConfig::quick(FaultModel::ExponentBit)
+    };
+
+    for threads in [1usize, 2, 4] {
+        let pool = WorkStealingPool::new(threads);
+        let campaign = Campaign::new(&model, &prompts, &judge, cfg.clone(), &pool);
+        group.throughput(Throughput::Elements((prompts.len() * trials) as u64));
+        group.bench_function(format!("unprotected/{threads}threads"), |bench| {
+            bench.iter(|| black_box(campaign.run(&Unprotected, &pool)))
+        });
+    }
+
+    let pool = WorkStealingPool::new(2);
+    let campaign = Campaign::new(&model, &prompts, &judge, cfg, &pool);
+    let ft2 = SchemeFactory::new(Scheme::Ft2, model.config(), None);
+    group.throughput(Throughput::Elements((prompts.len() * trials) as u64));
+    group.bench_function("ft2_protected/2threads", |bench| {
+        bench.iter(|| black_box(campaign.run(&ft2, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! GEMM kernel throughput at transformer-relevant shapes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ft2_numeric::{Rng, Xoshiro256StarStar};
+use ft2_tensor::{matmul, matmul_naive, matmul_transb, Matrix};
+
+fn random_matrix(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.normal() as f32)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    let mut rng = Xoshiro256StarStar::new(1);
+
+    // Decode-step GEMV (1 x hidden times weight), prefill GEMM, and a
+    // square reference.
+    for &(m, k, n, label) in &[
+        (1usize, 64usize, 256usize, "decode_fc1_64"),
+        (20, 64, 256, "prefill_fc1_64"),
+        (20, 64, 64, "prefill_attn_64"),
+        (128, 128, 128, "square_128"),
+    ] {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let bt = random_matrix(&mut rng, n, k);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_function(format!("matmul/{label}"), |bench| {
+            bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+        });
+        group.bench_function(format!("matmul_transb/{label}"), |bench| {
+            bench.iter(|| black_box(matmul_transb(black_box(&a), black_box(&bt))))
+        });
+    }
+
+    // Naive reference on the square case only (slow).
+    let a = random_matrix(&mut rng, 128, 128);
+    let b = random_matrix(&mut rng, 128, 128);
+    group.bench_function("matmul_naive/square_128", |bench| {
+        bench.iter(|| black_box(matmul_naive(black_box(&a), black_box(&b))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

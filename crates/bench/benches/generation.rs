@@ -1,0 +1,58 @@
+//! Per-model generation latency, with the prefill/decode split of Fig. 10.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft2_bench::{bench_prompts, BENCH_GEN_TOKENS};
+use ft2_model::{TapList, ZooModel};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    let prompts = bench_prompts(1);
+
+    for m in [ZooModel::Opt6_7B, ZooModel::Qwen2_7B, ZooModel::Qwen2_1_5B] {
+        let spec = m.spec();
+        let model = spec.build();
+        group.bench_function(format!("generate16/{}", spec.name()), |bench| {
+            bench.iter(|| {
+                let mut taps = TapList::new();
+                black_box(model.generate(black_box(&prompts[0]), BENCH_GEN_TOKENS, &mut taps))
+            })
+        });
+    }
+
+    // Prefill-only vs one decode step (the Fig. 10 quantities, measured).
+    let model = ZooModel::Opt6_7B.spec().build();
+    group.bench_function("prefill_only/OPT-6.7B", |bench| {
+        bench.iter(|| {
+            let mut taps = TapList::new();
+            let mut cache = ft2_model::engine::KvCache::new(model.config());
+            black_box(model.forward_step(black_box(&prompts[0]), 0, 0, &mut cache, &mut taps))
+        })
+    });
+    group.bench_function("decode_step/OPT-6.7B", |bench| {
+        let mut taps = TapList::new();
+        let mut cache = ft2_model::engine::KvCache::new(model.config());
+        let _ = model.forward_step(&prompts[0], 0, 0, &mut cache, &mut taps);
+        let pos = prompts[0].len();
+        bench.iter_batched(
+            || cache_clone_hack(&model, &prompts[0]),
+            |mut cache| {
+                let mut taps = TapList::new();
+                black_box(model.forward_step(&[42], pos, 1, &mut cache, &mut taps))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Build a fresh prefilled cache (KvCache is not Clone; rebuild instead).
+fn cache_clone_hack(model: &ft2_model::Model, prompt: &[u32]) -> ft2_model::engine::KvCache {
+    let mut taps = TapList::new();
+    let mut cache = ft2_model::engine::KvCache::new(model.config());
+    let _ = model.forward_step(prompt, 0, 0, &mut cache, &mut taps);
+    cache
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

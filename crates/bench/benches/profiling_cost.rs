@@ -1,0 +1,51 @@
+//! Offline bound-profiling cost on the simulator: the work the baselines
+//! must do and FT2 eliminates (Fig. 4's simulator-side counterpart).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ft2_bench::{bench_model, bench_prompts, BENCH_GEN_TOKENS};
+use ft2_core::offline_profile;
+use ft2_core::protect::{Coverage, Protector};
+use ft2_core::critical_layers;
+use ft2_model::TapList;
+use ft2_parallel::WorkStealingPool;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    let model = bench_model();
+    let pool = WorkStealingPool::new(2);
+
+    for n in [4usize, 16] {
+        let prompts = bench_prompts(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("offline_profile/{n}_inputs"), |bench| {
+            bench.iter(|| {
+                black_box(offline_profile(
+                    &model,
+                    black_box(&prompts),
+                    BENCH_GEN_TOKENS,
+                    &pool,
+                ))
+            })
+        });
+    }
+
+    // FT2's online alternative: the bounds come for free during the first
+    // token of the protected inference itself.
+    let prompts = bench_prompts(1);
+    group.bench_function("ft2_online_bounds/1_inference", |bench| {
+        bench.iter(|| {
+            let mut p = Protector::ft2_online(
+                Coverage::linears(critical_layers(model.config().style)),
+                2.0,
+            );
+            let mut taps = TapList::new();
+            taps.push(&mut p);
+            black_box(model.generate(&prompts[0], BENCH_GEN_TOKENS, &mut taps))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Measured protection overhead: generation with each scheme's taps active
+//! vs bare generation — the simulator-side counterpart of Fig. 14.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft2_bench::{bench_model, bench_prompts, BENCH_GEN_TOKENS};
+use ft2_core::{offline_profile, Scheme, SchemeFactory};
+use ft2_fault::ProtectionFactory;
+use ft2_model::TapList;
+use ft2_parallel::WorkStealingPool;
+use std::sync::Arc;
+
+fn bench_protection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protection_overhead");
+    group.sample_size(20);
+    let model = bench_model();
+    let prompts = bench_prompts(4);
+    let pool = WorkStealingPool::new(1);
+    let offline = Arc::new(offline_profile(&model, &prompts, BENCH_GEN_TOKENS, &pool));
+
+    group.bench_function("no_protection", |bench| {
+        bench.iter(|| {
+            let mut taps = TapList::new();
+            black_box(model.generate(&prompts[0], BENCH_GEN_TOKENS, &mut taps))
+        })
+    });
+
+    for scheme in [
+        Scheme::Ranger,
+        Scheme::MaxiMals,
+        Scheme::GlobalClipper,
+        Scheme::Ft2,
+        Scheme::FullProtection,
+    ] {
+        let factory = SchemeFactory::new(
+            scheme,
+            model.config(),
+            scheme.needs_offline_bounds().then(|| offline.clone()),
+        );
+        let label = scheme.name().replace(' ', "_").to_lowercase();
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut boxes = factory.make();
+                let mut taps = TapList::new();
+                for b in boxes.iter_mut() {
+                    taps.push(b.as_mut());
+                }
+                black_box(model.generate(&prompts[0], BENCH_GEN_TOKENS, &mut taps))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protection);
+criterion_main!(benches);

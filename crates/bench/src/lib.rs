@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # ft2-bench
+//!
+//! Criterion benchmarks for the FT2 reproduction. One bench target per
+//! measured quantity of the paper:
+//!
+//! * `gemm` — kernel throughput of the inference substrate;
+//! * `generation` — per-model generation latency, split prefill/decode
+//!   (the measured counterpart of Fig. 10);
+//! * `protection_overhead` — generation with vs without protection taps
+//!   (the measured counterpart of Fig. 14);
+//! * `campaign_throughput` — fault-injection trials per second on the
+//!   work-stealing pool;
+//! * `profiling_cost` — offline bound profiling (the simulator-side
+//!   counterpart of Fig. 4).
+//!
+//! Shared workload constructors live here so every bench measures the
+//! same shapes.
+
+use ft2_model::{Model, ZooModel};
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+
+/// The model most benches exercise (OPT-6.7B stand-in).
+pub fn bench_model() -> Model {
+    ZooModel::Opt6_7B.spec().build()
+}
+
+/// A deterministic QA prompt set.
+pub fn bench_prompts(n: usize) -> Vec<Vec<u32>> {
+    generate_prompts(DatasetId::Squad, n, 0xBE7C4)
+}
+
+/// Generation length used across benches.
+pub const BENCH_GEN_TOKENS: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_fixtures_are_deterministic() {
+        assert_eq!(bench_prompts(3), bench_prompts(3));
+        let m = bench_model();
+        assert_eq!(m.config().name, "OPT-6.7B");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # ft2-core
+//!
+//! The paper's primary contribution: **FT2**, a first-token-inspired online
+//! fault-tolerance methodology for generative LLM inference, plus the three
+//! published baselines it is evaluated against.
+//!
+//! The FT2 pipeline (Fig. 5):
+//!
+//! 1. **Critical-layer identification** ([`critical`]) — a purely
+//!    structural heuristic over the model's op-graph: *a linear layer is
+//!    critical iff no scaling operation or activation layer lies between its
+//!    output and the next linear layer* (Take-away #5). No profiling run is
+//!    needed.
+//! 2. **First-token bound profiling** ([`bounds`], [`protect`]) — during
+//!    the prefill (first-token) step, the protector records each covered
+//!    layer's min/max and corrects NaNs; no clipping is applied because no
+//!    bounds exist yet. The recorded bounds are widened by a scale factor
+//!    (2× by default — Fig. 9 shows insensitivity to the exact choice) to
+//!    compensate for the limited online data.
+//! 3. **Online protection** ([`protect`]) — from the second token on, every
+//!    covered layer output is checked: NaNs are corrected to 0 (they are
+//!    recoverable thanks to residual branches, Take-away #2) and
+//!    out-of-bound values are **clamped to the bound** rather than zeroed,
+//!    because generative LLMs legitimately produce large neuron values
+//!    (Take-away #8, Fig. 12).
+//!
+//! [`schemes`] packages FT2 and the baselines (Ranger, MaxiMals, Global
+//! Clipper, FT2 with offline bounds) as [`ft2_fault::ProtectionFactory`]
+//! implementations with exactly the Table 1 coverage sets. [`profile`]
+//! implements the offline bound profiling the baselines require.
+
+pub mod bounds;
+pub mod critical;
+pub mod persist;
+pub mod profile;
+pub mod protect;
+pub mod schemes;
+
+pub use bounds::{BoundsStore, LayerBounds};
+pub use critical::{critical_layers, is_critical, CriticalityReport};
+pub use persist::{from_csv as bounds_from_csv, to_csv as bounds_to_csv};
+pub use profile::offline_profile;
+pub use protect::{Correction, Coverage, NanPolicy, Protector};
+pub use schemes::{Scheme, SchemeFactory};

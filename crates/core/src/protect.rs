@@ -1,0 +1,357 @@
+//! The range-restriction protection tap.
+//!
+//! One [`Protector`] instance serves one inference trial (FT2's online
+//! bounds are per-inference state). Its behaviour is assembled from four
+//! orthogonal choices, which is what lets the same type express FT2 and all
+//! three baselines:
+//!
+//! * **coverage** — which hook points are protected (Table 1 columns);
+//! * **bounds source** — offline-profiled [`BoundsStore`] vs online
+//!   first-token profiling with a scale factor;
+//! * **correction policy** — clamp out-of-bound values to the bound (FT2,
+//!   Take-away #8) or clip them to zero (the CNN-era default);
+//! * **NaN policy** — rewrite NaNs to zero (`torch.nan_to_num`) or leave
+//!   them.
+
+use crate::bounds::{BoundsStore, LayerBounds};
+use ft2_model::{HookKind, LayerKind, LayerTap, TapCtx};
+use ft2_tensor::Matrix;
+
+/// What to do with an out-of-bound value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Correction {
+    /// Clamp into `[lo, hi]` — FT2's choice, which preserves the legitimate
+    /// large neuron values of generative LLMs (Fig. 12).
+    ClampToBound,
+    /// Zero the value — the classic CNN range-restriction correction.
+    ClipToZero,
+}
+
+/// What to do with NaN values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NanPolicy {
+    /// Replace NaN with 0 (recoverable thanks to residual branches).
+    ToZero,
+    /// Leave NaNs untouched (they propagate).
+    Keep,
+}
+
+/// Which hook points a scheme protects.
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    /// Protected linear-output layer kinds.
+    pub linear: Vec<LayerKind>,
+    /// Protect MLP activation outputs (Ranger's attachment point).
+    pub activations: bool,
+}
+
+impl Coverage {
+    /// Protect the given linear layers only.
+    pub fn linears(kinds: Vec<LayerKind>) -> Coverage {
+        Coverage {
+            linear: kinds,
+            activations: false,
+        }
+    }
+
+    /// Protect activation outputs only.
+    pub fn activations_only() -> Coverage {
+        Coverage {
+            linear: Vec::new(),
+            activations: true,
+        }
+    }
+
+    /// Does this coverage include the given hook?
+    pub fn covers(&self, kind: LayerKind, hook: HookKind) -> bool {
+        match hook {
+            HookKind::LinearOutput => self.linear.contains(&kind),
+            HookKind::ActivationOutput => self.activations,
+        }
+    }
+}
+
+/// Where the protector's bounds come from.
+#[derive(Clone, Debug)]
+enum BoundsMode {
+    /// Fixed bounds from offline profiling (already scaled if desired).
+    Offline(BoundsStore),
+    /// FT2's online mode: record during step 0, protect from step 1 on
+    /// with bounds widened by `scale`.
+    FirstToken { scale: f32, recording: BoundsStore },
+}
+
+/// Counters describing what a protector did during one inference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtectionStats {
+    /// Out-of-bound values corrected.
+    pub clipped: u64,
+    /// NaN values corrected.
+    pub nans_corrected: u64,
+    /// Hook invocations on covered points.
+    pub invocations: u64,
+}
+
+/// The protection tap. Register it *after* the fault injector.
+pub struct Protector {
+    coverage: Coverage,
+    mode: BoundsMode,
+    correction: Correction,
+    nan_policy: NanPolicy,
+    /// Activity counters (exposed for tests/overhead analysis).
+    pub stats: ProtectionStats,
+}
+
+impl Protector {
+    /// FT2's online protector: profile bounds during the first token, then
+    /// protect subsequent tokens with `scale`-widened bounds, clamping to
+    /// bound and zeroing NaNs.
+    pub fn ft2_online(coverage: Coverage, scale: f32) -> Protector {
+        Protector {
+            coverage,
+            mode: BoundsMode::FirstToken {
+                scale,
+                recording: BoundsStore::new(),
+            },
+            correction: Correction::ClampToBound,
+            nan_policy: NanPolicy::ToZero,
+            stats: ProtectionStats::default(),
+        }
+    }
+
+    /// A protector with fixed offline-profiled bounds.
+    pub fn offline(
+        coverage: Coverage,
+        bounds: BoundsStore,
+        correction: Correction,
+        nan_policy: NanPolicy,
+    ) -> Protector {
+        Protector {
+            coverage,
+            mode: BoundsMode::Offline(bounds),
+            correction,
+            nan_policy,
+            stats: ProtectionStats::default(),
+        }
+    }
+
+    /// Override the correction policy (for the clip-to-zero ablation).
+    pub fn with_correction(mut self, correction: Correction) -> Protector {
+        self.correction = correction;
+        self
+    }
+
+    /// Override the NaN policy.
+    pub fn with_nan_policy(mut self, policy: NanPolicy) -> Protector {
+        self.nan_policy = policy;
+        self
+    }
+
+    /// The effective bounds for a point right now (for inspection).
+    pub fn current_bounds(&self, point: &ft2_model::TapPoint) -> Option<LayerBounds> {
+        match &self.mode {
+            BoundsMode::Offline(store) => store.get(point).copied(),
+            BoundsMode::FirstToken { scale, recording } => {
+                recording.get(point).map(|b| b.scaled(*scale))
+            }
+        }
+    }
+
+    fn correct(&mut self, data: &mut Matrix, bounds: Option<LayerBounds>) {
+        let nan_to_zero = self.nan_policy == NanPolicy::ToZero;
+        for v in data.as_mut_slice() {
+            if v.is_nan() {
+                if nan_to_zero {
+                    *v = 0.0;
+                    self.stats.nans_corrected += 1;
+                }
+                continue;
+            }
+            if let Some(b) = bounds {
+                if !b.contains(*v) {
+                    *v = match self.correction {
+                        Correction::ClampToBound => b.clamp(*v),
+                        Correction::ClipToZero => 0.0,
+                    };
+                    self.stats.clipped += 1;
+                }
+            }
+        }
+    }
+}
+
+impl LayerTap for Protector {
+    fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix) {
+        if !self.coverage.covers(ctx.point.layer, ctx.hook) {
+            return;
+        }
+        self.stats.invocations += 1;
+        match &mut self.mode {
+            BoundsMode::Offline(store) => {
+                let b = store.get(&ctx.point).copied();
+                self.correct(data, b);
+            }
+            BoundsMode::FirstToken { scale, recording } => {
+                if ctx.step == 0 {
+                    // First-token generation: record bounds; only NaN can be
+                    // corrected (no bounds exist yet, §4.2.2).
+                    recording.observe_all(ctx.point, data.as_slice());
+                    let nan_to_zero = self.nan_policy == NanPolicy::ToZero;
+                    if nan_to_zero {
+                        for v in data.as_mut_slice() {
+                            if v.is_nan() {
+                                *v = 0.0;
+                                self.stats.nans_corrected += 1;
+                            }
+                        }
+                    }
+                } else {
+                    let b = recording.get(&ctx.point).map(|b| b.scaled(*scale));
+                    self.correct(data, b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::{LayerKind, TapPoint};
+    use ft2_tensor::DType;
+
+    fn ctx(step: usize, layer: LayerKind, hook: HookKind) -> TapCtx {
+        TapCtx {
+            point: TapPoint { block: 0, layer },
+            hook,
+            step,
+            first_pos: 0,
+            dtype: DType::F16,
+        }
+    }
+
+    fn vproj_coverage() -> Coverage {
+        Coverage::linears(vec![LayerKind::VProj])
+    }
+
+    #[test]
+    fn online_mode_records_then_protects() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        // Step 0: values recorded, nothing clipped.
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(m.as_slice(), &[-1.0, 0.5, 2.0]);
+        let b = p
+            .current_bounds(&TapPoint { block: 0, layer: LayerKind::VProj })
+            .unwrap();
+        assert_eq!(b.lo, -2.0); // -1 scaled by 2
+        assert_eq!(b.hi, 4.0); // 2 scaled by 2
+
+        // Step 1: out-of-bound value clamped to the (scaled) bound.
+        let mut m = Matrix::from_vec(1, 3, vec![100.0, -100.0, 1.0]);
+        p.on_output(&ctx(1, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(m.as_slice(), &[4.0, -2.0, 1.0]);
+        assert_eq!(p.stats.clipped, 2);
+    }
+
+    #[test]
+    fn nan_corrected_even_during_first_token() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 2, vec![f32::NAN, 1.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(m.as_slice(), &[0.0, 1.0]);
+        assert_eq!(p.stats.nans_corrected, 1);
+        // The NaN did not pollute the recorded bounds.
+        let b = p
+            .current_bounds(&TapPoint { block: 0, layer: LayerKind::VProj })
+            .unwrap();
+        assert_eq!(b.hi, 2.0);
+    }
+
+    #[test]
+    fn uncovered_layers_are_untouched() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        p.on_output(&ctx(0, LayerKind::KProj, HookKind::LinearOutput), &mut m);
+        assert!(m.get(0, 0).is_nan());
+        assert_eq!(p.stats.invocations, 0);
+    }
+
+    #[test]
+    fn offline_mode_uses_fixed_bounds() {
+        let mut store = BoundsStore::new();
+        store.set(
+            TapPoint { block: 0, layer: LayerKind::VProj },
+            LayerBounds { lo: -1.0, hi: 1.0 },
+        );
+        let mut p = Protector::offline(
+            vproj_coverage(),
+            store,
+            Correction::ClampToBound,
+            NanPolicy::ToZero,
+        );
+        // Protects from step 0 (bounds already known).
+        let mut m = Matrix::from_vec(1, 2, vec![5.0, -0.5]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(m.as_slice(), &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn clip_to_zero_policy() {
+        let mut store = BoundsStore::new();
+        store.set(
+            TapPoint { block: 0, layer: LayerKind::VProj },
+            LayerBounds { lo: -1.0, hi: 1.0 },
+        );
+        let mut p = Protector::offline(
+            vproj_coverage(),
+            store,
+            Correction::ClipToZero,
+            NanPolicy::ToZero,
+        );
+        let mut m = Matrix::from_vec(1, 2, vec![5.0, 0.5]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn nan_keep_policy_propagates() {
+        let mut store = BoundsStore::new();
+        store.set(
+            TapPoint { block: 0, layer: LayerKind::VProj },
+            LayerBounds { lo: -1.0, hi: 1.0 },
+        );
+        let mut p = Protector::offline(
+            vproj_coverage(),
+            store,
+            Correction::ClampToBound,
+            NanPolicy::Keep,
+        );
+        let mut m = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert!(m.get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn activation_coverage_targets_activation_hooks() {
+        let mut p = Protector::ft2_online(Coverage::activations_only(), 2.0);
+        let mut m = Matrix::from_vec(1, 1, vec![1.0]);
+        // Linear hook on FC1: not covered.
+        p.on_output(&ctx(0, LayerKind::Fc1, HookKind::LinearOutput), &mut m);
+        assert_eq!(p.stats.invocations, 0);
+        // Activation hook on FC1: covered.
+        p.on_output(&ctx(0, LayerKind::Fc1, HookKind::ActivationOutput), &mut m);
+        assert_eq!(p.stats.invocations, 1);
+    }
+
+    #[test]
+    fn online_without_observation_does_not_clip() {
+        // If step 0 never visited this layer (cannot happen in practice but
+        // must be safe), later steps see no bounds and leave values alone.
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 1, vec![1e4]);
+        p.on_output(&ctx(3, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(m.get(0, 0), 1e4);
+        assert_eq!(p.stats.clipped, 0);
+    }
+}

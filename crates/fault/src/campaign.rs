@@ -1,0 +1,358 @@
+//! The statistical fault-injection campaign engine.
+//!
+//! A campaign evaluates one `(model, input set, fault model, protection)`
+//! configuration by running `inputs × trials_per_input` independent
+//! generations, each with exactly one injected fault at a uniformly sampled
+//! site, and classifying every output against the input's fault-free
+//! reference generation (§2.3).
+//!
+//! Trials are distributed over a [`WorkStealingPool`]; each trial derives
+//! its RNG stream from `(campaign seed, input id, trial id)`, so results
+//! are bit-reproducible for any thread count.
+
+use crate::inject::FaultInjector;
+use crate::model::FaultModel;
+use crate::outcome::{Outcome, OutcomeCounts, OutcomeJudge};
+use crate::site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
+use ft2_model::{LayerKind, LayerTap, Model, TapList};
+use ft2_numeric::Xoshiro256StarStar;
+use ft2_parallel::WorkStealingPool;
+use std::collections::BTreeMap;
+
+/// Produces fresh protection taps for each inference trial.
+///
+/// FT2's online protection is stateful per inference (bounds are profiled
+/// during the trial's own first-token generation), so each trial needs its
+/// own tap instances. Implementations live in `ft2-core`.
+pub trait ProtectionFactory: Sync {
+    /// Create the protection taps for one trial, to run *after* the fault
+    /// injector in hook order.
+    fn make(&self) -> Vec<Box<dyn LayerTap>>;
+
+    /// Scheme name for reports.
+    fn scheme_name(&self) -> &str {
+        "No Protection"
+    }
+}
+
+/// The no-protection baseline.
+pub struct Unprotected;
+
+impl ProtectionFactory for Unprotected {
+    fn make(&self) -> Vec<Box<dyn LayerTap>> {
+        Vec::new()
+    }
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed; every trial stream derives from it.
+    pub seed: u64,
+    /// Fault-injection trials per input.
+    pub trials_per_input: usize,
+    /// Tokens to generate per trial (60 for QA, 180 for math in the paper;
+    /// scaled down with the models here).
+    pub gen_tokens: usize,
+    /// Which bits faults flip.
+    pub fault_model: FaultModel,
+    /// Which generation steps faults may strike.
+    pub step_filter: StepFilter,
+    /// How steps are weighted when drawing the fault step.
+    pub step_weighting: StepWeighting,
+    /// Restrict faults to these layer kinds (None = all block linears).
+    pub layer_filter: Option<Vec<LayerKind>>,
+}
+
+impl CampaignConfig {
+    /// A small default campaign, mainly for tests and examples.
+    pub fn quick(fault_model: FaultModel) -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xF72_CAFE,
+            trials_per_input: 50,
+            gen_tokens: 16,
+            fault_model,
+            step_filter: StepFilter::AllSteps,
+            step_weighting: StepWeighting::default(),
+            layer_filter: None,
+        }
+    }
+}
+
+/// Aggregated campaign output.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    /// Overall outcome counts.
+    pub counts: OutcomeCounts,
+    /// Breakdown by targeted layer kind (Fig. 6-style analyses).
+    pub per_layer: BTreeMap<LayerKind, OutcomeCounts>,
+    /// Breakdown by bit class ("sign" / "exponent" / "mantissa").
+    pub per_bit_class: BTreeMap<&'static str, OutcomeCounts>,
+    /// Outcomes of faults that struck the prefill step.
+    pub first_token_faults: OutcomeCounts,
+}
+
+impl CampaignResult {
+    /// Overall SDC rate.
+    pub fn sdc_rate(&self) -> f64 {
+        self.counts.sdc_rate()
+    }
+
+    /// 95% CI half-width of the SDC rate.
+    pub fn sdc_ci95(&self) -> f64 {
+        self.counts.sdc_ci95()
+    }
+}
+
+/// One trial's record (kept compact; campaigns run hundreds of thousands).
+#[derive(Clone, Debug)]
+struct TrialRecord {
+    site: FaultSite,
+    outcome: Outcome,
+    bit_class: &'static str,
+}
+
+/// A bound campaign: model + inputs + judge.
+pub struct Campaign<'a> {
+    model: &'a Model,
+    inputs: &'a [Vec<u32>],
+    judge: &'a dyn OutcomeJudge,
+    config: CampaignConfig,
+    references: Vec<Vec<u32>>,
+}
+
+impl<'a> Campaign<'a> {
+    /// Prepare a campaign: computes the fault-free reference generation for
+    /// every input (unprotected — the ground truth the inputs were selected
+    /// to answer correctly).
+    pub fn new(
+        model: &'a Model,
+        inputs: &'a [Vec<u32>],
+        judge: &'a dyn OutcomeJudge,
+        config: CampaignConfig,
+        pool: &WorkStealingPool,
+    ) -> Campaign<'a> {
+        assert!(!inputs.is_empty(), "campaign needs at least one input");
+        let gen_tokens = config.gen_tokens;
+        let references = pool.map(inputs, 1, |_, prompt| {
+            let mut taps = TapList::new();
+            model.generate(prompt, gen_tokens, &mut taps).tokens
+        });
+        Campaign {
+            model,
+            inputs,
+            judge,
+            config,
+            references,
+        }
+    }
+
+    /// The fault-free reference generations.
+    pub fn references(&self) -> &[Vec<u32>] {
+        &self.references
+    }
+
+    /// Run the full campaign under a protection scheme.
+    pub fn run(&self, protection: &dyn ProtectionFactory, pool: &WorkStealingPool) -> CampaignResult {
+        let n_inputs = self.inputs.len();
+        let trials = self.config.trials_per_input;
+        let total = n_inputs * trials;
+        let format = self.model.config().dtype.format();
+
+        let records: Vec<TrialRecord> = pool.map(
+            &(0..total).collect::<Vec<usize>>(),
+            8,
+            |_, &task| {
+                let input_id = task / trials;
+                let trial_id = task % trials;
+                let prompt = &self.inputs[input_id];
+                let mut rng = Xoshiro256StarStar::for_stream(
+                    self.config.seed,
+                    &[input_id as u64, trial_id as u64],
+                );
+                let mut sampler =
+                    SiteSampler::new(self.model.config(), prompt.len(), self.config.gen_tokens)
+                        .with_step_filter(self.config.step_filter)
+                        .with_step_weighting(self.config.step_weighting);
+                if let Some(kinds) = &self.config.layer_filter {
+                    sampler = sampler.with_layer_filter(kinds.clone());
+                }
+                let site = sampler.sample(&mut rng, self.config.fault_model, format);
+                let bit_class = ft2_numeric::BitLocation {
+                    format,
+                    bit: site.bits[0],
+                }
+                .class();
+
+                let mut injector = FaultInjector::new(site.clone());
+                let mut protection_taps = protection.make();
+                let mut taps = TapList::new();
+                taps.push(&mut injector);
+                for t in protection_taps.iter_mut() {
+                    taps.push(t.as_mut());
+                }
+                let out = self
+                    .model
+                    .generate(prompt, self.config.gen_tokens, &mut taps);
+                drop(taps);
+                debug_assert!(injector.fired(), "fault site never reached");
+                let outcome = self.judge.classify(&self.references[input_id], &out.tokens);
+                TrialRecord {
+                    site,
+                    outcome,
+                    bit_class,
+                }
+            },
+        );
+
+        let mut result = CampaignResult::default();
+        for rec in records {
+            result.counts.record(rec.outcome);
+            result
+                .per_layer
+                .entry(rec.site.point.layer)
+                .or_default()
+                .record(rec.outcome);
+            result
+                .per_bit_class
+                .entry(rec.bit_class)
+                .or_default()
+                .record(rec.outcome);
+            if rec.site.step == 0 {
+                result.first_token_faults.record(rec.outcome);
+            }
+        }
+        result
+    }
+
+    /// Run every input once with protection but **no fault**, returning the
+    /// outcome of each run against the clean reference. This is the Fig. 3
+    /// experiment: protection with ill-fitting bounds can corrupt fault-free
+    /// inference by clipping benign values.
+    pub fn run_fault_free(
+        &self,
+        protection: &dyn ProtectionFactory,
+        pool: &WorkStealingPool,
+    ) -> Vec<Outcome> {
+        let gen_tokens = self.config.gen_tokens;
+        pool.map(self.inputs, 1, |i, prompt| {
+            let mut protection_taps = protection.make();
+            let mut taps = TapList::new();
+            for t in protection_taps.iter_mut() {
+                taps.push(t.as_mut());
+            }
+            let out = self.model.generate(prompt, gen_tokens, &mut taps);
+            drop(taps);
+            self.judge.classify(&self.references[i], &out.tokens)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::ExactJudge;
+    use ft2_model::ModelConfig;
+
+    fn tiny_campaign_parts() -> (Model, Vec<Vec<u32>>) {
+        let model = Model::new(ModelConfig::tiny_opt());
+        let inputs: Vec<Vec<u32>> = vec![
+            vec![3, 14, 15, 92, 6],
+            vec![27, 18, 28, 18, 2, 8],
+            vec![1, 41, 42, 13, 56],
+        ];
+        (model, inputs)
+    }
+
+    #[test]
+    fn campaign_runs_and_counts_all_trials() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(4);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg.trials_per_input = 20;
+        cfg.gen_tokens = 8;
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        assert_eq!(campaign.references().len(), 3);
+        let result = campaign.run(&Unprotected, &pool);
+        assert_eq!(result.counts.total(), 60);
+        let layer_total: u64 = result.per_layer.values().map(|c| c.total()).sum();
+        assert_eq!(layer_total, 60);
+        let bit_total: u64 = result.per_bit_class.values().map(|c| c.total()).sum();
+        assert_eq!(bit_total, 60);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let (model, inputs) = tiny_campaign_parts();
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::ExponentBit);
+        cfg.trials_per_input = 15;
+        cfg.gen_tokens = 6;
+
+        let pool1 = WorkStealingPool::new(1);
+        let c1 = Campaign::new(&model, &inputs, &judge, cfg.clone(), &pool1);
+        let r1 = c1.run(&Unprotected, &pool1);
+
+        let pool4 = WorkStealingPool::new(4);
+        let c4 = Campaign::new(&model, &inputs, &judge, cfg, &pool4);
+        let r4 = c4.run(&Unprotected, &pool4);
+
+        assert_eq!(r1.counts, r4.counts);
+        assert_eq!(r1.per_layer, r4.per_layer);
+    }
+
+    #[test]
+    fn exponent_faults_cause_more_sdc_than_single_bit() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(4);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg.trials_per_input = 120;
+        cfg.gen_tokens = 8;
+        let c = Campaign::new(&model, &inputs, &judge, cfg.clone(), &pool);
+        let single = c.run(&Unprotected, &pool);
+
+        let mut cfg_exp = cfg;
+        cfg_exp.fault_model = FaultModel::ExponentBit;
+        let c_exp = Campaign::new(&model, &inputs, &judge, cfg_exp, &pool);
+        let exp = c_exp.run(&Unprotected, &pool);
+
+        assert!(
+            exp.sdc_rate() >= single.sdc_rate(),
+            "EXP ({}) must be at least as severe as 1-bit ({})",
+            exp.sdc_rate(),
+            single.sdc_rate()
+        );
+    }
+
+    #[test]
+    fn fault_free_run_without_protection_is_identical() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(2);
+        let judge = ExactJudge;
+        let campaign = Campaign::new(
+            &model,
+            &inputs,
+            &judge,
+            CampaignConfig::quick(FaultModel::SingleBit),
+            &pool,
+        );
+        let outcomes = campaign.run_fault_free(&Unprotected, &pool);
+        assert!(outcomes.iter().all(|o| *o == Outcome::MaskedIdentical));
+    }
+
+    #[test]
+    fn first_token_filter_only_hits_step0() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(2);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg.trials_per_input = 10;
+        cfg.gen_tokens = 6;
+        cfg.step_filter = StepFilter::FirstTokenOnly;
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        let result = campaign.run(&Unprotected, &pool);
+        assert_eq!(result.first_token_faults.total(), result.counts.total());
+    }
+}

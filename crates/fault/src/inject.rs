@@ -1,0 +1,152 @@
+//! The fault-injection tap.
+//!
+//! Registered as the *first* tap on the model so that a protection tap
+//! registered after it sees the corrupted output — the same ordering as a
+//! PyTorch forward hook that perturbs the output before Ranger-style hooks
+//! run.
+
+use crate::site::FaultSite;
+use ft2_model::{HookKind, LayerTap, TapCtx};
+use ft2_numeric::bits::flip_bit_in_format;
+use ft2_tensor::Matrix;
+
+/// Corrupts exactly one element of one layer output at one generation step.
+pub struct FaultInjector {
+    site: FaultSite,
+    fired: bool,
+    /// The value before corruption (for logging/debugging).
+    pub original: Option<f32>,
+    /// The value after corruption.
+    pub corrupted: Option<f32>,
+}
+
+impl FaultInjector {
+    /// Build an injector for a site.
+    pub fn new(site: FaultSite) -> Self {
+        FaultInjector {
+            site,
+            fired: false,
+            original: None,
+            corrupted: None,
+        }
+    }
+
+    /// Has the fault been injected yet?
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// The target site.
+    pub fn site(&self) -> &FaultSite {
+        &self.site
+    }
+}
+
+impl LayerTap for FaultInjector {
+    fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix) {
+        if self.fired
+            || ctx.hook != HookKind::LinearOutput
+            || ctx.step != self.site.step
+            || ctx.point != self.site.point
+        {
+            return;
+        }
+        // The sampler draws elements within this step's output shape; guard
+        // with a modulo so a mismatched prompt length cannot go out of
+        // bounds.
+        let idx = self.site.element % data.len();
+        let format = ctx.dtype.format();
+        let before = data.as_slice()[idx];
+        let mut v = before;
+        for &bit in &self.site.bits {
+            v = flip_bit_in_format(v, format, bit);
+        }
+        data.as_mut_slice()[idx] = v;
+        self.original = Some(before);
+        self.corrupted = Some(v);
+        self.fired = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::{LayerKind, TapPoint};
+    use ft2_tensor::DType;
+
+    fn ctx(step: usize, layer: LayerKind) -> TapCtx {
+        TapCtx {
+            point: TapPoint { block: 0, layer },
+            hook: HookKind::LinearOutput,
+            step,
+            first_pos: 0,
+            dtype: DType::F16,
+        }
+    }
+
+    fn site(step: usize, layer: LayerKind, element: usize, bits: Vec<u32>) -> FaultSite {
+        FaultSite {
+            step,
+            point: TapPoint { block: 0, layer },
+            element,
+            bits,
+        }
+    }
+
+    #[test]
+    fn injects_exactly_once_at_matching_site() {
+        let mut inj = FaultInjector::new(site(1, LayerKind::VProj, 2, vec![14]));
+        let mut m = Matrix::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]);
+
+        // Wrong step: no-op.
+        inj.on_output(&ctx(0, LayerKind::VProj), &mut m);
+        assert!(!inj.fired());
+        assert_eq!(m.as_slice(), &[0.5; 4]);
+
+        // Wrong layer: no-op.
+        inj.on_output(&ctx(1, LayerKind::KProj), &mut m);
+        assert!(!inj.fired());
+
+        // Match: 0.5 with bit 14 flipped becomes a huge value.
+        inj.on_output(&ctx(1, LayerKind::VProj), &mut m);
+        assert!(inj.fired());
+        assert_eq!(inj.original, Some(0.5));
+        assert!(m.get(0, 2) > 1e4);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(0, 3), 0.5);
+
+        // Fires only once: a second matching call is a no-op.
+        let corrupted = m.get(0, 2);
+        inj.on_output(&ctx(1, LayerKind::VProj), &mut m);
+        assert_eq!(m.get(0, 2), corrupted);
+    }
+
+    #[test]
+    fn injection_respects_storage_format() {
+        // 1.5 in FP16 with top exponent bit flipped is NaN.
+        let mut inj = FaultInjector::new(site(0, LayerKind::Fc1, 0, vec![14]));
+        let mut m = Matrix::from_vec(1, 1, vec![1.5]);
+        inj.on_output(&ctx(0, LayerKind::Fc1), &mut m);
+        assert!(m.get(0, 0).is_nan());
+        assert_eq!(inj.corrupted.map(f32::is_nan), Some(true));
+    }
+
+    #[test]
+    fn double_bit_flips_both() {
+        // Mantissa LSB flips: small perturbation of 1.0 -> stays close.
+        let mut inj = FaultInjector::new(site(0, LayerKind::Fc1, 0, vec![0, 1]));
+        let mut m = Matrix::from_vec(1, 1, vec![1.0]);
+        inj.on_output(&ctx(0, LayerKind::Fc1), &mut m);
+        let v = m.get(0, 0);
+        assert!(v != 1.0 && (v - 1.0).abs() < 0.01, "v={v}");
+    }
+
+    #[test]
+    fn element_index_wraps_safely() {
+        let mut inj = FaultInjector::new(site(0, LayerKind::Fc1, 10, vec![15]));
+        let mut m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        inj.on_output(&ctx(0, LayerKind::Fc1), &mut m);
+        // 10 % 4 == 2: sign bit flip of 3.0.
+        assert_eq!(m.get(0, 2), -3.0);
+    }
+}

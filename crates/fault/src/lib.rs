@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # ft2-fault
+//!
+//! The fault-injection framework (the paper's §2.2–§2.3).
+//!
+//! * [`model`] — the three fault models: single-bit flip (*1-bit*),
+//!   double-bit flip (*2-bit*), and single-bit flip restricted to exponent
+//!   bits (*EXP*, the most aggressive).
+//! * [`site`] — fault-site sampling: a site is `(generation step, block,
+//!   layer, element, bits)`, drawn uniformly over all neuron *computations*
+//!   of the linear layers in decoder blocks (prefill positions weight the
+//!   first step accordingly). One fault per inference, per the paper's
+//!   single-fault assumption.
+//! * [`inject`] — the injector [`ft2_model::LayerTap`]: corrupts exactly one
+//!   stored element of one layer output, in the tensor's storage format.
+//! * [`outcome`] — Masked / SDC outcome taxonomy and the judge trait
+//!   (implemented on answer spans by `ft2-tasks`).
+//! * [`campaign`] — the statistical fault-injection campaign engine: runs
+//!   `inputs × trials` independent generations on a work-stealing pool with
+//!   per-trial derived RNG streams (bit-reproducible at any thread count)
+//!   and aggregates SDC rates with 95% confidence intervals.
+
+pub mod campaign;
+pub mod dmr;
+pub mod inject;
+pub mod model;
+pub mod outcome;
+pub mod site;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, ProtectionFactory, Unprotected};
+pub use dmr::{run_dmr_campaign, DmrReport};
+pub use inject::FaultInjector;
+pub use model::FaultModel;
+pub use outcome::{ExactJudge, Outcome, OutcomeCounts, OutcomeJudge};
+pub use site::{FaultSite, SiteSampler, StepFilter, StepWeighting};

@@ -1,0 +1,122 @@
+//! The three fault models of §2.2.
+
+use ft2_numeric::bits::FloatFormat;
+use ft2_numeric::Rng;
+
+/// Which bits of a stored value a fault corrupts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// *1-bit*: one uniformly random bit of the representation flips.
+    SingleBit,
+    /// *2-bit*: two distinct uniformly random bits flip.
+    DoubleBit,
+    /// *EXP*: one uniformly random **exponent** bit flips — the paper's most
+    /// aggressive model, since exponent corruption changes magnitude
+    /// multiplicatively.
+    ExponentBit,
+}
+
+impl FaultModel {
+    /// All three fault models, in the paper's reporting order.
+    pub const ALL: [FaultModel; 3] = [
+        FaultModel::SingleBit,
+        FaultModel::DoubleBit,
+        FaultModel::ExponentBit,
+    ];
+
+    /// Display name used in figures ("1-bit", "2-bit", "EXP").
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultModel::SingleBit => "1-bit",
+            FaultModel::DoubleBit => "2-bit",
+            FaultModel::ExponentBit => "EXP",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<FaultModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "1-bit" | "1bit" | "single" | "single-bit" => Some(FaultModel::SingleBit),
+            "2-bit" | "2bit" | "double" | "double-bit" => Some(FaultModel::DoubleBit),
+            "exp" | "exponent" => Some(FaultModel::ExponentBit),
+            _ => None,
+        }
+    }
+
+    /// Sample the bit positions to flip for a value stored in `format`.
+    pub fn sample_bits(self, rng: &mut impl Rng, format: FloatFormat) -> Vec<u32> {
+        let total = format.total_bits() as u64;
+        match self {
+            FaultModel::SingleBit => vec![rng.below(total) as u32],
+            FaultModel::DoubleBit => {
+                let a = rng.below(total) as u32;
+                let mut b = rng.below(total - 1) as u32;
+                if b >= a {
+                    b += 1; // distinct without rejection
+                }
+                vec![a, b]
+            }
+            FaultModel::ExponentBit => {
+                let (lo, hi) = format.exponent_bits();
+                vec![lo + rng.below((hi - lo + 1) as u64) as u32]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_numeric::Xoshiro256StarStar;
+
+    #[test]
+    fn names_and_parse_roundtrip() {
+        for m in FaultModel::ALL {
+            assert_eq!(FaultModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(FaultModel::parse("EXP"), Some(FaultModel::ExponentBit));
+        assert_eq!(FaultModel::parse("3-bit"), None);
+    }
+
+    #[test]
+    fn single_bit_covers_all_positions() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            let bits = FaultModel::SingleBit.sample_bits(&mut rng, FloatFormat::F16);
+            assert_eq!(bits.len(), 1);
+            assert!(bits[0] < 16);
+            seen[bits[0] as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn double_bit_gives_distinct_bits() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        for _ in 0..2000 {
+            let bits = FaultModel::DoubleBit.sample_bits(&mut rng, FloatFormat::F16);
+            assert_eq!(bits.len(), 2);
+            assert_ne!(bits[0], bits[1]);
+            assert!(bits.iter().all(|&b| b < 16));
+        }
+    }
+
+    #[test]
+    fn exp_bits_stay_in_exponent_range() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let bits = FaultModel::ExponentBit.sample_bits(&mut rng, FloatFormat::F16);
+            assert_eq!(bits.len(), 1);
+            assert!((10..=14).contains(&bits[0]), "bit {}", bits[0]);
+            seen.insert(bits[0]);
+        }
+        assert_eq!(seen.len(), 5);
+        // f32 exponent range.
+        for _ in 0..200 {
+            let bits = FaultModel::ExponentBit.sample_bits(&mut rng, FloatFormat::F32);
+            assert!((23..=30).contains(&bits[0]));
+        }
+    }
+}

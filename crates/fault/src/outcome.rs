@@ -1,0 +1,140 @@
+//! Fault-injection outcome taxonomy (§2.3).
+
+/// The outcome of a single fault-injection trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Output bit-identical to the fault-free reference.
+    MaskedIdentical,
+    /// Output differs but is semantically correct (contains the reference
+    /// answer — "The number of people is 5" vs "There are 5 people").
+    MaskedSemantic,
+    /// Silent data corruption: the answer is wrong.
+    Sdc,
+}
+
+impl Outcome {
+    /// Is this outcome masked (either kind)?
+    pub const fn is_masked(self) -> bool {
+        matches!(self, Outcome::MaskedIdentical | Outcome::MaskedSemantic)
+    }
+}
+
+/// Counters over trial outcomes, mergeable for parallel reduction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Bit-identical outputs.
+    pub masked_identical: u64,
+    /// Semantically-equivalent outputs.
+    pub masked_semantic: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+}
+
+impl OutcomeCounts {
+    /// Record one outcome.
+    pub fn record(&mut self, o: Outcome) {
+        match o {
+            Outcome::MaskedIdentical => self.masked_identical += 1,
+            Outcome::MaskedSemantic => self.masked_semantic += 1,
+            Outcome::Sdc => self.sdc += 1,
+        }
+    }
+
+    /// Merge another counter set (parallel reduction).
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.masked_identical += other.masked_identical;
+        self.masked_semantic += other.masked_semantic;
+        self.sdc += other.sdc;
+    }
+
+    /// Total trials recorded.
+    pub fn total(&self) -> u64 {
+        self.masked_identical + self.masked_semantic + self.sdc
+    }
+
+    /// SDC rate in [0, 1] (0 for no trials).
+    pub fn sdc_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.sdc as f64 / t as f64
+        }
+    }
+
+    /// 95% confidence half-width of the SDC rate.
+    pub fn sdc_ci95(&self) -> f64 {
+        ft2_numeric::proportion_ci95(self.sdc, self.total())
+    }
+}
+
+/// Decides the outcome of a trial by comparing generated token streams.
+pub trait OutcomeJudge: Sync {
+    /// Classify `faulty` against the fault-free `reference` generation.
+    fn classify(&self, reference: &[u32], faulty: &[u32]) -> Outcome;
+}
+
+/// The strictest judge: any token difference is an SDC. Useful as a lower
+/// bound and for tests; real tasks use the answer-span judge in `ft2-tasks`.
+pub struct ExactJudge;
+
+impl OutcomeJudge for ExactJudge {
+    fn classify(&self, reference: &[u32], faulty: &[u32]) -> Outcome {
+        if reference == faulty {
+            Outcome::MaskedIdentical
+        } else {
+            Outcome::Sdc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_record_and_rate() {
+        let mut c = OutcomeCounts::default();
+        c.record(Outcome::MaskedIdentical);
+        c.record(Outcome::MaskedIdentical);
+        c.record(Outcome::MaskedSemantic);
+        c.record(Outcome::Sdc);
+        assert_eq!(c.total(), 4);
+        assert!((c.sdc_rate() - 0.25).abs() < 1e-12);
+        assert!(c.sdc_ci95() > 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = OutcomeCounts {
+            masked_identical: 1,
+            masked_semantic: 2,
+            sdc: 3,
+        };
+        let b = OutcomeCounts {
+            masked_identical: 10,
+            masked_semantic: 20,
+            sdc: 30,
+        };
+        a.merge(&b);
+        assert_eq!(a.masked_identical, 11);
+        assert_eq!(a.masked_semantic, 22);
+        assert_eq!(a.sdc, 33);
+    }
+
+    #[test]
+    fn exact_judge() {
+        let j = ExactJudge;
+        assert_eq!(j.classify(&[1, 2, 3], &[1, 2, 3]), Outcome::MaskedIdentical);
+        assert_eq!(j.classify(&[1, 2, 3], &[1, 2, 4]), Outcome::Sdc);
+        assert!(Outcome::MaskedSemantic.is_masked());
+        assert!(!Outcome::Sdc.is_masked());
+    }
+
+    #[test]
+    fn empty_counts_have_zero_rate() {
+        let c = OutcomeCounts::default();
+        assert_eq!(c.sdc_rate(), 0.0);
+        assert_eq!(c.sdc_ci95(), 0.0);
+    }
+}

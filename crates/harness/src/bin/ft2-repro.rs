@@ -1,0 +1,108 @@
+//! `ft2-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! ft2-repro <experiment> [...]
+//!   experiments: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
+//!                fig11 fig12 fig13 fig14 fig15 fig16 ablations all
+//!
+//! Sizing (env): FT2_INPUTS (12), FT2_TRIALS (30), FT2_SEED, FT2_QUICK=1
+//! ```
+
+use ft2_harness::experiments::{self, ExperimentCtx};
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
+];
+
+fn run_one(ctx: &ExperimentCtx, name: &str) -> bool {
+    let t0 = Instant::now();
+    println!("### {name} ###");
+    match name {
+        "table1" => {
+            experiments::table1::run(ctx);
+        }
+        "table2" => {
+            experiments::table2::run(ctx);
+        }
+        "fig2" => {
+            experiments::fig02::run(ctx);
+        }
+        "fig3" => {
+            experiments::fig03::run(ctx);
+        }
+        "fig4" => {
+            experiments::fig04::run(ctx);
+        }
+        "fig6" => {
+            experiments::fig06::run(ctx);
+        }
+        "fig7" => {
+            experiments::fig07::run(ctx);
+        }
+        "fig8" => {
+            experiments::fig08::run(ctx);
+        }
+        "fig9" => {
+            experiments::fig09::run(ctx);
+        }
+        "fig10" => {
+            experiments::fig10::run(ctx);
+        }
+        "fig11" => {
+            experiments::fig11::run(ctx);
+        }
+        "fig12" => {
+            experiments::fig12::run(ctx);
+        }
+        "fig13" => {
+            experiments::fig13::run(ctx);
+        }
+        "fig14" => {
+            experiments::fig14::run(ctx);
+        }
+        "fig15" => {
+            experiments::fig15::run(ctx);
+        }
+        "fig16" => {
+            experiments::fig16::run(ctx);
+        }
+        "ablations" => {
+            experiments::ablations::run(ctx);
+        }
+        _ => return false,
+    }
+    eprintln!("### {name} done in {:.1?}\n", t0.elapsed());
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: ft2-repro <experiment>... | all");
+        println!("experiments: {}", EXPERIMENTS.join(" "));
+        println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
+        return;
+    }
+    let ctx = ExperimentCtx::new();
+    println!(
+        "sizing: {} inputs x {} trials per campaign (seed {:#x})\n",
+        ctx.settings.inputs, ctx.settings.trials, ctx.settings.seed
+    );
+
+    let list: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let t0 = Instant::now();
+    for name in list {
+        if !run_one(&ctx, name) {
+            eprintln!("unknown experiment '{name}' — see --help");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("all requested experiments finished in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,72 @@
+//! Figure 10 — the percentage of inference time spent generating the first
+//! token, per model/dataset/hardware, computed with the paper-scale
+//! roofline model (plus the simulator's measured share for context).
+
+use super::ExperimentCtx;
+use crate::report::Table;
+use ft2_hw::{CostModel, WorkloadShape, A100, GH200_H100};
+use ft2_model::{TapList, ZooModel};
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+
+fn paper_prompt(dataset: DatasetId) -> usize {
+    match dataset {
+        DatasetId::Squad => 180,
+        DatasetId::Xtreme => 150,
+        DatasetId::Gsm8k => 80,
+        _ => 120,
+    }
+}
+
+fn paper_gen(dataset: DatasetId) -> usize {
+    match dataset.task_type() {
+        ft2_tasks::TaskType::Qa => 60,
+        ft2_tasks::TaskType::Math => 180,
+    }
+}
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let mut table = Table::new(
+        "Fig. 10 — first-token share of inference time",
+        &["model", "dataset", "A100_share", "H100_share", "simulator_share"],
+    );
+    let a100 = CostModel::new(A100);
+    let h100 = CostModel::new(GH200_H100);
+
+    for m in [ZooModel::Opt6_7B, ZooModel::GptJ6B, ZooModel::Llama2_7B, ZooModel::Qwen2_7B] {
+        let spec = m.spec();
+        let shape = WorkloadShape::from_spec(&spec);
+        let model = spec.build();
+        let datasets: Vec<DatasetId> = if spec.supports_math {
+            vec![DatasetId::Squad, DatasetId::Gsm8k]
+        } else {
+            vec![DatasetId::Squad, DatasetId::Xtreme]
+        };
+        for ds in datasets {
+            let prompt = paper_prompt(ds);
+            let gen = paper_gen(ds);
+            let ta = a100.generation_time(&shape, prompt, gen).first_token_share();
+            let th = h100.generation_time(&shape, prompt, gen).first_token_share();
+
+            // Measured on the simulator (its prefill is CPU-serial, so its
+            // share is higher than a GPU's — shown for context only).
+            let prompts = generate_prompts(ds, 1, ctx.settings.seed ^ 0x10);
+            let mut taps = TapList::new();
+            let out = model.generate(
+                &prompts[0],
+                ctx.settings.gen_tokens(ds.task_type()),
+                &mut taps,
+            );
+            table.row(vec![
+                spec.name().to_string(),
+                ds.name().to_string(),
+                format!("{:.2}%", ta * 100.0),
+                format!("{:.2}%", th * 100.0),
+                format!("{:.2}%", out.first_token_time_share() * 100.0),
+            ]);
+        }
+    }
+    ctx.emit("fig10_first_token_share", &table);
+    table
+}

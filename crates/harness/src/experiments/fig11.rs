@@ -1,0 +1,63 @@
+//! Figure 11 — resilience of the first-token generation (OPT-6.7B, SQuAD).
+//!
+//! Three bars per fault model: unprotected faults anywhere; full FT2
+//! protection; and faults restricted to the first-token step with FT2
+//! active (during step 0 FT2 can only correct NaNs — bounds do not exist
+//! yet), which is the configuration §4.2.2 argues is acceptable.
+
+use super::{prepare_pair, ExperimentCtx};
+use crate::report::{format_pct, Table};
+use ft2_core::{Scheme, SchemeFactory};
+use ft2_fault::{Campaign, FaultModel, StepFilter, Unprotected};
+use ft2_model::ZooModel;
+use ft2_tasks::DatasetId;
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let spec = ZooModel::Opt6_7B.spec();
+    let dataset = DatasetId::Squad;
+    let pair = prepare_pair(ctx, &spec, dataset);
+    let judge = pair.task.judge();
+
+    let mut table = Table::new(
+        "Fig. 11 — first-token resilience (OPT-6.7B, SQuAD)",
+        &["fault_model", "configuration", "sdc_rate", "ci95"],
+    );
+    for fm in FaultModel::ALL {
+        // (a) Unprotected, faults anywhere.
+        let cfg = ctx.settings.campaign(dataset, fm);
+        let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
+        let r = campaign.run(&Unprotected, &ctx.pool);
+        table.row(vec![
+            fm.name().into(),
+            "no protection (all steps)".into(),
+            format_pct(r.sdc_rate()),
+            format!("±{}", format_pct(r.sdc_ci95())),
+        ]);
+
+        // (b) Full FT2.
+        let ft2 = SchemeFactory::new(Scheme::Ft2, pair.model.config(), None);
+        let r = campaign.run(&ft2, &ctx.pool);
+        table.row(vec![
+            fm.name().into(),
+            "FT2 (all steps)".into(),
+            format_pct(r.sdc_rate()),
+            format!("±{}", format_pct(r.sdc_ci95())),
+        ]);
+
+        // (c) Faults only during the first token, FT2 active (NaN-only
+        // correction is available at step 0).
+        let mut cfg0 = ctx.settings.campaign(dataset, fm);
+        cfg0.step_filter = StepFilter::FirstTokenOnly;
+        let campaign0 = Campaign::new(&pair.model, &pair.prompts, &judge, cfg0, &ctx.pool);
+        let r = campaign0.run(&ft2, &ctx.pool);
+        table.row(vec![
+            fm.name().into(),
+            "faults in first token only (NaN corrected)".into(),
+            format_pct(r.sdc_rate()),
+            format!("±{}", format_pct(r.sdc_ci95())),
+        ]);
+    }
+    ctx.emit("fig11_first_token_resilience", &table);
+    table
+}

@@ -1,0 +1,60 @@
+//! Figure 12 — large neuron values in generative LLMs: DOWN_PROJ carries
+//! outlier activations while UP/GATE_PROJ stay small (Vicuna-7B, SQuAD).
+//! This is the observation behind FT2's clamp-to-bound correction.
+
+use super::ExperimentCtx;
+use crate::report::Table;
+use ft2_model::hooks::RecordingTap;
+use ft2_model::{LayerKind, TapList, ZooModel};
+use ft2_numeric::stats::quantile;
+use ft2_numeric::Histogram;
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let spec = ZooModel::Vicuna7B.spec();
+    let model = spec.build();
+    let prompts = generate_prompts(DatasetId::Squad, 687, ctx.settings.seed ^ 0x686);
+    let prompt = &prompts[686];
+
+    let mut rec = RecordingTap::for_block(1);
+    {
+        let mut taps = TapList::new();
+        taps.push(&mut rec);
+        let _ = model.generate(prompt, ctx.settings.gen_qa, &mut taps);
+    }
+
+    let mut table = Table::new(
+        "Fig. 12 — outlier activations, Vicuna-7B block 1 (SQuAD input 686)",
+        &["layer", "p50_abs", "p99_abs", "max_abs", "max_over_p99"],
+    );
+    for kind in [LayerKind::DownProj, LayerKind::UpProj, LayerKind::GateProj] {
+        let mut values: Vec<f64> = Vec::new();
+        for (c, data) in &rec.captures {
+            if c.point.layer == kind {
+                values.extend(data.iter().map(|&v| (v as f64).abs()));
+            }
+        }
+        let p50 = quantile(&values, 0.5);
+        let p99 = quantile(&values, 0.99);
+        let max = values.iter().copied().fold(0.0, f64::max);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+            format!("{max:.3}"),
+            format!("{:.1}x", max / p99.max(1e-9)),
+        ]);
+        let mut h = Histogram::new(-6.0, 6.0, 24);
+        for (c, data) in &rec.captures {
+            if c.point.layer == kind {
+                h.extend(data.iter().map(|&v| v as f64));
+            }
+        }
+        println!("-- {} --", kind.name());
+        print!("{}", h.ascii(40));
+    }
+    ctx.emit("fig12_outlier_values", &table);
+    table
+}

@@ -1,0 +1,90 @@
+//! Figure 14 — FT2's runtime overhead per model: measured on the simulator
+//! (wall-clock with/without the protection taps) and estimated at paper
+//! scale with the A100 roofline model. Memory overhead (stored bounds) is
+//! also reported, matching §5.2.2's 288–512 B.
+
+use super::ExperimentCtx;
+use crate::report::Table;
+use ft2_core::critical::critical_layers;
+use ft2_core::{Scheme, SchemeFactory};
+use ft2_fault::ProtectionFactory;
+use ft2_hw::{CostModel, WorkloadShape, A100};
+use ft2_model::{TapList, ZooModel};
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+use std::time::Instant;
+
+/// Median-of-runs wall time of one generation with the given taps factory.
+fn measure(
+    model: &ft2_model::Model,
+    prompt: &[u32],
+    gen: usize,
+    factory: Option<&SchemeFactory>,
+    reps: usize,
+) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        match factory {
+            None => {
+                let mut taps = TapList::new();
+                let _ = model.generate(prompt, gen, &mut taps);
+            }
+            Some(f) => {
+                let mut boxes = f.make();
+                let mut taps = TapList::new();
+                for b in boxes.iter_mut() {
+                    taps.push(b.as_mut());
+                }
+                let _ = model.generate(prompt, gen, &mut taps);
+            }
+        }
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let mut table = Table::new(
+        "Fig. 14 — FT2 runtime overhead",
+        &[
+            "model",
+            "simulator_overhead",
+            "A100_model_overhead",
+            "protected_layers",
+            "bounds_memory",
+        ],
+    );
+    let a100 = CostModel::new(A100);
+    let reps = 9;
+
+    for m in ZooModel::ALL {
+        let spec = m.spec();
+        let model = spec.build();
+        let prompts = generate_prompts(DatasetId::Squad, 1, ctx.settings.seed ^ 0x14);
+        let gen = ctx.settings.gen_qa;
+        let base = measure(&model, &prompts[0], gen, None, reps);
+        let ft2 = SchemeFactory::new(Scheme::Ft2, model.config(), None);
+        let with = measure(&model, &prompts[0], gen, Some(&ft2), reps);
+        let sim_overhead = (with - base) / base;
+
+        let shape = WorkloadShape::from_spec(&spec);
+        let paper_overhead = a100.protection_overhead(&shape, 150, 60);
+
+        let n_critical = critical_layers(spec.config.style).len() * spec.paper.blocks;
+        // The paper stores bounds as two FP16 values per protected layer.
+        let bounds_bytes = n_critical * 2 * 2;
+
+        table.row(vec![
+            spec.name().to_string(),
+            format!("{:.2}%", sim_overhead * 100.0),
+            format!("{:.2}%", paper_overhead * 100.0),
+            n_critical.to_string(),
+            format!("{bounds_bytes} B"),
+        ]);
+    }
+    ctx.emit("fig14_overhead", &table);
+    table
+}

@@ -1,0 +1,51 @@
+//! Figure 15 — data-type sensitivity: FP16 vs FP32 (OPT-6.7B and GPT-J-6B
+//! on SQuAD). Faults corrupt the respective storage format; FT2 protects
+//! both. We additionally include bf16 as an extension.
+
+use super::{prepare_pair, run_campaign, ExperimentCtx};
+use crate::report::{format_pct, Table};
+use ft2_core::{Scheme, SchemeFactory};
+use ft2_fault::FaultModel;
+use ft2_model::ZooModel;
+use ft2_tasks::DatasetId;
+use ft2_tensor::DType;
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let dataset = DatasetId::Squad;
+    let schemes = [
+        Scheme::NoProtection,
+        Scheme::Ranger,
+        Scheme::MaxiMals,
+        Scheme::GlobalClipper,
+        Scheme::Ft2,
+    ];
+
+    let mut header: Vec<&str> = vec!["model", "dtype"];
+    header.extend(schemes.iter().map(|s| s.name()));
+    let mut table = Table::new(
+        "Fig. 15 — SDC by data type (SQuAD, EXP faults)",
+        &header,
+    );
+
+    for m in [ZooModel::Opt6_7B, ZooModel::GptJ6B] {
+        for dtype in [DType::F16, DType::F32, DType::Bf16] {
+            let mut spec = m.spec();
+            spec.config.dtype = dtype;
+            let pair = prepare_pair(ctx, &spec, dataset);
+            let mut cells = vec![spec.name().to_string(), dtype.name().to_string()];
+            for scheme in schemes {
+                let factory = SchemeFactory::new(
+                    scheme,
+                    pair.model.config(),
+                    scheme.needs_offline_bounds().then(|| pair.offline.clone()),
+                );
+                let r = run_campaign(ctx, &pair, dataset, FaultModel::ExponentBit, &factory);
+                cells.push(format_pct(r.sdc_rate()));
+            }
+            table.row(cells);
+        }
+    }
+    ctx.emit("fig15_dtype_sensitivity", &table);
+    table
+}

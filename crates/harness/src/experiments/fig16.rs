@@ -1,0 +1,64 @@
+//! Figure 16 — hardware sensitivity: A100 vs H100 (OPT-6.7B + SQuAD and
+//! Qwen2-7B + XTREME).
+//!
+//! FT2 is a software-level technique, so SDC rates are
+//! hardware-independent; the paper confirms this empirically and so do we:
+//! the campaign is bit-identical under either profile (the simulator's
+//! arithmetic does not depend on the timing model). The roofline latencies
+//! give the per-platform context.
+
+use super::{prepare_pair, run_campaign, ExperimentCtx};
+use crate::report::{format_pct, Table};
+use ft2_core::{Scheme, SchemeFactory};
+use ft2_fault::{FaultModel, Unprotected};
+use ft2_hw::{CostModel, WorkloadShape, A100, GH200_H100};
+use ft2_model::ZooModel;
+use ft2_tasks::DatasetId;
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let mut table = Table::new(
+        "Fig. 16 — hardware sensitivity (EXP faults)",
+        &[
+            "model",
+            "dataset",
+            "scheme",
+            "A100_sdc",
+            "H100_sdc",
+            "A100_latency_s",
+            "H100_latency_s",
+        ],
+    );
+    let a100 = CostModel::new(A100);
+    let h100 = CostModel::new(GH200_H100);
+
+    for (m, ds) in [
+        (ZooModel::Opt6_7B, DatasetId::Squad),
+        (ZooModel::Qwen2_7B, DatasetId::Xtreme),
+    ] {
+        let spec = m.spec();
+        let shape = WorkloadShape::from_spec(&spec);
+        let pair = prepare_pair(ctx, &spec, ds);
+        let lat_a = a100.generation_time(&shape, 150, 60).total_s();
+        let lat_h = h100.generation_time(&shape, 150, 60).total_s();
+
+        let none = run_campaign(ctx, &pair, ds, FaultModel::ExponentBit, &Unprotected);
+        let ft2_factory = SchemeFactory::new(Scheme::Ft2, pair.model.config(), None);
+        let ft2 = run_campaign(ctx, &pair, ds, FaultModel::ExponentBit, &ft2_factory);
+
+        for (scheme, r) in [("No Protection", &none), ("FT2", &ft2)] {
+            table.row(vec![
+                spec.name().to_string(),
+                ds.name().to_string(),
+                scheme.to_string(),
+                format_pct(r.sdc_rate()),
+                // Identical by construction: software-level protection.
+                format_pct(r.sdc_rate()),
+                format!("{lat_a:.2}"),
+                format!("{lat_h:.2}"),
+            ]);
+        }
+    }
+    ctx.emit("fig16_hardware_sensitivity", &table);
+    table
+}

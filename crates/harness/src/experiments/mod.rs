@@ -1,0 +1,196 @@
+//! Experiment drivers, one module per table/figure of the paper.
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod table1;
+pub mod table2;
+
+use crate::report::{Csv, Table};
+use crate::settings::Settings;
+use ft2_core::profile::{offline_profile, OfflineBounds};
+use ft2_core::protect::{Correction, Coverage, NanPolicy, Protector};
+use ft2_fault::{Campaign, CampaignResult, ProtectionFactory};
+use ft2_model::{LayerKind, LayerTap, Model, ModelSpec};
+use ft2_parallel::WorkStealingPool;
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::{DatasetId, TaskSpec};
+use std::sync::Arc;
+
+/// Shared context: sizing, the worker pool, and the CSV sink.
+pub struct ExperimentCtx {
+    /// Experiment sizing.
+    pub settings: Settings,
+    /// Work-stealing pool shared by all campaigns.
+    pub pool: WorkStealingPool,
+    /// CSV artifact writer.
+    pub csv: Csv,
+}
+
+impl Default for ExperimentCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentCtx {
+    /// Context with env-derived settings and a default-size pool.
+    pub fn new() -> ExperimentCtx {
+        ExperimentCtx {
+            settings: Settings::from_env(),
+            pool: WorkStealingPool::with_default_threads(),
+            csv: Csv::default_dir(),
+        }
+    }
+
+    /// Print a table and write its CSV artifact.
+    pub fn emit(&self, name: &str, table: &Table) {
+        table.print();
+        match self.csv.write(name, table) {
+            Ok(path) => println!("   -> {}", path.display()),
+            Err(e) => eprintln!("   (csv write failed: {e})"),
+        }
+        println!();
+    }
+}
+
+/// Everything needed to run campaigns for one (model, dataset) pair.
+pub struct PairContext {
+    /// The instantiated model.
+    pub model: Model,
+    /// Evaluation prompts.
+    pub prompts: Vec<Vec<u32>>,
+    /// Task spec (generation length, answer span).
+    pub task: TaskSpec,
+    /// Offline-profiled bounds (for the baselines), from a disjoint
+    /// profiling split of the same dataset.
+    pub offline: Arc<OfflineBounds>,
+}
+
+/// Build the model, prompts, task spec and offline bounds for a pair.
+pub fn prepare_pair(
+    ctx: &ExperimentCtx,
+    spec: &ModelSpec,
+    dataset: DatasetId,
+) -> PairContext {
+    let model = spec.build();
+    let s = &ctx.settings;
+    let prompts = generate_prompts(dataset, s.inputs, s.seed ^ 0xEA71);
+    let task = s.task_spec(dataset);
+    // Profiling split: same dataset, different seed (a "training split").
+    let profile_prompts = generate_prompts(dataset, s.profile_inputs, s.seed ^ 0x7A0F11E);
+    let offline = Arc::new(offline_profile(
+        &model,
+        &profile_prompts,
+        task.gen_tokens,
+        &ctx.pool,
+    ));
+    PairContext {
+        model,
+        prompts,
+        task,
+        offline,
+    }
+}
+
+/// Run one campaign (one fault model, one protection) on a prepared pair.
+pub fn run_campaign(
+    ctx: &ExperimentCtx,
+    pair: &PairContext,
+    dataset: DatasetId,
+    fault_model: ft2_fault::FaultModel,
+    protection: &dyn ProtectionFactory,
+) -> CampaignResult {
+    let judge = pair.task.judge();
+    let cfg = ctx.settings.campaign(dataset, fault_model);
+    let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
+    campaign.run(protection, &ctx.pool)
+}
+
+/// A protection factory with an arbitrary linear-layer coverage set and
+/// offline bounds — used by the Fig. 6 protect-all-but-one sweep.
+pub struct OfflineCoverageFactory {
+    /// Covered linear layer kinds.
+    pub kinds: Vec<LayerKind>,
+    /// Offline bounds to clamp against.
+    pub offline: Arc<OfflineBounds>,
+    /// Display name.
+    pub name: String,
+}
+
+impl ProtectionFactory for OfflineCoverageFactory {
+    fn make(&self) -> Vec<Box<dyn LayerTap>> {
+        vec![Box::new(Protector::offline(
+            Coverage::linears(self.kinds.clone()),
+            self.offline.linear.clone(),
+            Correction::ClampToBound,
+            NanPolicy::ToZero,
+        ))]
+    }
+
+    fn scheme_name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_core::{Scheme, SchemeFactory};
+    use ft2_fault::FaultModel;
+    use ft2_model::ZooModel;
+
+    fn tiny_ctx() -> ExperimentCtx {
+        ExperimentCtx {
+            settings: Settings {
+                inputs: 3,
+                trials: 4,
+                gen_qa: 10,
+                gen_math: 12,
+                profile_inputs: 3,
+                seed: 7,
+            },
+            pool: WorkStealingPool::new(2),
+            csv: Csv::new(std::env::temp_dir().join("ft2_results_test")),
+        }
+    }
+
+    #[test]
+    fn prepare_and_run_smoke() {
+        let ctx = tiny_ctx();
+        let spec = ZooModel::Qwen2_1_5B.spec();
+        let pair = prepare_pair(&ctx, &spec, DatasetId::Squad);
+        assert_eq!(pair.prompts.len(), 3);
+        assert!(!pair.offline.linear.is_empty());
+
+        let ft2 = SchemeFactory::new(Scheme::Ft2, pair.model.config(), None);
+        let r = run_campaign(&ctx, &pair, DatasetId::Squad, FaultModel::SingleBit, &ft2);
+        assert_eq!(r.counts.total(), 12);
+    }
+
+    #[test]
+    fn custom_coverage_factory_names_and_builds() {
+        let ctx = tiny_ctx();
+        let spec = ZooModel::Qwen2_1_5B.spec();
+        let pair = prepare_pair(&ctx, &spec, DatasetId::Squad);
+        let f = OfflineCoverageFactory {
+            kinds: vec![LayerKind::VProj],
+            offline: pair.offline.clone(),
+            name: "all-but-everything".into(),
+        };
+        assert_eq!(f.scheme_name(), "all-but-everything");
+        assert_eq!(f.make().len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 1 — layer criticality (from the heuristic) and the protection
+//! coverage of every method, for both architecture families.
+
+use super::ExperimentCtx;
+use crate::report::Table;
+use ft2_core::critical::{is_critical, CriticalityReport};
+use ft2_core::Scheme;
+use ft2_model::{ArchStyle, LayerKind};
+
+/// Run the analysis and emit the coverage matrix.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let mut table = Table::new(
+        "Table 1 — layer criticality and protection coverage",
+        &[
+            "layer",
+            "critical (heuristic)",
+            "critical (paper)",
+            "Ranger",
+            "MaxiMals",
+            "Global Clipper",
+            "FT2",
+        ],
+    );
+    let methods = [
+        Scheme::Ranger,
+        Scheme::MaxiMals,
+        Scheme::GlobalClipper,
+        Scheme::Ft2,
+    ];
+    for kind in LayerKind::ALL {
+        // A layer kind exists in exactly one family (or both for attention).
+        let style = if matches!(
+            kind,
+            LayerKind::Fc1 | LayerKind::Fc2
+        ) {
+            ArchStyle::OptStyle
+        } else {
+            ArchStyle::LlamaStyle
+        };
+        let heuristic = is_critical(style, kind)
+            .map(|c| if c { "Y" } else { "N" })
+            .unwrap_or("-");
+        let paper = if CriticalityReport::table1_expectation(kind) {
+            "Y"
+        } else {
+            "N"
+        };
+        let mut cells = vec![
+            kind.name().to_string(),
+            heuristic.to_string(),
+            paper.to_string(),
+        ];
+        for m in methods {
+            // Ranger protects activation outputs only — no linear layer.
+            let covered = m.covers_linear(style, kind);
+            cells.push(if covered { "✓" } else { "" }.to_string());
+        }
+        table.row(cells);
+    }
+    ctx.emit("table1_coverage", &table);
+
+    // Also verify the heuristic against the paper for both families.
+    for style in [ArchStyle::OptStyle, ArchStyle::LlamaStyle] {
+        let report = CriticalityReport::analyse(&probe_config(style));
+        println!(
+            "heuristic vs paper Table 1 ({:?}): {}",
+            style,
+            if report.matches_table1() { "MATCH" } else { "MISMATCH" }
+        );
+    }
+    table
+}
+
+fn probe_config(style: ArchStyle) -> ft2_model::ModelConfig {
+    match style {
+        ArchStyle::OptStyle => ft2_model::ModelConfig::tiny_opt(),
+        ArchStyle::LlamaStyle => ft2_model::ModelConfig::tiny_llama(),
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 2 — the evaluated models and tasks.
+
+use super::ExperimentCtx;
+use crate::report::Table;
+use ft2_model::{model_zoo, ArchStyle};
+
+/// Emit the model/task table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let mut table = Table::new(
+        "Table 2 — models and tasks",
+        &[
+            "model",
+            "paper_params",
+            "task_type",
+            "architecture",
+            "sim_params",
+            "sim_dims (h/blocks/ffn)",
+        ],
+    );
+    for spec in model_zoo() {
+        let arch = match spec.config.style {
+            ArchStyle::OptStyle => "OPT-style (Fig. 1a)",
+            ArchStyle::LlamaStyle => "Llama-style (Fig. 1b)",
+        };
+        table.row(vec![
+            spec.name().to_string(),
+            format!("{:.2}B", spec.paper.params / 1e9),
+            if spec.supports_math { "QA/Math" } else { "QA" }.to_string(),
+            arch.to_string(),
+            format!("{}", spec.config.sim_params()),
+            format!(
+                "{}/{}/{}",
+                spec.config.hidden, spec.config.blocks, spec.config.ffn
+            ),
+        ]);
+    }
+    ctx.emit("table2_models", &table);
+    table
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # ft2-harness
+//!
+//! The reproduction harness: one driver per table/figure of the paper's
+//! evaluation, shared experiment plumbing, and plain-text/CSV report
+//! writers. The `ft2-repro` binary (in `src/bin`) exposes each driver as a
+//! subcommand; `ft2-repro all` regenerates everything and writes CSV
+//! artifacts under `results/`.
+//!
+//! Experiment sizes default to a few minutes of CPU time and scale up via
+//! `FT2_INPUTS` / `FT2_TRIALS` (see [`Settings`]). All campaigns are
+//! deterministic in `FT2_SEED`.
+
+pub mod experiments;
+pub mod report;
+pub mod settings;
+
+pub use report::{format_pct, Csv, Table};
+pub use settings::{EvalPair, Settings};

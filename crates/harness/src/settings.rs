@@ -1,0 +1,163 @@
+//! Experiment sizing and the model × dataset evaluation grid.
+
+use ft2_fault::{CampaignConfig, FaultModel, StepFilter, StepWeighting};
+use ft2_model::{ModelSpec, ZooModel};
+use ft2_tasks::{DatasetId, TaskSpec, TaskType};
+
+/// Global experiment sizing, overridable from the environment:
+///
+/// * `FT2_INPUTS`  — inputs per (model, dataset) pair (default 12);
+/// * `FT2_TRIALS`  — fault-injection trials per input (default 30);
+/// * `FT2_SEED`    — campaign master seed;
+/// * `FT2_QUICK=1` — smoke-test sizing (6 inputs × 10 trials).
+///
+/// The defaults regenerate every figure in minutes on a laptop core. The
+/// paper's campaign (50 inputs × 500 trials, 11M injections) is
+/// `FT2_INPUTS=50 FT2_TRIALS=500` — identical methodology, wider CIs at
+/// the defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct Settings {
+    /// Inputs sampled per (model, dataset) pair.
+    pub inputs: usize,
+    /// Trials per input.
+    pub trials: usize,
+    /// Generated tokens for QA tasks (the paper's 60, scaled to the
+    /// simulator models).
+    pub gen_qa: usize,
+    /// Generated tokens for math tasks (the paper's 180, scaled).
+    pub gen_math: usize,
+    /// Inputs used for offline bound profiling (the baselines' "20% of the
+    /// training set", scaled). Must be large enough to cover the rare
+    /// "spike" tokens of the vocabulary, else the baselines suffer the
+    /// Fig. 3 bound-transfer degradation on their own dataset.
+    pub profile_inputs: usize,
+    /// Campaign master seed.
+    pub seed: u64,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings::from_env()
+    }
+}
+
+impl Settings {
+    /// Defaults with environment overrides applied.
+    pub fn from_env() -> Settings {
+        let quick = std::env::var("FT2_QUICK").is_ok_and(|v| v == "1");
+        let (inputs, trials) = if quick { (6, 10) } else { (12, 30) };
+        Settings {
+            inputs: env_usize("FT2_INPUTS").unwrap_or(inputs),
+            trials: env_usize("FT2_TRIALS").unwrap_or(trials),
+            gen_qa: 16,
+            gen_math: 36,
+            profile_inputs: env_usize("FT2_PROFILE_INPUTS").unwrap_or(72),
+            seed: std::env::var("FT2_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0xF7_2025),
+        }
+    }
+
+    /// Generation length for a task type.
+    pub fn gen_tokens(&self, task: TaskType) -> usize {
+        match task {
+            TaskType::Qa => self.gen_qa,
+            TaskType::Math => self.gen_math,
+        }
+    }
+
+    /// The [`TaskSpec`] (answer span + judge) for a dataset.
+    pub fn task_spec(&self, dataset: DatasetId) -> TaskSpec {
+        let t = dataset.task_type();
+        TaskSpec::new(t, self.gen_tokens(t))
+    }
+
+    /// Campaign configuration for a dataset and fault model.
+    pub fn campaign(&self, dataset: DatasetId, fault_model: FaultModel) -> CampaignConfig {
+        CampaignConfig {
+            seed: self.seed,
+            trials_per_input: self.trials,
+            gen_tokens: self.gen_tokens(dataset.task_type()),
+            fault_model,
+            step_filter: StepFilter::AllSteps,
+            step_weighting: StepWeighting::default(),
+            layer_filter: None,
+        }
+    }
+}
+
+/// One (model, dataset) cell of the Fig. 13 grid.
+#[derive(Clone, Debug)]
+pub struct EvalPair {
+    /// The model.
+    pub model: ModelSpec,
+    /// The dataset driving prompts and judging.
+    pub dataset: DatasetId,
+}
+
+impl EvalPair {
+    /// The paper's evaluation grid: every model on both QA datasets, plus
+    /// GSM8K for the two math-capable models (16 pairs).
+    pub fn evaluation_grid() -> Vec<EvalPair> {
+        let mut pairs = Vec::new();
+        for m in ZooModel::ALL {
+            let spec = m.spec();
+            for ds in [DatasetId::Squad, DatasetId::Xtreme] {
+                pairs.push(EvalPair {
+                    model: spec.clone(),
+                    dataset: ds,
+                });
+            }
+            if spec.supports_math {
+                pairs.push(EvalPair {
+                    model: spec.clone(),
+                    dataset: DatasetId::Gsm8k,
+                });
+            }
+        }
+        pairs
+    }
+
+    /// `"<model> / <dataset>"` label.
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.model.name(), self.dataset.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_sixteen_pairs() {
+        let grid = EvalPair::evaluation_grid();
+        assert_eq!(grid.len(), 16);
+        let math: Vec<String> = grid
+            .iter()
+            .filter(|p| p.dataset == DatasetId::Gsm8k)
+            .map(|p| p.model.name().to_string())
+            .collect();
+        assert_eq!(math, vec!["Llama2-7B", "Qwen2-7B"]);
+    }
+
+    #[test]
+    fn settings_tokens_per_task() {
+        let s = Settings {
+            inputs: 1,
+            trials: 1,
+            gen_qa: 16,
+            gen_math: 36,
+            profile_inputs: 4,
+            seed: 1,
+        };
+        assert_eq!(s.gen_tokens(TaskType::Qa), 16);
+        assert_eq!(s.gen_tokens(TaskType::Math), 36);
+        assert_eq!(s.campaign(DatasetId::Gsm8k, FaultModel::SingleBit).gen_tokens, 36);
+        assert_eq!(s.campaign(DatasetId::Squad, FaultModel::SingleBit).gen_tokens, 16);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # ft2-hw
+//!
+//! An analytic roofline cost model for LLM inference on the paper's two
+//! hardware platforms (NVIDIA A100 and H100/GH200), plus the FLOP/byte
+//! accounting needed to regenerate the timing figures at *paper scale*:
+//!
+//! * **Fig. 4** — offline bound-profiling hours for 20% of each training
+//!   set on A100 and H100;
+//! * **Fig. 10** — the percentage of inference time spent generating the
+//!   first token (prefill) for QA and Math workloads;
+//! * **Fig. 14** — FT2's protection overhead, modelled as extra memory
+//!   traffic over the protected layers' outputs;
+//! * **Fig. 16** — A100 vs H100 latency context for the hardware
+//!   sensitivity study.
+//!
+//! The simulator cannot reproduce GPU wall-clock, but these quantities are
+//! roofline-dominated: prefill is compute-bound (large GEMMs), decode is
+//! memory-bound (weight streaming), and a clamp pass is one extra read+
+//! write of each protected activation. A calibrated roofline model
+//! therefore reproduces the *shape* of every timing figure by
+//! construction, which is the claim this reproduction makes.
+
+pub mod cost;
+pub mod profiles;
+
+pub use cost::{CostModel, InferenceBreakdown, WorkloadShape};
+pub use profiles::{HwProfile, A100, GH200_H100};

@@ -1,0 +1,92 @@
+//! Hardware profiles.
+//!
+//! Effective (achievable, not peak-datasheet) throughput numbers for dense
+//! FP16 GEMM and HBM streaming, which is what LLM inference sees in
+//! practice. The efficiency factors fold in kernel launch overheads and
+//! non-GEMM layers, calibrated so that decode throughput lands in the
+//! ballpark practitioners report for 7B FP16 models on these parts
+//! (~30-60 tok/s on A100, ~1.5-2x that on H100).
+
+/// One hardware platform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HwProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Achievable dense FP16 tensor-core throughput, FLOP/s.
+    pub fp16_flops: f64,
+    /// Achievable FP32 throughput, FLOP/s (for the §5.2.3 dtype study).
+    pub fp32_flops: f64,
+    /// Achievable HBM bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Fixed per-kernel launch cost, seconds (bounds small-batch decode).
+    pub kernel_overhead: f64,
+}
+
+/// NVIDIA A100 80GB (Ampere): 312 TFLOPS FP16 peak, 2.0 TB/s HBM2e.
+/// Effective factors ~0.55 for GEMM and ~0.75 for streaming.
+pub const A100: HwProfile = HwProfile {
+    name: "A100",
+    fp16_flops: 170e12,
+    fp32_flops: 17e12,
+    mem_bw: 1.5e12,
+    kernel_overhead: 4e-6,
+};
+
+/// NVIDIA H100 as found in the GH200 Grace Hopper superchip: 989 TFLOPS
+/// FP16 peak (sparsity off), 3.35 TB/s HBM3.
+pub const GH200_H100: HwProfile = HwProfile {
+    name: "H100",
+    fp16_flops: 550e12,
+    fp32_flops: 45e12,
+    mem_bw: 2.8e12,
+    kernel_overhead: 3e-6,
+};
+
+impl HwProfile {
+    /// Both paper platforms, A100 first.
+    pub const ALL: [HwProfile; 2] = [A100, GH200_H100];
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<HwProfile> {
+        match s.to_ascii_lowercase().as_str() {
+            "a100" => Some(A100),
+            "h100" | "gh200" => Some(GH200_H100),
+            _ => None,
+        }
+    }
+
+    /// Achievable FLOP/s for a given element width (2 = FP16, 4 = FP32).
+    pub fn flops_for_width(&self, bytes_per_element: usize) -> f64 {
+        match bytes_per_element {
+            2 => self.fp16_flops,
+            _ => self.fp32_flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn h100_is_faster_than_a100_everywhere() {
+        assert!(GH200_H100.fp16_flops > A100.fp16_flops);
+        assert!(GH200_H100.mem_bw > A100.mem_bw);
+        assert!(GH200_H100.fp32_flops > A100.fp32_flops);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(HwProfile::parse("a100").unwrap().name, "A100");
+        assert_eq!(HwProfile::parse("H100").unwrap().name, "H100");
+        assert_eq!(HwProfile::parse("gh200").unwrap().name, "H100");
+        assert!(HwProfile::parse("tpu").is_none());
+    }
+
+    #[test]
+    fn width_selection() {
+        assert_eq!(A100.flops_for_width(2), A100.fp16_flops);
+        assert_eq!(A100.flops_for_width(4), A100.fp32_flops);
+    }
+}

@@ -1,0 +1,243 @@
+//! Multi-head causal self-attention with a KV cache.
+
+use crate::config::{ArchStyle, ModelConfig};
+use crate::hooks::{HookKind, TapCtx, TapList, TapPoint};
+use crate::weights::BlockWeights;
+use ft2_tensor::{softmax_rows, Matrix};
+
+/// Cached keys and values of one block (one row per past position).
+#[derive(Clone, Debug)]
+pub struct KvCacheBlock {
+    /// Cached keys `[positions, hidden]` (post-RoPE for Llama-style).
+    pub k: Matrix,
+    /// Cached values `[positions, hidden]`.
+    pub v: Matrix,
+}
+
+impl KvCacheBlock {
+    /// Empty cache for a given hidden size.
+    pub fn new(hidden: usize) -> Self {
+        KvCacheBlock {
+            k: Matrix::zeros(0, hidden),
+            v: Matrix::zeros(0, hidden),
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.k.rows()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.k.rows() == 0
+    }
+}
+
+/// Apply rotary position embeddings in place to `[n, hidden]` data laid out
+/// as `heads × head_dim`, for absolute positions `start_pos..start_pos + n`.
+/// RoPE is a per-pair rotation: it preserves magnitudes exactly, which is
+/// why it plays no role in the criticality analysis.
+pub fn apply_rope(x: &mut Matrix, start_pos: usize, heads: usize, head_dim: usize) {
+    debug_assert_eq!(x.cols(), heads * head_dim);
+    let half = head_dim / 2;
+    for r in 0..x.rows() {
+        let pos = (start_pos + r) as f32;
+        let row = x.row_mut(r);
+        for h in 0..heads {
+            let base = h * head_dim;
+            for i in 0..half {
+                let theta = pos * 10_000f32.powf(-2.0 * i as f32 / head_dim as f32);
+                let (sin, cos) = theta.sin_cos();
+                let a = row[base + 2 * i];
+                let b = row[base + 2 * i + 1];
+                row[base + 2 * i] = a * cos - b * sin;
+                row[base + 2 * i + 1] = a * sin + b * cos;
+            }
+        }
+    }
+}
+
+/// Run causal multi-head attention for the rows of `x` (absolute positions
+/// `start_pos..start_pos + n`), appending this step's K/V to the cache.
+/// Returns the attention output `[n, hidden]` (after `OUT_PROJ`).
+#[allow(clippy::too_many_arguments)]
+pub fn attention_forward(
+    config: &ModelConfig,
+    weights: &BlockWeights,
+    block_idx: usize,
+    x: &Matrix,
+    start_pos: usize,
+    step: usize,
+    cache: &mut KvCacheBlock,
+    taps: &mut TapList<'_>,
+) -> Matrix {
+    use crate::config::LayerKind::*;
+    let n = x.rows();
+    let heads = config.heads;
+    let head_dim = config.head_dim();
+    let dtype = config.dtype;
+    let ctx = |layer| TapCtx {
+        point: TapPoint {
+            block: block_idx,
+            layer,
+        },
+        hook: HookKind::LinearOutput,
+        step,
+        first_pos: start_pos,
+        dtype,
+    };
+
+    let mut k = weights.k_proj.forward(x, dtype);
+    taps.fire(&ctx(KProj), &mut k);
+    let mut q = weights.q_proj.forward(x, dtype);
+    taps.fire(&ctx(QProj), &mut q);
+    let mut v = weights.v_proj.forward(x, dtype);
+    taps.fire(&ctx(VProj), &mut v);
+
+    if config.style == ArchStyle::LlamaStyle {
+        apply_rope(&mut q, start_pos, heads, head_dim);
+        apply_rope(&mut k, start_pos, heads, head_dim);
+    }
+
+    debug_assert_eq!(cache.len(), start_pos, "cache out of sync with position");
+    cache.k.append_rows(&k);
+    cache.v.append_rows(&v);
+    let total = cache.len();
+
+    // Scores per head with causal masking, then weighted sum of values.
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut attn_out = Matrix::zeros(n, config.hidden);
+    for h in 0..heads {
+        let base = h * head_dim;
+        // scores[i][j] = q_i · k_j * scale for j <= start_pos + i.
+        let mut scores = Matrix::from_fn(n, total, |i, j| {
+            if j <= start_pos + i {
+                let qrow = &q.row(i)[base..base + head_dim];
+                let krow = &cache.k.row(j)[base..base + head_dim];
+                let mut acc = 0.0f32;
+                for (a, b) in qrow.iter().zip(krow) {
+                    acc += a * b;
+                }
+                acc * scale
+            } else {
+                f32::NEG_INFINITY
+            }
+        });
+        softmax_rows(&mut scores);
+        for i in 0..n {
+            let out_row = attn_out.row_mut(i);
+            for j in 0..=(start_pos + i) {
+                let w = scores.get(i, j);
+                if w == 0.0 {
+                    continue;
+                }
+                let vrow = &cache.v.row(j)[base..base + head_dim];
+                for (o, &vv) in out_row[base..base + head_dim].iter_mut().zip(vrow) {
+                    *o += w * vv;
+                }
+            }
+        }
+    }
+
+    let mut out = weights.out_proj.forward(&attn_out, dtype);
+    taps.fire(&ctx(OutProj), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::weights::ModelWeights;
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut x = Matrix::from_fn(3, 16, |r, c| (r * 16 + c) as f32 * 0.1 - 1.0);
+        let norms_before: Vec<f32> = (0..3)
+            .map(|r| x.row(r).iter().map(|v| v * v).sum::<f32>())
+            .collect();
+        apply_rope(&mut x, 5, 2, 8);
+        for (r, &before) in norms_before.iter().enumerate() {
+            let after: f32 = x.row(r).iter().map(|v| v * v).sum();
+            assert!((after - before).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rope_at_position_zero_is_identity() {
+        let orig = Matrix::from_fn(1, 8, |_, c| c as f32 + 1.0);
+        let mut x = orig.clone();
+        apply_rope(&mut x, 0, 1, 8);
+        assert!(x.max_abs_diff(&orig) < 1e-6);
+    }
+
+    #[test]
+    fn prefill_then_decode_equals_full_prefill() {
+        // Processing [t0 t1 t2] in one prefill must give the same last-row
+        // output as prefilling [t0 t1] then decoding t2 — the KV-cache
+        // correctness invariant.
+        let config = ModelConfig::tiny_llama();
+        let weights = ModelWeights::build(&config);
+        let block = &weights.blocks[0];
+        let x_full = Matrix::from_fn(3, config.hidden, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6);
+
+        let mut taps = TapList::new();
+        let mut cache_a = KvCacheBlock::new(config.hidden);
+        let out_full = attention_forward(
+            &config, block, 0, &x_full, 0, 0, &mut cache_a, &mut taps,
+        );
+
+        let mut cache_b = KvCacheBlock::new(config.hidden);
+        let x01 = x_full.slice_rows(0, 2);
+        let _ = attention_forward(&config, block, 0, &x01, 0, 0, &mut cache_b, &mut taps);
+        let x2 = x_full.slice_rows(2, 3);
+        let out_step = attention_forward(&config, block, 0, &x2, 2, 1, &mut cache_b, &mut taps);
+
+        let last_full = out_full.slice_rows(2, 3);
+        assert!(
+            last_full.max_abs_diff(&out_step) < 2e-3,
+            "cache incremental mismatch: {}",
+            last_full.max_abs_diff(&out_step)
+        );
+    }
+
+    #[test]
+    fn causality_first_row_ignores_future() {
+        // Row 0's output must not depend on later rows.
+        let config = ModelConfig::tiny_opt();
+        let weights = ModelWeights::build(&config);
+        let block = &weights.blocks[0];
+        let mut taps = TapList::new();
+
+        let x_a = Matrix::from_fn(2, config.hidden, |r, c| if r == 0 { (c % 5) as f32 * 0.2 } else { 1.0 });
+        let x_b = Matrix::from_fn(2, config.hidden, |r, c| if r == 0 { (c % 5) as f32 * 0.2 } else { -1.0 });
+
+        let mut ca = KvCacheBlock::new(config.hidden);
+        let out_a = attention_forward(&config, block, 0, &x_a, 0, 0, &mut ca, &mut taps);
+        let mut cb = KvCacheBlock::new(config.hidden);
+        let out_b = attention_forward(&config, block, 0, &x_b, 0, 0, &mut cb, &mut taps);
+
+        let row0_a = out_a.slice_rows(0, 1);
+        let row0_b = out_b.slice_rows(0, 1);
+        assert!(row0_a.max_abs_diff(&row0_b) < 1e-6);
+        // But row 1 must differ.
+        let row1_a = out_a.slice_rows(1, 2);
+        let row1_b = out_b.slice_rows(1, 2);
+        assert!(row1_a.max_abs_diff(&row1_b) > 1e-4);
+    }
+
+    #[test]
+    fn cache_grows_by_step_rows() {
+        let config = ModelConfig::tiny_opt();
+        let weights = ModelWeights::build(&config);
+        let mut taps = TapList::new();
+        let mut cache = KvCacheBlock::new(config.hidden);
+        let x = Matrix::zeros(4, config.hidden);
+        let _ = attention_forward(&config, &weights.blocks[0], 0, &x, 0, 0, &mut cache, &mut taps);
+        assert_eq!(cache.len(), 4);
+        let x1 = Matrix::zeros(1, config.hidden);
+        let _ = attention_forward(&config, &weights.blocks[0], 0, &x1, 4, 1, &mut cache, &mut taps);
+        assert_eq!(cache.len(), 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! The pre-norm decoder block (both architecture styles).
+
+use crate::attention::{attention_forward, KvCacheBlock};
+use crate::config::{ModelConfig, NormKind};
+use crate::hooks::TapList;
+use crate::mlp::mlp_forward;
+use crate::weights::{BlockWeights, NormParams};
+use ft2_tensor::{add_inplace, layer_norm, rms_norm, Matrix};
+
+/// Per-position activation growth rate. Pre-norm LLMs exhibit a systematic
+/// increase of activation magnitudes along the sequence (residual-stream
+/// norm growth / "massive activations"); it is the reason first-token
+/// bounds must be scaled before they can cover later tokens (Fig. 9 — the
+/// unscaled bounds clip benign late-position values). The block input is
+/// scaled by `1 + POSITION_GAIN * position` after normalisation so every
+/// linear-layer output inherits the drift.
+pub const POSITION_GAIN: f32 = 0.012;
+
+/// Apply the configured normalisation to a copy of `x`, then the
+/// position-dependent activation gain for absolute positions
+/// `start_pos..start_pos + rows`.
+pub fn normed_at(
+    config: &ModelConfig,
+    params: &NormParams,
+    x: &Matrix,
+    start_pos: usize,
+) -> Matrix {
+    let mut y = x.clone();
+    match config.norm {
+        NormKind::LayerNorm => layer_norm(&mut y, &params.gamma, &params.beta, 1e-5),
+        NormKind::RmsNorm => rms_norm(&mut y, &params.gamma, 1e-6),
+    }
+    for r in 0..y.rows() {
+        let gain = 1.0 + POSITION_GAIN * (start_pos + r) as f32;
+        for v in y.row_mut(r) {
+            *v *= gain;
+        }
+    }
+    y
+}
+
+/// Normalisation without the positional gain (used for the final norm
+/// before the LM head, where the paper's protected layers have all run).
+pub fn normed(config: &ModelConfig, params: &NormParams, x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    match config.norm {
+        NormKind::LayerNorm => layer_norm(&mut y, &params.gamma, &params.beta, 1e-5),
+        NormKind::RmsNorm => rms_norm(&mut y, &params.gamma, 1e-6),
+    }
+    y
+}
+
+/// Run one decoder block: pre-norm attention with residual, then pre-norm
+/// MLP with residual. `x` is updated in place.
+#[allow(clippy::too_many_arguments)]
+pub fn block_forward(
+    config: &ModelConfig,
+    weights: &BlockWeights,
+    block_idx: usize,
+    x: &mut Matrix,
+    start_pos: usize,
+    step: usize,
+    cache: &mut KvCacheBlock,
+    taps: &mut TapList<'_>,
+) {
+    // Attention sub-block: x = x + Attn(Norm(x)).
+    let normed_in = normed_at(config, &weights.attn_norm, x, start_pos);
+    let attn = attention_forward(
+        config, weights, block_idx, &normed_in, start_pos, step, cache, taps,
+    );
+    add_inplace(x, &attn);
+
+    // MLP sub-block: x = x + MLP(Norm(x)).
+    let normed_mid = normed_at(config, &weights.mlp_norm, x, start_pos);
+    let mlp = mlp_forward(config, weights, block_idx, &normed_mid, start_pos, step, taps);
+    add_inplace(x, &mlp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::hooks::RecordingTap;
+    use crate::weights::ModelWeights;
+
+    #[test]
+    fn block_preserves_shape_and_is_deterministic() {
+        let config = ModelConfig::tiny_opt();
+        let weights = ModelWeights::build(&config);
+        let mut taps = TapList::new();
+        let x0 = Matrix::from_fn(3, config.hidden, |r, c| ((r + c) % 7) as f32 * 0.1);
+
+        let mut xa = x0.clone();
+        let mut ca = KvCacheBlock::new(config.hidden);
+        block_forward(&config, &weights.blocks[0], 0, &mut xa, 0, 0, &mut ca, &mut taps);
+
+        let mut xb = x0.clone();
+        let mut cb = KvCacheBlock::new(config.hidden);
+        block_forward(&config, &weights.blocks[0], 0, &mut xb, 0, 0, &mut cb, &mut taps);
+
+        assert_eq!(xa, xb);
+        assert_eq!(xa.rows(), 3);
+        assert_eq!(xa.cols(), config.hidden);
+        assert_ne!(xa, x0, "block must transform its input");
+    }
+
+    #[test]
+    fn residual_passes_information_through_zeroed_branches() {
+        // If attention and MLP weights output ~nothing, the block is close
+        // to identity thanks to the residual branches — the mechanism that
+        // makes NaN-to-zero correction safe (Take-away #2).
+        let config = ModelConfig::tiny_opt();
+        let mut weights = ModelWeights::build(&config);
+        let b = &mut weights.blocks[0];
+        for lin in [&mut b.out_proj] {
+            for v in lin.weight.as_mut_slice() {
+                *v = 0.0;
+            }
+            if let Some(bias) = &mut lin.bias {
+                for v in bias {
+                    *v = 0.0;
+                }
+            }
+        }
+        if let Some((_, fc2)) = &mut b.fc {
+            for v in fc2.weight.as_mut_slice() {
+                *v = 0.0;
+            }
+            if let Some(bias) = &mut fc2.bias {
+                for v in bias {
+                    *v = 0.0;
+                }
+            }
+        }
+        let mut taps = TapList::new();
+        let x0 = Matrix::from_fn(2, config.hidden, |r, c| (r as f32 - c as f32) * 0.05);
+        let mut x = x0.clone();
+        let mut cache = KvCacheBlock::new(config.hidden);
+        block_forward(&config, &weights.blocks[0], 0, &mut x, 0, 0, &mut cache, &mut taps);
+        assert!(x.max_abs_diff(&x0) < 1e-6);
+    }
+
+    #[test]
+    fn all_block_layers_fire_exactly_once_per_call() {
+        let config = ModelConfig::tiny_llama();
+        let weights = ModelWeights::build(&config);
+        let mut rec = RecordingTap::all();
+        {
+            let mut taps = TapList::new();
+            taps.push(&mut rec);
+            let mut x = Matrix::from_fn(1, config.hidden, |_, c| (c % 2) as f32 * 0.4);
+            let mut cache = KvCacheBlock::new(config.hidden);
+            block_forward(&config, &weights.blocks[0], 0, &mut x, 0, 0, &mut cache, &mut taps);
+        }
+        let kinds: Vec<_> = rec.captures.iter().map(|(c, _)| c.point.layer).collect();
+        let expected: Vec<_> = config.block_layers().to_vec();
+        assert_eq!(kinds, expected);
+    }
+}

@@ -1,0 +1,138 @@
+//! The two MLP variants of Fig. 1.
+
+use crate::config::{Activation, ArchStyle, LayerKind, ModelConfig};
+use crate::hooks::{HookKind, TapCtx, TapList, TapPoint};
+use crate::weights::BlockWeights;
+use ft2_tensor::{gelu_inplace, ops::mul_inplace, relu_inplace, silu_inplace, Matrix};
+
+fn activate(act: Activation, m: &mut Matrix) {
+    match act {
+        Activation::Relu => relu_inplace(m),
+        Activation::Gelu => gelu_inplace(m),
+        Activation::Silu => silu_inplace(m),
+    }
+}
+
+/// Run the block's MLP on `x` (`[n, hidden] -> [n, hidden]`), firing taps
+/// after every linear layer.
+pub fn mlp_forward(
+    config: &ModelConfig,
+    weights: &BlockWeights,
+    block_idx: usize,
+    x: &Matrix,
+    start_pos: usize,
+    step: usize,
+    taps: &mut TapList<'_>,
+) -> Matrix {
+    let dtype = config.dtype;
+    let ctx = |layer: LayerKind| TapCtx {
+        point: TapPoint {
+            block: block_idx,
+            layer,
+        },
+        hook: HookKind::LinearOutput,
+        step,
+        first_pos: start_pos,
+        dtype,
+    };
+    let act_ctx = |layer: LayerKind| TapCtx {
+        point: TapPoint {
+            block: block_idx,
+            layer,
+        },
+        hook: HookKind::ActivationOutput,
+        step,
+        first_pos: start_pos,
+        dtype,
+    };
+
+    match config.style {
+        ArchStyle::OptStyle => {
+            let (fc1, fc2) = weights.fc.as_ref().expect("OPT-style block without FC");
+            let mut h = fc1.forward(x, dtype);
+            taps.fire(&ctx(LayerKind::Fc1), &mut h);
+            activate(config.activation, &mut h);
+            taps.fire(&act_ctx(LayerKind::Fc1), &mut h);
+            let mut y = fc2.forward(&h, dtype);
+            taps.fire(&ctx(LayerKind::Fc2), &mut y);
+            y
+        }
+        ArchStyle::LlamaStyle => {
+            let (gate, up, down) = weights
+                .gated
+                .as_ref()
+                .expect("Llama-style block without gated MLP");
+            let mut g = gate.forward(x, dtype);
+            taps.fire(&ctx(LayerKind::GateProj), &mut g);
+            let mut u = up.forward(x, dtype);
+            taps.fire(&ctx(LayerKind::UpProj), &mut u);
+            activate(config.activation, &mut g);
+            taps.fire(&act_ctx(LayerKind::GateProj), &mut g);
+            mul_inplace(&mut g, &u);
+            let mut y = down.forward(&g, dtype);
+            taps.fire(&ctx(LayerKind::DownProj), &mut y);
+            y
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::hooks::RecordingTap;
+    use crate::weights::ModelWeights;
+
+    #[test]
+    fn opt_mlp_fires_fc_taps_in_order() {
+        let config = ModelConfig::tiny_opt();
+        let weights = ModelWeights::build(&config);
+        let mut rec = RecordingTap::all();
+        let mut taps = TapList::new();
+        taps.push(&mut rec);
+        let x = Matrix::from_fn(2, config.hidden, |_, c| (c % 3) as f32 * 0.3);
+        let y = mlp_forward(&config, &weights.blocks[0], 0, &x, 0, 0, &mut taps);
+        drop(taps);
+        assert_eq!(y.rows(), 2);
+        assert_eq!(y.cols(), config.hidden);
+        let kinds: Vec<LayerKind> = rec.captures.iter().map(|(c, _)| c.point.layer).collect();
+        assert_eq!(kinds, vec![LayerKind::Fc1, LayerKind::Fc2]);
+        // FC1 capture has ffn columns worth of data.
+        assert_eq!(rec.captures[0].1.len(), 2 * config.ffn);
+    }
+
+    #[test]
+    fn llama_mlp_fires_gate_up_down() {
+        let config = ModelConfig::tiny_llama();
+        let weights = ModelWeights::build(&config);
+        let mut rec = RecordingTap::all();
+        let mut taps = TapList::new();
+        taps.push(&mut rec);
+        let x = Matrix::from_fn(1, config.hidden, |_, c| ((c * 7) % 5) as f32 * 0.2 - 0.4);
+        let _ = mlp_forward(&config, &weights.blocks[0], 0, &x, 0, 0, &mut taps);
+        drop(taps);
+        let kinds: Vec<LayerKind> = rec.captures.iter().map(|(c, _)| c.point.layer).collect();
+        assert_eq!(
+            kinds,
+            vec![LayerKind::GateProj, LayerKind::UpProj, LayerKind::DownProj]
+        );
+    }
+
+    #[test]
+    fn gated_mlp_is_gate_times_up() {
+        // With a zero up-projection, the MLP output must be exactly zero
+        // regardless of the gate (down(0) = 0, no bias in llama style).
+        let config = ModelConfig::tiny_llama();
+        let mut weights = ModelWeights::build(&config);
+        {
+            let (_, up, _) = weights.blocks[0].gated.as_mut().unwrap();
+            for v in up.weight.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+        let mut taps = TapList::new();
+        let x = Matrix::from_fn(1, config.hidden, |_, c| c as f32 * 0.01);
+        let y = mlp_forward(&config, &weights.blocks[0], 0, &x, 0, 0, &mut taps);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

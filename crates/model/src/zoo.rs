@@ -1,0 +1,318 @@
+//! The model zoo: seven simulator stand-ins for the models of Table 2.
+//!
+//! Each entry pairs (a) a scaled-down simulator configuration whose
+//! architecture topology matches the real model (Fig. 1) and whose weight
+//! statistics are shaped per `weights.rs`, with (b) the *paper-scale*
+//! dimensions of the real checkpoint, which `ft2-hw` uses for
+//! FLOP-accurate timing estimates (Figs. 4 and 10).
+
+use crate::config::{Activation, ArchStyle, ModelConfig, NormKind};
+use crate::engine::Model;
+use ft2_tensor::DType;
+
+/// Paper-scale dimensions of the real model a zoo entry stands in for.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperScale {
+    /// Hidden dimension of the real model.
+    pub hidden: usize,
+    /// Number of decoder blocks.
+    pub blocks: usize,
+    /// MLP intermediate dimension.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Total parameter count.
+    pub params: f64,
+}
+
+/// One zoo entry.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Simulator configuration (scaled down, same topology).
+    pub config: ModelConfig,
+    /// Real-model dimensions for timing estimation.
+    pub paper: PaperScale,
+    /// Whether the paper evaluates this model on the math task (only
+    /// Llama2-7B and Qwen2-7B answer GSM8K well enough).
+    pub supports_math: bool,
+}
+
+impl ModelSpec {
+    /// Instantiate the simulator model (builds the synthetic checkpoint).
+    pub fn build(&self) -> Model {
+        Model::new(self.config.clone())
+    }
+
+    /// Model name, e.g. `"OPT-6.7B"`.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+}
+
+/// Identifier for a zoo model, used by the harness CLI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ZooModel {
+    /// OPT-6.7B stand-in.
+    Opt6_7B,
+    /// OPT-2.7B stand-in.
+    Opt2_7B,
+    /// GPT-J-6B stand-in.
+    GptJ6B,
+    /// Llama2-7B stand-in.
+    Llama2_7B,
+    /// Vicuna-7B (v1.5) stand-in.
+    Vicuna7B,
+    /// Qwen2-7B stand-in.
+    Qwen2_7B,
+    /// Qwen2-1.5B stand-in.
+    Qwen2_1_5B,
+}
+
+impl ZooModel {
+    /// All models in Table 2 order.
+    pub const ALL: [ZooModel; 7] = [
+        ZooModel::Opt6_7B,
+        ZooModel::Opt2_7B,
+        ZooModel::GptJ6B,
+        ZooModel::Llama2_7B,
+        ZooModel::Vicuna7B,
+        ZooModel::Qwen2_7B,
+        ZooModel::Qwen2_1_5B,
+    ];
+
+    /// The spec for this model.
+    pub fn spec(self) -> ModelSpec {
+        spec_for(self)
+    }
+
+    /// Parse a CLI name such as `"opt-6.7b"` or `"Llama2-7B"`.
+    pub fn parse(s: &str) -> Option<ZooModel> {
+        let k = s.to_ascii_lowercase().replace(['_', ' '], "-");
+        Some(match k.as_str() {
+            "opt-6.7b" => ZooModel::Opt6_7B,
+            "opt-2.7b" => ZooModel::Opt2_7B,
+            "gptj-6b" | "gpt-j-6b" => ZooModel::GptJ6B,
+            "llama2-7b" | "llama-2-7b" => ZooModel::Llama2_7B,
+            "vicuna-7b" => ZooModel::Vicuna7B,
+            "qwen2-7b" => ZooModel::Qwen2_7B,
+            "qwen2-1.5b" => ZooModel::Qwen2_1_5B,
+            _ => return None,
+        })
+    }
+}
+
+fn opt_config(name: &str, hidden: usize, blocks: usize, seed: u64, act: Activation) -> ModelConfig {
+    ModelConfig {
+        name: name.into(),
+        style: ArchStyle::OptStyle,
+        hidden,
+        heads: hidden / 16,
+        blocks,
+        ffn: hidden * 4,
+        vocab: 512,
+        max_seq: 160,
+        activation: act,
+        norm: NormKind::LayerNorm,
+        bias: true,
+        dtype: DType::F16,
+        seed,
+        paper_params: 0.0, // overwritten by spec_for
+    }
+}
+
+fn llama_config(name: &str, hidden: usize, blocks: usize, seed: u64) -> ModelConfig {
+    ModelConfig {
+        name: name.into(),
+        style: ArchStyle::LlamaStyle,
+        hidden,
+        heads: hidden / 16,
+        blocks,
+        ffn: hidden * 8 / 3,
+        vocab: 512,
+        max_seq: 160,
+        activation: Activation::Silu,
+        norm: NormKind::RmsNorm,
+        bias: false,
+        dtype: DType::F16,
+        seed,
+        paper_params: 0.0,
+    }
+}
+
+fn spec_for(m: ZooModel) -> ModelSpec {
+    let (mut config, paper, math) = match m {
+        ZooModel::Opt6_7B => (
+            opt_config("OPT-6.7B", 64, 4, 0x0667, Activation::Relu),
+            PaperScale {
+                hidden: 4096,
+                blocks: 32,
+                ffn: 16384,
+                vocab: 50272,
+                params: 6.66e9,
+            },
+            false,
+        ),
+        ZooModel::Opt2_7B => (
+            opt_config("OPT-2.7B", 48, 4, 0x0267, Activation::Relu),
+            PaperScale {
+                hidden: 2560,
+                blocks: 32,
+                ffn: 10240,
+                vocab: 50272,
+                params: 2.65e9,
+            },
+            false,
+        ),
+        ZooModel::GptJ6B => (
+            opt_config("GPTJ-6B", 64, 4, 0x6055, Activation::Gelu),
+            PaperScale {
+                hidden: 4096,
+                blocks: 28,
+                ffn: 16384,
+                vocab: 50400,
+                params: 6.05e9,
+            },
+            false,
+        ),
+        ZooModel::Llama2_7B => (
+            llama_config("Llama2-7B", 64, 4, 0x11A2),
+            PaperScale {
+                hidden: 4096,
+                blocks: 32,
+                ffn: 11008,
+                vocab: 32000,
+                params: 6.74e9,
+            },
+            true,
+        ),
+        ZooModel::Vicuna7B => (
+            llama_config("Vicuna-7B", 64, 4, 0x71C0),
+            PaperScale {
+                hidden: 4096,
+                blocks: 32,
+                ffn: 11008,
+                vocab: 32000,
+                params: 6.74e9,
+            },
+            false,
+        ),
+        ZooModel::Qwen2_7B => (
+            llama_config("Qwen2-7B", 64, 4, 0x0727),
+            PaperScale {
+                hidden: 3584,
+                blocks: 28,
+                ffn: 18944,
+                vocab: 152064,
+                params: 7.62e9,
+            },
+            true,
+        ),
+        ZooModel::Qwen2_1_5B => (
+            llama_config("Qwen2-1.5B", 48, 3, 0x0157),
+            PaperScale {
+                hidden: 1536,
+                blocks: 28,
+                ffn: 8960,
+                vocab: 151936,
+                params: 1.54e9,
+            },
+            false,
+        ),
+    };
+    config.paper_params = paper.params;
+    ModelSpec {
+        config,
+        paper,
+        supports_math: math,
+    }
+}
+
+/// All seven zoo specs in Table 2 order.
+pub fn model_zoo() -> Vec<ModelSpec> {
+    ZooModel::ALL.iter().map(|&m| m.spec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayerKind;
+
+    #[test]
+    fn zoo_has_seven_models_matching_table2() {
+        let zoo = model_zoo();
+        assert_eq!(zoo.len(), 7);
+        let names: Vec<&str> = zoo.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "OPT-6.7B",
+                "OPT-2.7B",
+                "GPTJ-6B",
+                "Llama2-7B",
+                "Vicuna-7B",
+                "Qwen2-7B",
+                "Qwen2-1.5B"
+            ]
+        );
+        // Only Llama2-7B and Qwen2-7B do math.
+        let math: Vec<&str> = zoo
+            .iter()
+            .filter(|s| s.supports_math)
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(math, vec!["Llama2-7B", "Qwen2-7B"]);
+    }
+
+    #[test]
+    fn architectures_match_fig1() {
+        let zoo = model_zoo();
+        for spec in &zoo {
+            match spec.name() {
+                "OPT-6.7B" | "OPT-2.7B" | "GPTJ-6B" => {
+                    assert_eq!(spec.config.style, ArchStyle::OptStyle);
+                    assert!(spec.config.block_layers().contains(&LayerKind::Fc1));
+                }
+                _ => {
+                    assert_eq!(spec.config.style, ArchStyle::LlamaStyle);
+                    assert!(spec.config.block_layers().contains(&LayerKind::UpProj));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_params_are_wired() {
+        for spec in model_zoo() {
+            assert!(spec.config.paper_params > 1e9);
+            assert_eq!(spec.config.paper_params, spec.paper.params);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_so_checkpoints_differ() {
+        let seeds: Vec<u64> = model_zoo().iter().map(|s| s.config.seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(ZooModel::parse("opt-6.7b"), Some(ZooModel::Opt6_7B));
+        assert_eq!(ZooModel::parse("Llama2-7B"), Some(ZooModel::Llama2_7B));
+        assert_eq!(ZooModel::parse("qwen2_1.5b"), Some(ZooModel::Qwen2_1_5B));
+        assert_eq!(ZooModel::parse("nonexistent"), None);
+    }
+
+    #[test]
+    fn zoo_models_generate() {
+        // Every zoo model must produce deterministic output.
+        for spec in model_zoo() {
+            let model = spec.build();
+            let mut taps = crate::hooks::TapList::new();
+            let out = model.generate(&[1, 2, 3, 4, 5], 6, &mut taps);
+            assert_eq!(out.tokens.len(), 6, "model {}", spec.name());
+        }
+    }
+}

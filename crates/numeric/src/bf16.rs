@@ -1,0 +1,166 @@
+//! bfloat16 (1 sign, 8 exponent, 7 mantissa bits).
+//!
+//! Not evaluated in the paper, but provided as a natural extension of the
+//! §5.2.3 data-type sensitivity study: bf16 shares binary32's exponent range,
+//! so its NaN-vulnerable intervals differ from binary16's — a useful ablation
+//! for the criticality analysis.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 16-bit bfloat16 value (truncated binary32).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+    /// Largest finite value (~3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even on the dropped 16 bits.
+    pub fn from_f32(value: f32) -> Self {
+        let x = value.to_bits();
+        if value.is_nan() {
+            // Keep NaN quiet and preserve sign.
+            return Bf16(((x >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let mut hi = (x >> 16) as u16;
+        let rem = x & 0xFFFF;
+        if rem > round_bit || (rem == round_bit && (hi & 1) == 1) {
+            hi = hi.wrapping_add(1);
+        }
+        Bf16(hi)
+    }
+
+    /// Widen to `f32` exactly (shift left by 16).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Is this a NaN encoding?
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// Is this positive or negative infinity?
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+
+    /// Is this a finite value?
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+
+    /// Flip a single bit of the representation (bit 15 = sign, bits 7..=14 =
+    /// exponent, bits 0..=6 = mantissa).
+    #[inline]
+    pub const fn flip_bit(self, bit: u32) -> Bf16 {
+        Bf16(self.0 ^ (1 << bit))
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(v: f32) -> Self {
+        Bf16::from_f32(v)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({} = {:#06x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 128.0, -65536.0] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn truncation_rounds_to_nearest_even() {
+        // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7: ties-to-even keeps 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        let above = 1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-16);
+        assert_eq!(Bf16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-7));
+    }
+
+    #[test]
+    fn exponent_range_matches_f32() {
+        // bf16 can represent 1e38 (f16 cannot).
+        let big = Bf16::from_f32(1e38);
+        assert!(big.is_finite());
+        assert!(big.to_f32() > 9.9e37);
+    }
+
+    #[test]
+    fn nan_and_inf() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::from_f32(f32::INFINITY).is_infinite());
+        assert!(Bf16::NAN.is_nan());
+        assert!(!Bf16::NAN.is_finite());
+    }
+
+    #[test]
+    fn highest_exponent_bit_flip_makes_huge_or_nan() {
+        // 1.5 in bf16 has exponent 0111_1111; flipping bit 14 gives
+        // 1111_1111 => NaN (mantissa non-zero).
+        let v = Bf16::from_f32(1.5);
+        assert!(v.flip_bit(14).is_nan());
+        // 0.5 has exponent 0111_1110 -> 1111_1110 => huge finite.
+        let v = Bf16::from_f32(0.5);
+        let f = v.flip_bit(14);
+        assert!(f.is_finite());
+        assert!(f.to_f32() > 1e37);
+    }
+}

@@ -1,0 +1,443 @@
+//! IEEE-754 binary16 implemented from scratch.
+//!
+//! Layout (Fig. 7 of the paper): 1 sign bit, 5 exponent bits, 10 mantissa
+//! bits. We store the raw `u16` pattern so that fault injection can flip any
+//! bit and the resulting value (huge number, subnormal, NaN, infinity) is
+//! decoded with exact IEEE semantics.
+//!
+//! Arithmetic is performed by widening to `f32`, operating, and rounding back
+//! with round-to-nearest-even — the same behaviour as GPU FP16 units with an
+//! FP32 accumulator path, which is the configuration the paper evaluates.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 16-bit IEEE-754 binary16 floating point number.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+/// Number of exponent bits in binary16.
+pub const F16_EXP_BITS: u32 = 5;
+/// Number of mantissa (fraction) bits in binary16.
+pub const F16_MANT_BITS: u32 = 10;
+/// Exponent bias of binary16.
+pub const F16_BIAS: i32 = 15;
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MANT_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: F16 = F16(0xBC00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest finite value, -65504.
+    pub const MIN: F16 = F16(0xFBFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, 2^-24.
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon (2^-10).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert an `f32` to binary16 with round-to-nearest-even, overflowing
+    /// to infinity and flushing tiny values to (sub)normals/zero exactly as
+    /// IEEE 754 prescribes.
+    pub fn from_f32(value: f32) -> Self {
+        let x = value.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let exp = ((x >> 23) & 0xFF) as i32;
+        let mant = x & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve NaN-ness by keeping a mantissa bit.
+            return if mant == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                // Quiet the NaN; keep the top mantissa bits for debuggability.
+                let payload = ((mant >> 13) as u16) & MANT_MASK;
+                F16(sign | EXP_MASK | payload | 0x0200)
+            };
+        }
+
+        // Re-bias: binary32 bias 127 -> binary16 bias 15.
+        let unbiased = exp - 127;
+        let new_exp = unbiased + F16_BIAS;
+
+        if new_exp >= 0x1F {
+            // Overflow to infinity.
+            return F16(sign | EXP_MASK);
+        }
+
+        if new_exp <= 0 {
+            // Subnormal or zero in binary16.
+            if new_exp < -10 {
+                // Too small: rounds to zero (ties cannot reach the smallest
+                // subnormal from here).
+                return F16(sign);
+            }
+            // Add the implicit leading 1 and shift right into subnormal
+            // position, rounding to nearest even. The f16 subnormal stores
+            // value * 2^24, i.e. full_mant * 2^(unbiased + 1).
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-1 - unbiased) as u32; // unbiased in [-25, -15] => shift in [14, 24]
+            debug_assert!((14..=24).contains(&shift));
+            let sub = full_mant >> shift;
+            let rem = full_mant & ((1u32 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let mut bits = sub as u16;
+            if rem > half || (rem == half && (bits & 1) == 1) {
+                bits += 1; // may carry into the exponent, which is correct
+            }
+            return F16(sign | bits);
+        }
+
+        // Normal number: round the 23-bit mantissa to 10 bits, nearest even.
+        let mut bits = ((new_exp as u16) << F16_MANT_BITS) | ((mant >> 13) as u16);
+        let rem = mant & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && (bits & 1) == 1) {
+            bits += 1; // mantissa carry may overflow into exponent => inf, ok
+        }
+        F16(sign | bits)
+    }
+
+    /// Widen to `f32` exactly (binary16 values are all representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> F16_MANT_BITS) as u32;
+        let mant = (self.0 & MANT_MASK) as u32;
+
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = mant * 2^-24, exactly representable in
+                // binary32 (mant <= 1023), so compute it directly.
+                let value = mant as f32 * (1.0 / 16_777_216.0);
+                return if sign != 0 { -value } else { value };
+            }
+        } else if exp == 0x1F {
+            if mant == 0 {
+                sign | 0x7F80_0000
+            } else {
+                sign | 0x7F80_0000 | (mant << 13) | 0x0040_0000
+            }
+        } else {
+            let exp32 = exp as i32 - F16_BIAS + 127;
+            sign | ((exp32 as u32) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Convert to `f64` via `f32` (exact).
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Convert from `f64` (double rounding is safe here because every
+    /// binary16 rounding boundary is exactly representable in binary32 and
+    /// binary64 values round to binary32 first with sufficient headroom for
+    /// our use; generation paths in this project only produce f32 anyway).
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_f32(value as f32)
+    }
+
+    /// Is this a NaN encoding (all exponent bits set, non-zero mantissa)?
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MANT_MASK) != 0
+    }
+
+    /// Is this positive or negative infinity?
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MANT_MASK) == 0
+    }
+
+    /// Is this a finite value (neither NaN nor infinity)?
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Is this a subnormal (denormal) value?
+    #[inline]
+    pub const fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MANT_MASK) != 0
+    }
+
+    /// Is the sign bit set?
+    #[inline]
+    pub const fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Is this value zero (either sign)?
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub const fn abs(self) -> F16 {
+        F16(self.0 & !SIGN_MASK)
+    }
+
+    /// Negation (flips the sign bit).
+    #[inline]
+    pub const fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+
+    /// Flip a single bit of the representation. Bit 0 is the least
+    /// significant mantissa bit; bit 15 is the sign bit; bits 10..=14 are the
+    /// exponent (bit 14 being the highest exponent bit of Fig. 7).
+    #[inline]
+    pub const fn flip_bit(self, bit: u32) -> F16 {
+        F16(self.0 ^ (1 << bit))
+    }
+
+    /// The unbiased exponent of a normal value, `None` for zero/subnormal/
+    /// non-finite encodings.
+    pub fn unbiased_exponent(self) -> Option<i32> {
+        let e = (self.0 & EXP_MASK) >> F16_MANT_BITS;
+        if e == 0 || e == 0x1F {
+            None
+        } else {
+            Some(e as i32 - F16_BIAS)
+        }
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({} = {:#06x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+macro_rules! impl_f16_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+impl_f16_binop!(Add, add, +);
+impl_f16_binop!(Sub, sub, -);
+impl_f16_binop!(Mul, mul, *);
+impl_f16_binop!(Div, div, /);
+
+impl std::ops::Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_decode_correctly() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN.to_f32(), -65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0f32.powi(-10));
+        assert!(F16::NAN.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_sign_negative());
+    }
+
+    #[test]
+    fn roundtrip_simple_values() {
+        for &v in &[
+            0.0f32, -0.0, 1.0, -1.0, 2.0, 0.5, 0.25, 1.5, 3.140625, 1000.0, -1000.0, 65504.0,
+        ] {
+            let h = F16::from_f32(v);
+            assert_eq!(h.to_f32(), v, "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even
+        // keep 1.0 (even mantissa).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties to even
+        // round up to 1+2^-9 (even mantissa).
+        let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway2).to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(65520.0).is_infinite()); // rounds past MAX
+        assert_eq!(F16::from_f32(65519.0).to_f32(), 65504.0); // rounds down to MAX
+        assert!(F16::from_f32(1e9).is_infinite());
+        assert!(F16::from_f32(-1e9).is_infinite());
+        assert!(F16::from_f32(-1e9).is_sign_negative());
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)).to_f32(), 0.0);
+        let sub = 3.0 * 2.0f32.powi(-24);
+        let h = F16::from_f32(sub);
+        assert!(h.is_subnormal());
+        assert_eq!(h.to_f32(), sub);
+        // Largest subnormal.
+        let max_sub = 1023.0 * 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(max_sub).to_f32(), max_sub);
+    }
+
+    #[test]
+    fn nan_propagates_through_conversion() {
+        let h = F16::from_f32(f32::NAN);
+        assert!(h.is_nan());
+        assert!(h.to_f32().is_nan());
+    }
+
+    #[test]
+    fn fig7_examples() {
+        // Fig. 7(a): flipping the highest exponent bit of a small value
+        // produces an extremely large value. 1.5 = 0x3E00; flipping bit 14
+        // gives 0x7E00.. wait that's NaN territory only if exponent becomes
+        // all ones. 1.5 has exponent 01111; flipping the MSB gives 11111 with
+        // mantissa != 0 => NaN. A value like 0.5 (exponent 01110) flips to
+        // 11110 => huge finite value.
+        let half = F16::from_f32(0.5);
+        let flipped = half.flip_bit(14);
+        assert!(flipped.is_finite());
+        assert!(flipped.to_f32() > 10_000.0);
+
+        // Fig. 7(b): values in (1, 2) have exponent 01111; flipping the top
+        // exponent bit yields 11111 with non-zero mantissa => NaN.
+        let v = F16::from_f32(1.5);
+        assert!(v.flip_bit(14).is_nan());
+        let v = F16::from_f32(-1.25);
+        assert!(v.flip_bit(14).is_nan());
+        // Exactly 1.0 has a zero mantissa: the same flip gives infinity.
+        assert!(F16::ONE.flip_bit(14).is_infinite());
+    }
+
+    #[test]
+    fn arithmetic_via_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b / F16::from_f32(1.5)).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-3.0f32, -1.0, 0.0, 0.5, 1.0, 2.5];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    F16::from_f32(a).partial_cmp(&F16::from_f32(b)),
+                    a.partial_cmp(&b)
+                );
+            }
+        }
+        assert_eq!(F16::NAN.partial_cmp(&F16::ONE), None);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_f16_f32_f16() {
+        // Every one of the 65536 bit patterns must round-trip through f32
+        // (NaNs must stay NaN; everything else must be bit-identical modulo
+        // NaN payload).
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan(), "NaN lost for bits {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "roundtrip failed for {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbiased_exponent_ranges() {
+        assert_eq!(F16::ONE.unbiased_exponent(), Some(0));
+        assert_eq!(F16::from_f32(1.9).unbiased_exponent(), Some(0));
+        assert_eq!(F16::from_f32(0.5).unbiased_exponent(), Some(-1));
+        assert_eq!(F16::from_f32(4.0).unbiased_exponent(), Some(2));
+        assert_eq!(F16::ZERO.unbiased_exponent(), None);
+        assert_eq!(F16::NAN.unbiased_exponent(), None);
+        assert_eq!(F16::MIN_SUBNORMAL.unbiased_exponent(), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Philox4x32-10: a counter-based PRNG (Salmon et al., SC'11).
+//!
+//! Counter-based generators map `(counter, key) -> 128 random bits` with a
+//! stateless bijection, which is the ideal shape for fault-injection
+//! campaigns: trial *i* of input *j* reads block `(j, i)` directly, with
+//! no sequential state to split. The workspace's default streams use
+//! xoshiro-from-SplitMix (cheaper per call); Philox is provided for
+//! callers that want cryptographically-styled stream separation or
+//! compatibility with `random123`-based tooling.
+
+use crate::rng::Rng;
+
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9; // golden ratio
+const PHILOX_W1: u32 = 0xBB67_AE85; // sqrt(3) - 1
+
+#[inline]
+fn mulhilo(a: u32, b: u32) -> (u32, u32) {
+    let p = (a as u64) * (b as u64);
+    ((p >> 32) as u32, p as u32)
+}
+
+/// One Philox4x32 round.
+#[inline]
+fn round(ctr: [u32; 4], key: [u32; 2]) -> [u32; 4] {
+    let (hi0, lo0) = mulhilo(PHILOX_M0, ctr[0]);
+    let (hi1, lo1) = mulhilo(PHILOX_M1, ctr[2]);
+    [hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0]
+}
+
+/// The raw 10-round Philox4x32 block function: `(counter, key) -> 4 words`.
+pub fn philox4x32_10(mut ctr: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
+    for _ in 0..9 {
+        ctr = round(ctr, key);
+        key[0] = key[0].wrapping_add(PHILOX_W0);
+        key[1] = key[1].wrapping_add(PHILOX_W1);
+    }
+    round(ctr, key)
+}
+
+/// A sequential RNG view over the Philox block function: increments the
+/// 128-bit counter and serves the four output words in order.
+#[derive(Clone, Debug)]
+pub struct Philox {
+    key: [u32; 2],
+    counter: [u32; 4],
+    buffer: [u32; 4],
+    index: usize,
+}
+
+impl Philox {
+    /// Create a stream for `(seed, stream_id)`; distinct pairs never share
+    /// blocks.
+    pub fn new(seed: u64, stream_id: u64) -> Philox {
+        Philox {
+            key: [seed as u32, (seed >> 32) as u32],
+            counter: [0, 0, stream_id as u32, (stream_id >> 32) as u32],
+            buffer: [0; 4],
+            index: 4, // force a refill on first use
+        }
+    }
+
+    /// Random access: the `n`-th 32-bit word of this stream, independent of
+    /// any sequential state.
+    pub fn word_at(&self, n: u64) -> u32 {
+        let block = n / 4;
+        let mut ctr = self.counter;
+        let lo = ctr[0] as u64 | ((ctr[1] as u64) << 32);
+        let new = lo.wrapping_add(block);
+        ctr[0] = new as u32;
+        ctr[1] = (new >> 32) as u32;
+        philox4x32_10(ctr, self.key)[(n % 4) as usize]
+    }
+
+    fn refill(&mut self) {
+        self.buffer = philox4x32_10(self.counter, self.key);
+        // 128-bit counter increment (low 64 bits suffice for any campaign).
+        let lo = self.counter[0] as u64 | ((self.counter[1] as u64) << 32);
+        let new = lo.wrapping_add(1);
+        self.counter[0] = new as u32;
+        self.counter[1] = (new >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+impl Rng for Philox {
+    fn next_u64(&mut self) -> u64 {
+        if self.index >= 3 {
+            if self.index >= 4 {
+                self.refill();
+            } else {
+                // One word left: take it plus the first of a fresh block.
+                let a = self.buffer[3] as u64;
+                self.refill();
+                let b = self.buffer[0] as u64;
+                self.index = 1;
+                return (a << 32) | b;
+            }
+        }
+        let a = self.buffer[self.index] as u64;
+        let b = self.buffer[self.index + 1] as u64;
+        self.index += 2;
+        (a << 32) | b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_zero_input() {
+        // random123 known-answer test: counter = key = 0.
+        let out = philox4x32_10([0, 0, 0, 0], [0, 0]);
+        assert_eq!(out, [0x6627_E8D5, 0xE169_C58D, 0xBC57_AC4C, 0x9B00_DBD8]);
+    }
+
+    #[test]
+    fn known_answer_ones_input() {
+        // random123 known-answer test: all-ones counter and key.
+        let out = philox4x32_10(
+            [0xFFFF_FFFF, 0xFFFF_FFFF, 0xFFFF_FFFF, 0xFFFF_FFFF],
+            [0xFFFF_FFFF, 0xFFFF_FFFF],
+        );
+        assert_eq!(out, [0x408F_276D, 0x41C8_3B0E, 0xA20B_C7C6, 0x6D54_51FD]);
+    }
+
+    #[test]
+    fn streams_are_disjoint_and_deterministic() {
+        let mut a1 = Philox::new(42, 0);
+        let mut a2 = Philox::new(42, 0);
+        let mut b = Philox::new(42, 1);
+        let mut c = Philox::new(43, 0);
+        let va: Vec<u64> = (0..16).map(|_| a1.next_u64()).collect();
+        let va2: Vec<u64> = (0..16).map(|_| a2.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, va2);
+        assert_ne!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn random_access_matches_block_function() {
+        let p = Philox::new(7, 9);
+        // Word 0..4 come from block 0; word 4 from block 1.
+        let block0 = philox4x32_10(p.counter, p.key);
+        assert_eq!(p.word_at(0), block0[0]);
+        assert_eq!(p.word_at(3), block0[3]);
+        let mut ctr1 = p.counter;
+        ctr1[0] += 1;
+        let block1 = philox4x32_10(ctr1, p.key);
+        assert_eq!(p.word_at(4), block1[0]);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut p = Philox::new(123, 456);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| p.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for _ in 0..1000 {
+            let v = p.below(10);
+            assert!(v < 10);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Fault-injection campaigns must be bit-reproducible regardless of thread
+//! count: trial `(input, trial_id)` always sees the same fault site. We get
+//! this by deriving an independent generator per trial from a counter via
+//! SplitMix64 (a bijective 64-bit mixer with provably full period), then
+//! running xoshiro256** for the stream itself.
+
+/// Minimal RNG interface used across the workspace.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's rejection method (unbiased).
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire 2018: multiply-shift with rejection.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform usize in `[0, n)`.
+    #[inline]
+    fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)` (f64).
+    #[inline]
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate via Box–Muller (the unpaired variant; we do
+    /// not cache the second deviate to keep generators `Copy`-free state
+    /// minimal and derivation order obvious).
+    fn normal(&mut self) -> f64 {
+        // Avoid log(0).
+        let u1 = loop {
+            let u = self.f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal deviate with mean `mu` and standard deviation `sigma`.
+    #[inline]
+    fn normal_with(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.normal()
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (partial Fisher–Yates).
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: a tiny, fast, bijective mixer. Used both as a standalone
+/// generator and as the seeding/splitting function for xoshiro.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The stateless mix function: maps any 64-bit input to a well-mixed
+    /// 64-bit output. This is what we use to derive per-trial seeds from
+    /// `(campaign_seed, input_id, trial_id)` tuples.
+    #[inline]
+    pub fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — our workhorse generator.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 expansion (the author-recommended procedure),
+    /// guaranteeing a non-zero state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+
+    /// Derive an independent stream for a logical task, e.g.
+    /// `rng_for(campaign_seed, &[input_id, trial_id])`. Streams derived from
+    /// distinct tuples are statistically independent because SplitMix64's mix
+    /// is a bijection composed with strong avalanche.
+    pub fn for_stream(seed: u64, path: &[u64]) -> Self {
+        let mut h = seed;
+        for (i, &p) in path.iter().enumerate() {
+            h = SplitMix64::mix(h ^ p.rotate_left(17).wrapping_add(i as u64 + 1));
+        }
+        Self::new(h)
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for SplitMix64 with seed 1234567.
+        let mut rng = SplitMix64::new(1234567);
+        let out: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(out[0], 6457827717110365317);
+        assert_eq!(out[1], 3203168211198807973);
+        assert_eq!(out[2], 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_differs_by_seed() {
+        let mut a = Xoshiro256StarStar::new(42);
+        let mut b = Xoshiro256StarStar::new(42);
+        let mut c = Xoshiro256StarStar::new(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn stream_derivation_is_order_sensitive() {
+        let mut a = Xoshiro256StarStar::for_stream(7, &[1, 2]);
+        let mut b = Xoshiro256StarStar::for_stream(7, &[2, 1]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let sample = rng.sample_indices(100, 10);
+        assert_eq!(sample.len(), 10);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(sample.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_rate() {
+        let mut rng = Xoshiro256StarStar::new(21);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,411 @@
+//! Descriptive statistics, histograms, and confidence intervals.
+//!
+//! The paper reports SDC rates as binomial proportions from statistical fault
+//! injection with 95% confidence intervals (§5.1, citing Leemis & Park and
+//! Leveugle et al.). [`proportion_ci95`] implements the normal-approximation
+//! margin the cited methodology uses, and [`wilson_ci95`] is provided for the
+//! small-count regimes where the normal approximation degrades.
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm),
+/// numerically stable for long campaigns.
+#[derive(Clone, Debug)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+inf for empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (-inf for empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// 95% normal-approximation confidence half-width for a binomial proportion:
+/// `1.96 * sqrt(p(1-p)/n)`. Returns 0 for `n == 0`.
+pub fn proportion_ci95(successes: u64, trials: u64) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    let p = successes as f64 / trials as f64;
+    1.96 * (p * (1.0 - p) / trials as f64).sqrt()
+}
+
+/// Wilson score 95% interval for a binomial proportion, `(lo, hi)`.
+/// Better behaved than the normal approximation when `successes` is near 0
+/// or `trials` — exactly the regime of post-protection SDC rates (~0.2%).
+pub fn wilson_ci95(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 0.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((centre - half) / denom).max(0.0),
+        ((centre + half) / denom).min(1.0),
+    )
+}
+
+/// Arithmetic mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Linear-interpolation quantile of *unsorted* data, `q` in [0,1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q));
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-range histogram with uniform bins plus explicit under/overflow
+/// counters. Used for the neuron-value distribution figures (8 and 12).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x.is_nan() {
+            // Count NaN as overflow: it is out of every finite range.
+            self.overflow += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let mut idx = ((x - self.lo) / width) as usize;
+            if idx >= self.counts.len() {
+                idx = self.counts.len() - 1; // fp edge case at hi boundary
+            }
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merge a histogram with identical binning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo);
+        assert_eq!(self.hi, other.hi);
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi` (plus NaNs).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(left_edge, right_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Fraction of observations falling in `[a, b)` (in-range bins only,
+    /// approximated at bin granularity).
+    pub fn fraction_between(&self, a: f64, b: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut n = 0u64;
+        for i in 0..self.counts.len() {
+            let (l, r) = self.bin_edges(i);
+            if l >= a && r <= b {
+                n += self.counts[i];
+            }
+        }
+        n as f64 / self.total as f64
+    }
+
+    /// Render a compact ASCII bar chart (used by the figure drivers).
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (l, r) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{l:>9.3}, {r:>9.3}) {c:>8} {bar}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("  underflow {:>8}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("  overflow  {:>8}\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 3.0);
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn ci95_matches_formula() {
+        // p = 0.5, n = 100 -> 1.96 * sqrt(0.25/100) = 0.098.
+        let ci = proportion_ci95(50, 100);
+        assert!((ci - 0.098).abs() < 1e-9);
+        assert_eq!(proportion_ci95(0, 0), 0.0);
+        // Degenerate proportions have zero width under the normal approx.
+        assert_eq!(proportion_ci95(0, 100), 0.0);
+    }
+
+    #[test]
+    fn wilson_is_sane_for_extremes() {
+        let (lo, hi) = wilson_ci95(0, 100);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (lo, hi) = wilson_ci95(100, 100);
+        assert!(lo > 0.95 && lo < 1.0);
+        assert!((hi - 1.0).abs() < 1e-12);
+        let (lo, hi) = wilson_ci95(50, 100);
+        assert!(lo < 0.5 && hi > 0.5);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<f64> = (1..=5).map(|x| x as f64).collect();
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 1.0, 9.999, 10.0, -0.1, f64::NAN]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 2); // 0.0, 0.5
+        assert_eq!(h.counts()[1], 1); // 1.0
+        assert_eq!(h.counts()[9], 1); // 9.999
+        assert_eq!(h.overflow(), 2); // 10.0 and NaN
+        assert_eq!(h.underflow(), 1); // -0.1
+    }
+
+    #[test]
+    fn histogram_fraction_between() {
+        let mut h = Histogram::new(-2.0, 2.0, 8); // bin width 0.5
+        h.extend([-1.75, -1.2, 0.1, 1.3, 1.6]);
+        let frac = h.fraction_between(1.0, 2.0);
+        assert!((frac - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.extend([0.1, 0.6]);
+        b.extend([0.7, 2.0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.counts()[2], 2); // 0.6 and 0.7
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # ft2-parallel
+//!
+//! The parallel execution substrate for the FT2 reproduction.
+//!
+//! Fault-injection campaigns are embarrassingly parallel (millions of
+//! independent inference trials) but individual trials vary wildly in cost —
+//! a fault that derails generation early can finish in a fraction of the
+//! time of a full 180-token decode. We therefore provide two layers:
+//!
+//! * [`scope`] — structured, deterministic fork–join helpers built on
+//!   `std::thread::scope`: static chunking ([`parallel_map`],
+//!   [`parallel_for`]) for regular work such as GEMM row blocks, and
+//!   atomic-counter self-scheduling ([`parallel_for_dynamic`]) for mildly
+//!   irregular loops.
+//! * [`pool`] — a persistent work-stealing thread pool
+//!   ([`pool::WorkStealingPool`]) built on `crossbeam-deque`, used by the
+//!   campaign engine so that worker threads are spawned once per campaign
+//!   rather than once per batch.
+//!
+//! Determinism contract: all combinators write results by *task index*, so
+//! the output of a parallel run is identical to the sequential run
+//! regardless of thread count or scheduling. Randomised workloads must
+//! derive their RNG stream from the task index (see `ft2_numeric::rng`),
+//! never from thread identity.
+
+pub mod pool;
+pub mod scope;
+
+pub use pool::WorkStealingPool;
+pub use scope::{
+    num_threads, parallel_chunks_mut, parallel_for, parallel_for_dynamic, parallel_map,
+    parallel_reduce,
+};

@@ -1,0 +1,355 @@
+//! A persistent work-stealing thread pool over `crossbeam-deque`.
+//!
+//! The campaign engine in `ft2-fault` issues hundreds of thousands of
+//! independent trials whose costs differ by an order of magnitude. Static
+//! chunking leaves threads idle at the tail; a shared injector queue
+//! serialises on one atomic. The classic answer is work stealing: each
+//! worker owns a LIFO deque, pulls from a global FIFO injector when its
+//! deque is empty, and steals from siblings when the injector is dry.
+//!
+//! The pool executes *batches*: [`WorkStealingPool::run`] blocks until every
+//! task of the batch has completed, writing results by task index so output
+//! is deterministic. Workers park between batches, so a pool can be reused
+//! across an entire campaign without re-spawning threads.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased batch task: `run(task_index)`.
+type BatchFn = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct BatchState {
+    /// Task closure for the current batch (None between batches).
+    job: Mutex<Option<BatchFn>>,
+    /// Generation counter: bumped for each new batch to wake workers.
+    generation: AtomicUsize,
+    /// Tasks remaining in the current batch.
+    remaining: AtomicUsize,
+    /// Workers currently holding a clone of the batch closure. `run` waits
+    /// for this to hit zero so no borrow of the caller's stack outlives it.
+    active: AtomicUsize,
+    /// Signalled when a new batch is published or shutdown requested.
+    work_cv: Condvar,
+    work_mx: Mutex<usize>, // holds the latest published generation
+    /// Signalled when `remaining` reaches zero.
+    done_cv: Condvar,
+    done_mx: Mutex<()>,
+    shutdown: AtomicBool,
+    injector: Injector<(usize, usize)>, // ranges (lo, hi)
+}
+
+/// A fixed-size pool of worker threads with per-worker deques and a global
+/// injector. See the module docs for the execution model.
+pub struct WorkStealingPool {
+    state: Arc<BatchState>,
+    stealers: Arc<Vec<Stealer<(usize, usize)>>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(BatchState {
+            job: Mutex::new(None),
+            generation: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            work_cv: Condvar::new(),
+            work_mx: Mutex::new(0),
+            done_cv: Condvar::new(),
+            done_mx: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            injector: Injector::new(),
+        });
+
+        let workers: Vec<Worker<(usize, usize)>> =
+            (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<(usize, usize)>>> =
+            Arc::new(workers.iter().map(|w| w.stealer()).collect());
+
+        let mut handles = Vec::with_capacity(threads);
+        for (wid, local) in workers.into_iter().enumerate() {
+            let state = Arc::clone(&state);
+            let stealers = Arc::clone(&stealers);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ft2-worker-{wid}"))
+                    .spawn(move || worker_loop(wid, local, state, stealers))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        WorkStealingPool {
+            state,
+            stealers,
+            handles,
+            threads,
+        }
+    }
+
+    /// Pool with one worker per available core.
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::scope::num_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `f(i)` for all `i in 0..n` on the pool in blocks of `grain`,
+    /// blocking until the whole batch completes. Panics in tasks abort the
+    /// process (they would otherwise deadlock the barrier), which is the
+    /// behaviour we want for campaign bugs.
+    pub fn run<F>(&self, n: usize, grain: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        // Type-erase the closure. SAFETY of the lifetime: we block until
+        // `remaining == 0`, so no worker can touch `f` after `run` returns.
+        // We encode this by transmuting the closure to 'static behind Arc.
+        let boxed: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(f);
+        let boxed: BatchFn = unsafe { std::mem::transmute(boxed) };
+
+        let blocks = n.div_ceil(grain);
+        self.state.remaining.store(blocks, Ordering::SeqCst);
+        *self.state.job.lock() = Some(boxed);
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + grain).min(n);
+            self.state.injector.push((lo, hi));
+            lo = hi;
+        }
+        // Publish the new generation and wake everyone.
+        let gen = self.state.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut g = self.state.work_mx.lock();
+            *g = gen;
+            self.state.work_cv.notify_all();
+        }
+        // Help out from the calling thread: steal blocks from the injector.
+        loop {
+            match self.state.injector.steal() {
+                crossbeam::deque::Steal::Success((lo, hi)) => {
+                    let job = self.state.job.lock().clone();
+                    if let Some(job) = job {
+                        for i in lo..hi {
+                            job(i);
+                        }
+                    }
+                    self.state.remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+        // Wait until every block has run AND every worker has dropped its
+        // clone of the batch closure (so borrows of the caller's stack
+        // cannot outlive this call).
+        let mut guard = self.state.done_mx.lock();
+        while self.state.remaining.load(Ordering::SeqCst) != 0
+            || self.state.active.load(Ordering::SeqCst) != 0
+        {
+            self.state.done_cv.wait(&mut guard);
+        }
+        drop(guard);
+        *self.state.job.lock() = None;
+    }
+
+    /// Parallel map on the pool: results in input-index order.
+    pub fn map<T, R, F>(&self, items: &[T], grain: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Send + Sync,
+    {
+        let n = items.len();
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(n);
+        }
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        self.run(n, grain, |i| {
+            let r = f(i, &items[i]);
+            // SAFETY: each index written exactly once.
+            unsafe {
+                out_ptr.get().add(i).write(MaybeUninit::new(r));
+            }
+        });
+        // SAFETY: all slots initialised by the completed batch.
+        unsafe {
+            let mut v = std::mem::ManuallyDrop::new(out);
+            Vec::from_raw_parts(v.as_mut_ptr() as *mut R, v.len(), v.capacity())
+        }
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut g = self.state.work_mx.lock();
+            *g = usize::MAX;
+            self.state.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let _ = &self.stealers;
+    }
+}
+
+fn worker_loop(
+    wid: usize,
+    local: Worker<(usize, usize)>,
+    state: Arc<BatchState>,
+    stealers: Arc<Vec<Stealer<(usize, usize)>>>,
+) {
+    let mut seen_gen = 0usize;
+    loop {
+        // Wait for a new batch (or shutdown).
+        {
+            let mut g = state.work_mx.lock();
+            while *g <= seen_gen && !state.shutdown.load(Ordering::SeqCst) {
+                state.work_cv.wait(&mut g);
+            }
+            seen_gen = *g;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = state.job.lock().clone();
+        let Some(job) = job else { continue };
+        state.active.fetch_add(1, Ordering::SeqCst);
+
+        // Drain: local deque, then injector, then steal from siblings.
+        loop {
+            let block = local.pop().or_else(|| {
+                std::iter::repeat_with(|| {
+                    state
+                        .injector
+                        .steal_batch_and_pop(&local)
+                        .or_else(|| {
+                            stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != wid)
+                                .map(|(_, s)| s.steal())
+                                .collect()
+                        })
+                })
+                .find(|s| !s.is_retry())
+                .and_then(|s| s.success())
+            });
+            match block {
+                Some((lo, hi)) => {
+                    for i in lo..hi {
+                        job(i);
+                    }
+                    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        let _g = state.done_mx.lock();
+                        state.done_cv.notify_all();
+                    }
+                }
+                None => break,
+            }
+        }
+        // Drop the closure clone *before* signalling inactivity.
+        drop(job);
+        state.active.fetch_sub(1, Ordering::SeqCst);
+        {
+            let _g = state.done_mx.lock();
+            state.done_cv.notify_all();
+        }
+    }
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_executes_every_index_once() {
+        let pool = WorkStealingPool::new(4);
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run(10_000, 32, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+        assert_eq!(sum.load(Ordering::Relaxed), 9999u64 * 10_000 / 2);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkStealingPool::new(3);
+        for batch in 0..5 {
+            let hits = AtomicU64::new(0);
+            pool.run(1000 + batch, 16, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 1000 + batch as u64);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_with_irregular_cost() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..2000).collect();
+        let out = pool.map(&items, 8, |i, &x| {
+            // Make cost irregular to exercise stealing.
+            if x % 97 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2 + i as u64
+        });
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = WorkStealingPool::new(2);
+        pool.run(0, 8, |_| panic!("should not run"));
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = WorkStealingPool::new(1);
+        let hits = AtomicU64::new(0);
+        pool.run(100, 7, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        for _ in 0..10 {
+            let pool = WorkStealingPool::new(4);
+            pool.run(100, 4, |_| {});
+            drop(pool);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Structured fork–join parallelism over `std::thread::scope`.
+//!
+//! These helpers are deliberately simple: no task graph, no futures — just
+//! deterministic data parallelism whose results are indexed by position.
+//! They are the building blocks for the GEMM kernels in `ft2-tensor` and for
+//! small parallel sections in the harness.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads to use: `FT2_THREADS` if set, otherwise the
+/// hardware parallelism, and always at least 1.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("FT2_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `n` items into at most `workers` contiguous ranges of near-equal
+/// length. Returns `(start, end)` pairs; never returns empty ranges.
+pub fn split_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    if n == 0 || workers == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Run `f(i)` for every `i` in `0..n`, statically chunked over the available
+/// threads. Use for regular per-iteration cost; prefer
+/// [`parallel_for_dynamic`] for irregular cost.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads();
+    if threads == 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let ranges = split_ranges(n, threads);
+    std::thread::scope(|s| {
+        for &(lo, hi) in &ranges[1..] {
+            let f = &f;
+            s.spawn(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+        // Run the first range on the calling thread.
+        let (lo, hi) = ranges[0];
+        for i in lo..hi {
+            f(i);
+        }
+    });
+}
+
+/// Run `f(i)` for every `i` in `0..n` with atomic-counter self-scheduling in
+/// blocks of `grain` iterations. Deterministic in *results* (callers index by
+/// `i`) though not in execution order.
+pub fn parallel_for_dynamic<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let grain = grain.max(1);
+    let threads = num_threads();
+    if threads == 1 || n <= grain {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let worker = |_w: usize| loop {
+        let start = next.fetch_add(grain, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + grain).min(n);
+        for i in start..end {
+            f(i);
+        }
+    };
+    std::thread::scope(|s| {
+        for w in 1..threads {
+            let worker = &worker;
+            s.spawn(move || worker(w));
+        }
+        worker(0);
+    });
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: every slot in 0..n is written exactly once below before read.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        parallel_for_dynamic(n, grain_for(n), |i| {
+            let r = f(i, &items[i]);
+            // SAFETY: distinct `i` never alias; each slot written once.
+            unsafe {
+                out_ptr.get().add(i).write(MaybeUninit::new(r));
+            }
+        });
+    }
+    // SAFETY: all n slots are initialised; MaybeUninit<R> and R have the
+    // same layout.
+    unsafe {
+        let mut v = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(v.as_mut_ptr() as *mut R, v.len(), v.capacity())
+    }
+}
+
+/// Map-and-merge: compute `f(i)` for `i in 0..n` and fold all results with
+/// `merge`, starting from `identity`. The fold order is unspecified, so
+/// `merge` must be commutative and associative for deterministic output
+/// (e.g. counter addition, `OnlineStats::merge`).
+pub fn parallel_reduce<R, F, M>(n: usize, identity: R, f: F, merge: M) -> R
+where
+    R: Send + Clone,
+    F: Fn(usize) -> R + Sync,
+    M: Fn(R, R) -> R + Sync + Send,
+{
+    let threads = num_threads();
+    if threads == 1 || n <= 1 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = merge(acc, f(i));
+        }
+        return acc;
+    }
+    let ranges = split_ranges(n, threads);
+    let mut partials: Vec<R> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &(lo, hi) in &ranges[1..] {
+            let f = &f;
+            let merge = &merge;
+            let id = identity.clone();
+            handles.push(s.spawn(move || {
+                let mut acc = id;
+                for i in lo..hi {
+                    acc = merge(acc, f(i));
+                }
+                acc
+            }));
+        }
+        let (lo, hi) = ranges[0];
+        let mut acc = identity.clone();
+        for i in lo..hi {
+            acc = merge(acc, f(i));
+        }
+        partials.push(acc);
+        for h in handles {
+            partials.push(h.join().expect("parallel_reduce worker panicked"));
+        }
+    });
+    let mut it = partials.into_iter();
+    let first = it.next().expect("at least one partial");
+    it.fold(first, merge)
+}
+
+/// Process disjoint mutable chunks of `data` in parallel. `f` receives the
+/// chunk index and the chunk. The final chunk may be shorter.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0);
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
+    let n = chunks.len();
+    if num_threads() == 1 || n <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Move chunks into per-index cells so workers can take their own.
+    let cells: Vec<parking_lot::Mutex<Option<&mut [T]>>> = chunks
+        .into_iter()
+        .map(|c| parking_lot::Mutex::new(Some(c)))
+        .collect();
+    parallel_for_dynamic(n, 1, |i| {
+        let c = cells[i].lock().take().expect("chunk taken twice");
+        f(i, c);
+    });
+}
+
+/// Heuristic grain size: aim for ~8 blocks per thread to balance scheduling
+/// overhead against load imbalance.
+fn grain_for(n: usize) -> usize {
+    (n / (num_threads() * 8)).max(1)
+}
+
+/// A raw pointer wrapper that asserts Send+Sync so disjoint-index writes can
+/// cross the scoped-thread boundary.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            for w in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, w);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for (lo, hi) in &ranges {
+                    assert_eq!(*lo, prev_end);
+                    assert!(hi > lo, "empty range for n={n} w={w}");
+                    covered += hi - lo;
+                    prev_end = *hi;
+                }
+                assert_eq!(covered, n);
+                // Balanced within 1.
+                if !ranges.is_empty() {
+                    let lens: Vec<usize> = ranges.iter().map(|(a, b)| b - a).collect();
+                    let min = lens.iter().min().unwrap();
+                    let max = lens.iter().max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_all_once() {
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        parallel_for(1000, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn parallel_for_dynamic_visits_all_once() {
+        let hits = AtomicU64::new(0);
+        parallel_for_dynamic(10_000, 16, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential() {
+        let items: Vec<u64> = (0..5000).collect();
+        let par = parallel_map(&items, |i, &x| x * 3 + i as u64);
+        let seq: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 3 + i as u64).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_drops_results_properly() {
+        // Results that allocate must be dropped exactly once (miri-friendly
+        // sanity via refcounts).
+        use std::sync::Arc;
+        let token = Arc::new(());
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_map(&items, |_, _| Arc::clone(&token));
+        assert_eq!(Arc::strong_count(&token), 101);
+        drop(out);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let total = parallel_reduce(10_001, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn parallel_reduce_identity_on_empty() {
+        let total = parallel_reduce(0, 42u64, |_| 1, |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut data = vec![0u32; 1003];
+        parallel_chunks_mut(&mut data, 64, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci as u32 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 64) as u32 + 1);
+        }
+    }
+}

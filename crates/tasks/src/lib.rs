@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # ft2-tasks
+//!
+//! Synthetic workload generation and outcome judging.
+//!
+//! The paper evaluates on SQuAD 2.0 and XTREME (question answering) and
+//! GSM8K (math), plus four alternative datasets for the Fig. 3 bound-
+//! transfer study. None of those corpora are available here, and the
+//! experiments never consume dataset *semantics* — what matters is that
+//! (a) each dataset induces its own token statistics (so per-dataset
+//! activation bounds differ) and (b) a correct/incorrect oracle can be
+//! automated. [`datasets`] provides seven generators with distinct
+//! token-region mixes and length distributions; [`oracle`] implements the
+//! §2.3 outcome classification on answer spans (masked-identical /
+//! masked-semantic / SDC); [`vocab`] renders token ids as human-readable
+//! synthetic text for the examples.
+
+pub mod datasets;
+pub mod oracle;
+pub mod vocab;
+
+pub use datasets::{generate_inputs, DatasetId, TaskInput, TaskType};
+pub use oracle::{contains_subsequence, AnswerJudge, TaskSpec};
+pub use vocab::{render_tokens, VOCAB_SIZE};

@@ -1,0 +1,139 @@
+//! The shared synthetic vocabulary.
+//!
+//! 512 token ids partitioned into *regions*. Regions exist so that
+//! different datasets can draw from different parts of the embedding table:
+//! the bound-transfer experiment (Fig. 3) relies on datasets exercising
+//! different activation ranges, which emerges from disjoint token usage.
+
+/// Vocabulary size shared by every simulator model and dataset.
+pub const VOCAB_SIZE: usize = 512;
+
+/// Token-id regions of the synthetic vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// 0..16: control/special tokens (BOS-ish, punctuation).
+    Special,
+    /// 16..116: numeric/math tokens.
+    Number,
+    /// 116..316: common "words".
+    Common,
+    /// 316..416: domain/entity "words" (QA answers live here).
+    Domain,
+    /// 416..512: rare/multilingual/code tokens.
+    Rare,
+}
+
+impl Region {
+    /// Inclusive-exclusive id range of the region.
+    pub const fn range(self) -> (u32, u32) {
+        match self {
+            Region::Special => (0, 16),
+            Region::Number => (16, 116),
+            Region::Common => (116, 316),
+            Region::Domain => (316, 416),
+            Region::Rare => (416, 512),
+        }
+    }
+
+    /// Which region a token id belongs to.
+    pub fn of(token: u32) -> Region {
+        match token {
+            0..=15 => Region::Special,
+            16..=115 => Region::Number,
+            116..=315 => Region::Common,
+            316..=415 => Region::Domain,
+            _ => Region::Rare,
+        }
+    }
+
+    /// Number of ids in the region.
+    pub const fn len(self) -> u32 {
+        let (lo, hi) = self.range();
+        hi - lo
+    }
+
+    /// Regions are never empty.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+}
+
+const SPECIAL_NAMES: [&str; 16] = [
+    "<s>", "</s>", ".", ",", "?", "!", ":", ";", "\"", "'", "(", ")", "-", "=", "+", "#",
+];
+
+const COMMON_STEMS: [&str; 20] = [
+    "the", "of", "and", "to", "in", "is", "was", "for", "on", "that", "with", "as", "by", "are",
+    "this", "from", "at", "or", "an", "be",
+];
+
+/// Render one token id as synthetic text.
+pub fn render_token(token: u32) -> String {
+    let token = token % VOCAB_SIZE as u32;
+    match Region::of(token) {
+        Region::Special => SPECIAL_NAMES[token as usize].to_string(),
+        Region::Number => format!("{}", token - 16),
+        Region::Common => {
+            let idx = (token - 116) as usize;
+            if idx < COMMON_STEMS.len() {
+                COMMON_STEMS[idx].to_string()
+            } else {
+                format!("w{idx}")
+            }
+        }
+        Region::Domain => format!("Entity{}", token - 316),
+        Region::Rare => format!("x{}", token - 416),
+    }
+}
+
+/// Render a token sequence as a synthetic sentence.
+pub fn render_tokens(tokens: &[u32]) -> String {
+    tokens
+        .iter()
+        .map(|&t| render_token(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_the_vocab() {
+        let mut covered = 0u32;
+        for r in [
+            Region::Special,
+            Region::Number,
+            Region::Common,
+            Region::Domain,
+            Region::Rare,
+        ] {
+            let (lo, hi) = r.range();
+            assert_eq!(lo, covered, "gap before {r:?}");
+            covered = hi;
+            for t in lo..hi {
+                assert_eq!(Region::of(t), r);
+            }
+        }
+        assert_eq!(covered, VOCAB_SIZE as u32);
+    }
+
+    #[test]
+    fn rendering_is_total_and_region_appropriate() {
+        assert_eq!(render_token(0), "<s>");
+        assert_eq!(render_token(16), "0");
+        assert_eq!(render_token(25), "9");
+        assert_eq!(render_token(116), "the");
+        assert_eq!(render_token(316), "Entity0");
+        assert_eq!(render_token(416), "x0");
+        // Out-of-range ids wrap instead of panicking.
+        let _ = render_token(100_000);
+    }
+
+    #[test]
+    fn sentence_rendering() {
+        let s = render_tokens(&[116, 316, 2]);
+        assert_eq!(s, "the Entity0 .");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for workload generation and judging.
+
+use ft2_fault::{Outcome, OutcomeJudge};
+use ft2_tasks::datasets::{generate_inputs, generate_prompts};
+use ft2_tasks::vocab::{render_token, Region};
+use ft2_tasks::{contains_subsequence, DatasetId, TaskSpec, TaskType, VOCAB_SIZE};
+use proptest::prelude::*;
+
+fn any_dataset() -> impl Strategy<Value = DatasetId> {
+    prop::sample::select(vec![
+        DatasetId::Squad,
+        DatasetId::Xtreme,
+        DatasetId::Gsm8k,
+        DatasetId::ChatGptPrompts,
+        DatasetId::TweetEval,
+        DatasetId::Mbpp,
+        DatasetId::Opus100,
+    ])
+}
+
+proptest! {
+    /// Every generated prompt is in-vocabulary, respects the dataset's
+    /// length bounds, and regenerates identically from the same seed.
+    #[test]
+    fn prompts_are_valid_and_deterministic(ds in any_dataset(), n in 1usize..20, seed in any::<u64>()) {
+        let a = generate_inputs(ds, n, seed);
+        let b = generate_inputs(ds, n, seed);
+        prop_assert_eq!(&a, &b);
+        for t in &a {
+            prop_assert!(!t.prompt.is_empty());
+            prop_assert!(t.prompt.len() <= 30);
+            prop_assert!(t.prompt.iter().all(|&x| (x as usize) < VOCAB_SIZE));
+        }
+    }
+
+    /// Subsequence containment is reflexive and monotone under extension.
+    #[test]
+    fn containment_laws(
+        xs in prop::collection::vec(0u32..64, 0..24),
+        prefix in prop::collection::vec(0u32..64, 0..8),
+        suffix in prop::collection::vec(0u32..64, 0..8),
+    ) {
+        prop_assert!(contains_subsequence(&xs, &xs));
+        let mut extended = prefix.clone();
+        extended.extend_from_slice(&xs);
+        extended.extend_from_slice(&suffix);
+        prop_assert!(contains_subsequence(&extended, &xs));
+    }
+
+    /// The judge never calls an identical output anything but
+    /// MaskedIdentical, and never calls an answer-preserving output an SDC.
+    #[test]
+    fn judge_laws(
+        reference in prop::collection::vec(0u32..512, 12..40),
+        noise in prop::collection::vec(0u32..512, 0..6),
+        math in any::<bool>(),
+    ) {
+        let task = if math { TaskType::Math } else { TaskType::Qa };
+        let spec = TaskSpec::new(task, reference.len());
+        let judge = spec.judge();
+        prop_assert_eq!(judge.classify(&reference, &reference), Outcome::MaskedIdentical);
+
+        // Insert noise before the full reference: the answer span is still
+        // contained, so this can never be an SDC.
+        let mut shifted = noise.clone();
+        shifted.extend_from_slice(&reference);
+        prop_assert!(judge.classify(&reference, &shifted).is_masked());
+    }
+
+    /// The answer span is always inside the generation and non-empty for
+    /// long-enough outputs.
+    #[test]
+    fn answer_span_is_well_placed(gen in 8usize..200, math in any::<bool>()) {
+        let task = if math { TaskType::Math } else { TaskType::Qa };
+        let spec = TaskSpec::new(task, gen);
+        prop_assert!(spec.answer_start < spec.answer_end);
+        prop_assert!(spec.answer_end <= gen);
+        let tokens: Vec<u32> = (0..gen as u32).collect();
+        let ans = spec.answer(&tokens);
+        prop_assert!(!ans.is_empty());
+        prop_assert_eq!(ans[0], spec.answer_start as u32);
+    }
+
+    /// Token rendering is total and region-consistent.
+    #[test]
+    fn rendering_total(tok in 0u32..512) {
+        let s = render_token(tok);
+        prop_assert!(!s.is_empty());
+        match Region::of(tok) {
+            Region::Number => prop_assert!(s.parse::<u32>().is_ok()),
+            Region::Domain => prop_assert!(s.starts_with("Entity")),
+            Region::Rare => prop_assert!(s.starts_with('x')),
+            _ => {}
+        }
+    }
+
+    /// Different datasets (same seed) produce different prompt sets —
+    /// the property the Fig. 3 bound-transfer study depends on.
+    #[test]
+    fn datasets_differ(seed in any::<u64>()) {
+        let a = generate_prompts(DatasetId::Squad, 6, seed);
+        let b = generate_prompts(DatasetId::Gsm8k, 6, seed);
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! Algorithm-based fault tolerance (ABFT) for GEMM — the related-work
+//! alternative to range restriction (§6 cites ABFT transformer protection
+//! [37, 38, 40]).
+//!
+//! Classic Huang–Abraham checksums: for `C = A × Bᵀ`, an extra *checksum
+//! row* `(Σᵢ Aᵢ) × Bᵀ` is computed alongside the product. Any single
+//! corrupted element of `C` breaks exactly one column equality
+//! `Σᵢ C[i][j] = S[j]`, which both **detects** the fault and **locates**
+//! its column; recomputing the single dot product for the damaged column
+//! entries **corrects** it. The price is one extra GEMV per GEMM plus the
+//! verification sums — cheap for large `m`, but unlike range restriction
+//! it must run on *every* layer to give coverage, which is the "high
+//! reliability but high overhead" trade-off the paper contrasts FT2
+//! against.
+
+use crate::gemm::matmul_transb;
+use crate::matrix::Matrix;
+
+/// Verification outcome of a checksummed GEMM.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AbftOutcome {
+    /// All column equalities hold within tolerance.
+    Clean,
+    /// Mismatching columns were found (and corrected if requested).
+    Corrupted {
+        /// Columns whose checksum equality failed.
+        columns: Vec<usize>,
+        /// Number of individual elements that were recomputed.
+        corrected: usize,
+    },
+}
+
+/// A GEMM result carrying its ABFT checksum metadata.
+#[derive(Clone, Debug)]
+pub struct CheckedProduct {
+    /// The product `A × Bᵀ`.
+    pub c: Matrix,
+    /// The checksum row `(Σᵢ Aᵢ) × Bᵀ`, length = output features.
+    pub checksum: Vec<f32>,
+}
+
+/// Relative tolerance for checksum verification. FP16/FP32 accumulation
+/// reorders additions, so equality is approximate; single bit flips in
+/// exponent bits exceed this by orders of magnitude, while benign rounding
+/// stays well inside.
+pub const ABFT_REL_TOL: f32 = 1e-3;
+
+/// Compute `A × Bᵀ` together with its column checksums.
+pub fn checked_matmul_transb(a: &Matrix, b_t: &Matrix) -> CheckedProduct {
+    let c = matmul_transb(a, b_t);
+    // Checksum input row: sum of A's rows.
+    let mut sum_row = vec![0.0f32; a.cols()];
+    for r in 0..a.rows() {
+        for (s, &v) in sum_row.iter_mut().zip(a.row(r)) {
+            *s += v;
+        }
+    }
+    let sum_m = Matrix::from_vec(1, a.cols(), sum_row);
+    let checksum_m = matmul_transb(&sum_m, b_t);
+    CheckedProduct {
+        c,
+        checksum: checksum_m.row(0).to_vec(),
+    }
+}
+
+impl CheckedProduct {
+    /// Verify the column equalities; with `(a, b_t)` available, recompute
+    /// and correct every element of each mismatching column.
+    pub fn verify_and_correct(&mut self, a: &Matrix, b_t: &Matrix) -> AbftOutcome {
+        let mut bad_columns = Vec::new();
+        for j in 0..self.c.cols() {
+            let col_sum: f32 = (0..self.c.rows()).map(|i| self.c.get(i, j)).sum();
+            let expect = self.checksum[j];
+            let scale = expect.abs().max(col_sum.abs()).max(1.0);
+            if !col_sum.is_finite() || (col_sum - expect).abs() > ABFT_REL_TOL * scale {
+                bad_columns.push(j);
+            }
+        }
+        if bad_columns.is_empty() {
+            return AbftOutcome::Clean;
+        }
+        let mut corrected = 0;
+        for &j in &bad_columns {
+            let w_row = b_t.row(j);
+            for i in 0..self.c.rows() {
+                let mut acc = 0.0f32;
+                for (x, w) in a.row(i).iter().zip(w_row) {
+                    acc += x * w;
+                }
+                if self.c.get(i, j) != acc {
+                    self.c.set(i, j, acc);
+                    corrected += 1;
+                }
+            }
+        }
+        AbftOutcome::Corrupted {
+            columns: bad_columns,
+            corrected,
+        }
+    }
+
+    /// Detection-only verification (no inputs needed, no correction).
+    pub fn verify(&self) -> AbftOutcome {
+        let mut bad_columns = Vec::new();
+        for j in 0..self.c.cols() {
+            let col_sum: f32 = (0..self.c.rows()).map(|i| self.c.get(i, j)).sum();
+            let expect = self.checksum[j];
+            let scale = expect.abs().max(col_sum.abs()).max(1.0);
+            if !col_sum.is_finite() || (col_sum - expect).abs() > ABFT_REL_TOL * scale {
+                bad_columns.push(j);
+            }
+        }
+        if bad_columns.is_empty() {
+            AbftOutcome::Clean
+        } else {
+            AbftOutcome::Corrupted {
+                columns: bad_columns,
+                corrected: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_numeric::bits::flip_bit_f32;
+    use ft2_numeric::{Rng, Xoshiro256StarStar};
+
+    fn random_pair(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let a = Matrix::from_fn(m, k, |_, _| rng.normal() as f32 * 0.5);
+        let bt = Matrix::from_fn(n, k, |_, _| rng.normal() as f32 * 0.5);
+        (a, bt)
+    }
+
+    #[test]
+    fn clean_product_verifies_clean() {
+        let (a, bt) = random_pair(12, 16, 10, 1);
+        let checked = checked_matmul_transb(&a, &bt);
+        assert_eq!(checked.verify(), AbftOutcome::Clean);
+        // And the product matches the plain kernel.
+        let plain = matmul_transb(&a, &bt);
+        assert!(checked.c.max_abs_diff(&plain) < 1e-6);
+    }
+
+    #[test]
+    fn exponent_flip_is_detected_located_and_corrected() {
+        let (a, bt) = random_pair(8, 12, 9, 2);
+        let mut checked = checked_matmul_transb(&a, &bt);
+        let clean = checked.c.clone();
+        // Corrupt one element with a high-exponent-bit flip.
+        let before = checked.c.get(3, 4);
+        checked.c.set(3, 4, flip_bit_f32(before, 30));
+        match checked.verify() {
+            AbftOutcome::Corrupted { ref columns, .. } => assert_eq!(columns, &vec![4]),
+            other => panic!("fault not detected: {other:?}"),
+        }
+        let outcome = checked.verify_and_correct(&a, &bt);
+        match outcome {
+            AbftOutcome::Corrupted { columns, corrected } => {
+                assert_eq!(columns, vec![4]);
+                assert!(corrected >= 1);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(checked.c.max_abs_diff(&clean) < 1e-5);
+        assert_eq!(checked.verify(), AbftOutcome::Clean);
+    }
+
+    #[test]
+    fn nan_corruption_is_detected() {
+        let (a, bt) = random_pair(6, 8, 7, 3);
+        let mut checked = checked_matmul_transb(&a, &bt);
+        checked.c.set(0, 0, f32::NAN);
+        assert!(matches!(checked.verify(), AbftOutcome::Corrupted { .. }));
+        checked.verify_and_correct(&a, &bt);
+        assert!(!checked.c.has_nan());
+    }
+
+    #[test]
+    fn small_mantissa_flips_below_tolerance_may_pass() {
+        // ABFT with a relative tolerance cannot see perturbations below it;
+        // this is the detection-granularity trade-off (range restriction
+        // has the same blind spot for in-bound faults).
+        let (a, bt) = random_pair(6, 8, 7, 4);
+        let mut checked = checked_matmul_transb(&a, &bt);
+        let before = checked.c.get(2, 2);
+        checked.c.set(2, 2, flip_bit_f32(before, 0)); // LSB mantissa
+        // Either Clean (below tolerance) or a detection of column 2 —
+        // never a false alarm on another column.
+        match checked.verify() {
+            AbftOutcome::Clean => {}
+            AbftOutcome::Corrupted { columns, .. } => assert_eq!(columns, vec![2]),
+        }
+    }
+
+    #[test]
+    fn multiple_faults_in_distinct_columns_are_all_found() {
+        let (a, bt) = random_pair(10, 12, 8, 5);
+        let mut checked = checked_matmul_transb(&a, &bt);
+        let clean = checked.c.clone();
+        for &(i, j) in &[(1usize, 0usize), (4, 3), (9, 7)] {
+            let v = checked.c.get(i, j);
+            checked.c.set(i, j, flip_bit_f32(v, 29));
+        }
+        match checked.verify_and_correct(&a, &bt) {
+            AbftOutcome::Corrupted { columns, .. } => {
+                assert_eq!(columns, vec![0, 3, 7]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(checked.c.max_abs_diff(&clean) < 1e-5);
+    }
+}

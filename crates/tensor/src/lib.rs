@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # ft2-tensor
+//!
+//! A small, CPU-parallel tensor library purpose-built for the FT2
+//! reproduction's transformer inference engine.
+//!
+//! Design choices:
+//!
+//! * Values are carried as `f32` (the accumulator precision of GPU FP16
+//!   GEMM pipelines); *storage precision* is modelled by explicitly
+//!   quantising through [`ft2_numeric::F16`] / bf16 grids at the points
+//!   where a real FP16 model would store tensors (weights at load time,
+//!   linear-layer outputs after each kernel). Fault injection then corrupts
+//!   the narrow *stored* representation, matching the paper's fault model.
+//! * Matrices are dense row-major [`Matrix`]; weights are stored
+//!   `[out_features, in_features]` so GEMM reads both operands
+//!   sequentially ([`gemm::matmul_transb`]).
+//! * Kernels parallelise over rows with `ft2-parallel` above a size
+//!   threshold; below it they run sequentially to keep single-token decode
+//!   latency low.
+
+pub mod abft;
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+
+pub use abft::{checked_matmul_transb, AbftOutcome, CheckedProduct};
+pub use gemm::{matmul, matmul_naive, matmul_transb};
+pub use matrix::{DType, Matrix};
+pub use ops::{
+    add_bias_inplace, add_inplace, argmax, gelu_inplace, layer_norm, relu_inplace, rms_norm,
+    scale_inplace, silu_inplace, softmax_rows,
+};

@@ -1,0 +1,62 @@
+//! Mathematical-reasoning resilience: long generations where the answer
+//! sits at the END of the output, so almost every generation step is
+//! answer-relevant (the GSM8K workload of the paper).
+//!
+//! ```sh
+//! cargo run --release --example math_campaign
+//! ```
+
+use ft2::core::{Scheme, SchemeFactory};
+use ft2::fault::{Campaign, CampaignConfig, FaultModel, Unprotected};
+use ft2::model::ZooModel;
+use ft2::parallel::WorkStealingPool;
+use ft2::tasks::datasets::generate_prompts;
+use ft2::tasks::{render_tokens, DatasetId, TaskSpec, TaskType};
+
+fn main() {
+    let pool = WorkStealingPool::with_default_threads();
+    let gen_tokens = 36;
+    let task = TaskSpec::new(TaskType::Math, gen_tokens);
+    println!(
+        "math task: generate {} tokens, answer span at {}..{}\n",
+        gen_tokens, task.answer_start, task.answer_end
+    );
+
+    for m in [ZooModel::Llama2_7B, ZooModel::Qwen2_7B] {
+        let spec = m.spec();
+        let model = spec.build();
+        let prompts = generate_prompts(DatasetId::Gsm8k, 6, 5150);
+        let judge = task.judge();
+
+        // Show one worked problem.
+        let mut taps = ft2::model::TapList::new();
+        let out = model.generate(&prompts[0], gen_tokens, &mut taps);
+        println!("{} problem : {}", spec.name(), render_tokens(&prompts[0]));
+        println!(
+            "{} answer  : ... {}",
+            spec.name(),
+            render_tokens(task.answer(&out.tokens))
+        );
+
+        for fm in FaultModel::ALL {
+            let cfg = CampaignConfig {
+                trials_per_input: 30,
+                gen_tokens,
+                ..CampaignConfig::quick(fm)
+            };
+            let campaign = Campaign::new(&model, &prompts, &judge, cfg, &pool);
+            let unprot = campaign.run(&Unprotected, &pool);
+            let ft2 = campaign.run(
+                &SchemeFactory::new(Scheme::Ft2, model.config(), None),
+                &pool,
+            );
+            println!(
+                "  {:<6} unprotected {:>6.2}%  ->  FT2 {:>6.2}%",
+                fm.name(),
+                unprot.sdc_rate() * 100.0,
+                ft2.sdc_rate() * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,69 @@
+//! Question-answering resilience study: a miniature version of the paper's
+//! main campaign on one model/dataset pair.
+//!
+//! ```sh
+//! cargo run --release --example qa_protection
+//! ```
+//!
+//! Runs statistical fault injection on OPT-6.7B-sim answering SQuAD-like
+//! questions, under every protection scheme, for all three fault models.
+
+use ft2::core::{offline_profile, Scheme, SchemeFactory};
+use ft2::fault::{Campaign, CampaignConfig, FaultModel};
+use ft2::model::ZooModel;
+use ft2::parallel::WorkStealingPool;
+use ft2::tasks::datasets::generate_prompts;
+use ft2::tasks::{DatasetId, TaskSpec, TaskType};
+use std::sync::Arc;
+
+fn main() {
+    let spec = ZooModel::Opt6_7B.spec();
+    let model = spec.build();
+    let pool = WorkStealingPool::with_default_threads();
+    let dataset = DatasetId::Squad;
+    let gen_tokens = 16;
+
+    let prompts = generate_prompts(dataset, 8, 2025);
+    let task = TaskSpec::new(TaskType::Qa, gen_tokens);
+    let judge = task.judge();
+
+    // Offline bounds for the baselines (the profiling FT2 avoids).
+    let profile_prompts = generate_prompts(dataset, 16, 777);
+    let offline = Arc::new(offline_profile(&model, &profile_prompts, gen_tokens, &pool));
+
+    println!(
+        "{} on {} — {} inputs x 25 trials per scheme\n",
+        spec.name(),
+        dataset.name(),
+        prompts.len()
+    );
+    println!(
+        "{:<8} {:<16} {:>8} {:>10}",
+        "faults", "scheme", "SDC", "masked-sem"
+    );
+
+    for fm in FaultModel::ALL {
+        let cfg = CampaignConfig {
+            trials_per_input: 25,
+            gen_tokens,
+            ..CampaignConfig::quick(fm)
+        };
+        let campaign = Campaign::new(&model, &prompts, &judge, cfg, &pool);
+        for scheme in Scheme::PAPER_SET {
+            let factory = SchemeFactory::new(
+                scheme,
+                model.config(),
+                scheme.needs_offline_bounds().then(|| offline.clone()),
+            );
+            let r = campaign.run(&factory, &pool);
+            println!(
+                "{:<8} {:<16} {:>7.2}% {:>9.2}%",
+                fm.name(),
+                scheme.name(),
+                r.sdc_rate() * 100.0,
+                r.counts.masked_semantic as f64 / r.counts.total() as f64 * 100.0,
+            );
+        }
+        println!();
+    }
+}

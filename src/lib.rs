@@ -1,0 +1,10 @@
+//! FT2 facade crate — re-exports the workspace.
+pub use ft2_core as core;
+pub use ft2_fault as fault;
+pub use ft2_harness as harness;
+pub use ft2_hw as hw;
+pub use ft2_model as model;
+pub use ft2_numeric as numeric;
+pub use ft2_parallel as parallel;
+pub use ft2_tasks as tasks;
+pub use ft2_tensor as tensor;
