@@ -17,7 +17,7 @@ fn layer_from_name(name: &str) -> Option<LayerKind> {
 pub fn to_csv(store: &BoundsStore) -> String {
     let mut rows: Vec<(TapPoint, LayerBounds)> =
         store.iter().map(|(p, b)| (*p, *b)).collect();
-    rows.sort_by_key(|(p, _)| (*p));
+    rows.sort_by_key(|(p, _)| *p);
     let mut out = String::from("block,layer,lo,hi\n");
     for (p, b) in rows {
         out.push_str(&format!("{},{},{},{}\n", p.block, p.layer.name(), b.lo, b.hi));

@@ -1,0 +1,275 @@
+//! A vendored, dependency-free re-implementation of the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be resolved. This shim keeps the five `harness = false` bench
+//! binaries compiling and producing useful wall-clock numbers: each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! short measurement window, and the mean per-iteration time (plus
+//! throughput, when declared) is printed.
+//!
+//! No statistical analysis, no HTML reports, no comparison to baselines —
+//! run under a profiler or repeat runs for anything load-bearing.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// iteration regardless of the hint.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Total time spent in the routine.
+    elapsed: Duration,
+    /// Routine invocations performed.
+    iters: u64,
+    /// Measurement window to fill.
+    window: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let window = self.window;
+        let start = Instant::now();
+        while start.elapsed() < window {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter`] with an untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let window = self.window;
+        let start = Instant::now();
+        while start.elapsed() < window {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    window: Duration,
+    quick: bool,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::new()
+    }
+}
+
+impl Criterion {
+    /// Driver with the default measurement window. `cargo test` invokes
+    /// bench binaries with `--test`; in that mode (or under
+    /// `CRITERION_QUICK=1`) every benchmark runs a single iteration so the
+    /// binaries stay cheap smoke tests.
+    pub fn new() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        Criterion {
+            config: Config {
+                window: if quick {
+                    Duration::ZERO
+                } else {
+                    Duration::from_millis(300)
+                },
+                quick,
+            },
+        }
+    }
+
+    /// Compatibility no-op (the real crate parses CLI filters here).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(&self.config, &name.into(), None, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sizing and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility: the shim sizes by wall-clock window, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window for this group.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        if !self.config.quick {
+            self.config.window = window;
+        }
+        self
+    }
+
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&self.config, &full, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (accounting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Config,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        window: config.window,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} {:>12}", "1 iter (quick)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>12.3} Melem/s", n as f64 / per_iter / 1e6),
+            Throughput::Bytes(n) => format!("  {:>12.3} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        })
+        .unwrap_or_default();
+    println!(
+        "{name:<48} {:>12} /iter  ({} iters){rate}",
+        format_time(per_iter),
+        b.iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group bench functions into a single named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Entry point: run the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_single_iteration() {
+        let config = Config { window: Duration::ZERO, quick: true };
+        let mut calls = 0u64;
+        run_one(&config, "t", None, |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_accumulates_iterations() {
+        let config = Config { window: Duration::from_millis(5), quick: false };
+        let mut calls = 0u64;
+        run_one(&config, "t", Some(Throughput::Elements(1)), |b| {
+            b.iter_batched(|| 1u64, |x| calls += x, BatchSize::SmallInput);
+        });
+        assert!(calls > 1);
+    }
+}

@@ -9,15 +9,29 @@
 //! Trials are distributed over a [`WorkStealingPool`]; each trial derives
 //! its RNG stream from `(campaign seed, input id, trial id)`, so results
 //! are bit-reproducible for any thread count.
+//!
+//! **Crash safety.** Every trial body runs under
+//! [`ft2_parallel::catch_quiet`]: a panic inside the model, the injector, or
+//! a protection tap is classified as [`Outcome::Crash`] (with the panic's
+//! `file:line` and message) instead of killing the campaign, and a
+//! [`WatchdogTap`] may abort runaway generations as [`Outcome::Hang`]. Both
+//! are detected unrecoverable errors (DUE) in the outcome taxonomy.
+//! [`Campaign::run_resumable`] additionally checkpoints the aggregate every
+//! few hundred tasks so an interrupted campaign resumes bit-identically.
 
+use crate::checkpoint::CampaignCheckpoint;
 use crate::inject::FaultInjector;
 use crate::model::FaultModel;
 use crate::outcome::{Outcome, OutcomeCounts, OutcomeJudge};
 use crate::site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
+use crate::trace::{TraceEvent, TraceTap};
+use crate::watchdog::{TrialAbort, WatchdogTap};
 use ft2_model::{LayerKind, LayerTap, Model, TapList};
 use ft2_numeric::Xoshiro256StarStar;
-use ft2_parallel::WorkStealingPool;
+use ft2_parallel::{catch_quiet, WorkStealingPool};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Produces fresh protection taps for each inference trial.
 ///
@@ -62,6 +76,14 @@ pub struct CampaignConfig {
     pub step_weighting: StepWeighting,
     /// Restrict faults to these layer kinds (None = all block linears).
     pub layer_filter: Option<Vec<LayerKind>>,
+    /// Watchdog wall-clock deadline per trial, in milliseconds (None =
+    /// no deadline). Wall-clock aborts are *not* bit-reproducible across
+    /// machines; reproducible campaigns should use only the token budget.
+    pub trial_deadline_ms: Option<u64>,
+    /// Watchdog budget in generation steps per trial (None = no budget).
+    /// Deterministic: a trial that reaches this step is a [`Outcome::Hang`]
+    /// at every thread count and on every machine.
+    pub trial_token_budget: Option<usize>,
 }
 
 impl CampaignConfig {
@@ -75,12 +97,31 @@ impl CampaignConfig {
             step_filter: StepFilter::AllSteps,
             step_weighting: StepWeighting::default(),
             layer_filter: None,
+            trial_deadline_ms: None,
+            trial_token_budget: None,
         }
     }
 }
 
+/// A crashed trial's identity and panic details, kept for replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// Input index of the crashed trial.
+    pub input: usize,
+    /// Trial index within the input.
+    pub trial: usize,
+    /// `file:line` where the panic was raised.
+    pub site: String,
+    /// The panic message.
+    pub message: String,
+}
+
+/// How many crashed trials a campaign records individually (counters are
+/// exact regardless; this caps only the replay-pointer list).
+const MAX_CRASH_RECORDS: usize = 64;
+
 /// Aggregated campaign output.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CampaignResult {
     /// Overall outcome counts.
     pub counts: OutcomeCounts,
@@ -90,6 +131,9 @@ pub struct CampaignResult {
     pub per_bit_class: BTreeMap<&'static str, OutcomeCounts>,
     /// Outcomes of faults that struck the prefill step.
     pub first_token_faults: OutcomeCounts,
+    /// The first [`MAX_CRASH_RECORDS`] crashed trials, in task order — each
+    /// is replayable via `ft2-repro replay <seed>/<input>/<trial>`.
+    pub crashes: Vec<TrialFailure>,
 }
 
 impl CampaignResult {
@@ -102,14 +146,112 @@ impl CampaignResult {
     pub fn sdc_ci95(&self) -> f64 {
         self.counts.sdc_ci95()
     }
+
+    /// Fold one trial record into the aggregate. Order matters only for the
+    /// crash list; the counters are commutative.
+    fn accumulate(&mut self, rec: &TrialRecord) {
+        self.counts.record(&rec.outcome);
+        self.per_layer
+            .entry(rec.site.point.layer)
+            .or_default()
+            .record(&rec.outcome);
+        self.per_bit_class
+            .entry(rec.bit_class)
+            .or_default()
+            .record(&rec.outcome);
+        if rec.site.step == 0 {
+            self.first_token_faults.record(&rec.outcome);
+        }
+        if let Outcome::Crash { site, message } = &rec.outcome {
+            if self.crashes.len() < MAX_CRASH_RECORDS {
+                self.crashes.push(TrialFailure {
+                    input: rec.input,
+                    trial: rec.trial,
+                    site: site.clone(),
+                    message: message.clone(),
+                });
+            }
+        }
+    }
 }
 
 /// One trial's record (kept compact; campaigns run hundreds of thousands).
 #[derive(Clone, Debug)]
-struct TrialRecord {
-    site: FaultSite,
-    outcome: Outcome,
-    bit_class: &'static str,
+pub struct TrialRecord {
+    /// Input index.
+    pub input: usize,
+    /// Trial index within the input.
+    pub trial: usize,
+    /// The injected fault site.
+    pub site: FaultSite,
+    /// The judged (or DUE) outcome.
+    pub outcome: Outcome,
+    /// Bit class of the flipped bit ("sign" / "exponent" / "mantissa").
+    pub bit_class: &'static str,
+}
+
+/// Verbose observations from a traced single-trial replay.
+#[derive(Clone, Debug)]
+pub struct TrialTrace {
+    /// `(original, corrupted)` values at the injection site, when the site
+    /// was reached before the trial ended.
+    pub injected: Option<(f32, f32)>,
+    /// Anomalous layer outputs (NaN/Inf or new peak magnitude), in order.
+    pub events: Vec<TraceEvent>,
+    /// Largest finite magnitude observed anywhere in the trial.
+    pub peak_abs: f32,
+    /// Hook firings observed.
+    pub firings: usize,
+    /// The faulty generation (empty when the trial crashed or hung).
+    pub tokens: Vec<u32>,
+    /// The fault-free reference generation.
+    pub reference: Vec<u32>,
+}
+
+/// Checkpoint cadence and resume behaviour for
+/// [`Campaign::run_resumable`].
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (created on first write, removed on completion).
+    pub path: PathBuf,
+    /// Write a checkpoint after every `every` completed tasks (min 1).
+    pub every: usize,
+    /// Load an existing checkpoint at `path` and continue after its prefix.
+    /// With `false`, any stale checkpoint is overwritten.
+    pub resume: bool,
+    /// Stop (checkpoint intact, `interrupted = true`) after completing this
+    /// many tasks in *this* invocation. Simulates an interruption; used by
+    /// the resume-determinism tests. `None` runs to completion.
+    pub abort_after: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// A policy that checkpoints every `every` tasks at `path` and resumes
+    /// from any compatible checkpoint found there.
+    pub fn resume_at(path: impl Into<PathBuf>, every: usize) -> CheckpointPolicy {
+        CheckpointPolicy {
+            path: path.into(),
+            every,
+            resume: true,
+            abort_after: None,
+        }
+    }
+}
+
+/// Outcome of a resumable campaign invocation.
+#[derive(Clone, Debug)]
+pub struct CampaignRun {
+    /// Aggregate over tasks `0..completed_tasks`.
+    pub result: CampaignResult,
+    /// Task prefix restored from the checkpoint (0 for a fresh run).
+    pub resumed_from: usize,
+    /// Tasks folded into `result` so far.
+    pub completed_tasks: usize,
+    /// `inputs × trials_per_input`.
+    pub total_tasks: usize,
+    /// True when the run stopped early (`abort_after`); the checkpoint file
+    /// is left in place for a later resume.
+    pub interrupted: bool,
 }
 
 /// A bound campaign: model + inputs + judge.
@@ -152,77 +294,276 @@ impl<'a> Campaign<'a> {
         &self.references
     }
 
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Derive the fault site of trial `(input_id, trial_id)` — the same
+    /// derivation every campaign run uses, so a site can be inspected (or a
+    /// trial replayed) without running anything else.
+    pub fn sample_site(&self, input_id: usize, trial_id: usize) -> (FaultSite, &'static str) {
+        let format = self.model.config().dtype.format();
+        let prompt = &self.inputs[input_id];
+        let mut rng = Xoshiro256StarStar::for_stream(
+            self.config.seed,
+            &[input_id as u64, trial_id as u64],
+        );
+        let mut sampler =
+            SiteSampler::new(self.model.config(), prompt.len(), self.config.gen_tokens)
+                .with_step_filter(self.config.step_filter)
+                .with_step_weighting(self.config.step_weighting);
+        if let Some(kinds) = &self.config.layer_filter {
+            sampler = sampler.with_layer_filter(kinds.clone());
+        }
+        let site = sampler.sample(&mut rng, self.config.fault_model, format);
+        let bit_class = ft2_numeric::BitLocation {
+            format,
+            bit: site.bits[0],
+        }
+        .class();
+        (site, bit_class)
+    }
+
+    /// Run one trial in isolation, classifying panics as
+    /// [`Outcome::Crash`] and watchdog aborts as [`Outcome::Hang`].
+    pub fn trial_record(
+        &self,
+        protection: &dyn ProtectionFactory,
+        input_id: usize,
+        trial_id: usize,
+    ) -> TrialRecord {
+        self.run_trial(protection, input_id, trial_id, None).0
+    }
+
+    /// Run one trial with verbose tracing (for `ft2-repro replay`). The
+    /// trace survives a crashing or hanging trial: events up to the abort
+    /// are retained.
+    pub fn trial_record_traced(
+        &self,
+        protection: &dyn ProtectionFactory,
+        input_id: usize,
+        trial_id: usize,
+    ) -> (TrialRecord, TrialTrace) {
+        let mut tracer = TraceTap::new();
+        let (record, injected, tokens) =
+            self.run_trial(protection, input_id, trial_id, Some(&mut tracer));
+        let trace = TrialTrace {
+            injected,
+            events: tracer.events,
+            peak_abs: tracer.peak_abs,
+            firings: tracer.firings,
+            tokens,
+            reference: self.references[input_id].clone(),
+        };
+        (record, trace)
+    }
+
+    /// The isolated trial body shared by all run modes. Tap order:
+    /// watchdog (aborts fire even when a later tap stalls) → injector →
+    /// protection → tracer (observes what protection let through).
+    fn run_trial(
+        &self,
+        protection: &dyn ProtectionFactory,
+        input_id: usize,
+        trial_id: usize,
+        tracer: Option<&mut TraceTap>,
+    ) -> (TrialRecord, Option<(f32, f32)>, Vec<u32>) {
+        let prompt = &self.inputs[input_id];
+        let (site, bit_class) = self.sample_site(input_id, trial_id);
+
+        let mut injector = FaultInjector::new(site.clone());
+        let mut watchdog = WatchdogTap::new(
+            self.config.trial_deadline_ms.map(Duration::from_millis),
+            self.config.trial_token_budget,
+        );
+        let mut protection_taps = protection.make();
+        let generated = catch_quiet(|| {
+            let mut taps = TapList::new();
+            if watchdog.is_armed() {
+                taps.push(&mut watchdog);
+            }
+            taps.push(&mut injector);
+            for t in protection_taps.iter_mut() {
+                taps.push(t.as_mut());
+            }
+            if let Some(tr) = tracer {
+                taps.push(tr);
+            }
+            self.model
+                .generate(prompt, self.config.gen_tokens, &mut taps)
+                .tokens
+        });
+
+        let (outcome, tokens) = match generated {
+            Ok(tokens) => {
+                debug_assert!(injector.fired(), "fault site never reached");
+                (
+                    self.judge.classify(&self.references[input_id], &tokens),
+                    tokens,
+                )
+            }
+            Err(caught) if caught.payload.downcast_ref::<TrialAbort>().is_some() => {
+                (Outcome::Hang, Vec::new())
+            }
+            Err(caught) => (
+                Outcome::Crash {
+                    site: caught.site,
+                    message: caught.message,
+                },
+                Vec::new(),
+            ),
+        };
+        let injected = injector.original.zip(injector.corrupted);
+        (
+            TrialRecord {
+                input: input_id,
+                trial: trial_id,
+                site,
+                outcome,
+                bit_class,
+            },
+            injected,
+            tokens,
+        )
+    }
+
     /// Run the full campaign under a protection scheme.
     pub fn run(&self, protection: &dyn ProtectionFactory, pool: &WorkStealingPool) -> CampaignResult {
-        let n_inputs = self.inputs.len();
         let trials = self.config.trials_per_input;
-        let total = n_inputs * trials;
-        let format = self.model.config().dtype.format();
-
+        let total = self.inputs.len() * trials;
         let records: Vec<TrialRecord> = pool.map(
             &(0..total).collect::<Vec<usize>>(),
             8,
-            |_, &task| {
-                let input_id = task / trials;
-                let trial_id = task % trials;
-                let prompt = &self.inputs[input_id];
-                let mut rng = Xoshiro256StarStar::for_stream(
-                    self.config.seed,
-                    &[input_id as u64, trial_id as u64],
-                );
-                let mut sampler =
-                    SiteSampler::new(self.model.config(), prompt.len(), self.config.gen_tokens)
-                        .with_step_filter(self.config.step_filter)
-                        .with_step_weighting(self.config.step_weighting);
-                if let Some(kinds) = &self.config.layer_filter {
-                    sampler = sampler.with_layer_filter(kinds.clone());
-                }
-                let site = sampler.sample(&mut rng, self.config.fault_model, format);
-                let bit_class = ft2_numeric::BitLocation {
-                    format,
-                    bit: site.bits[0],
-                }
-                .class();
-
-                let mut injector = FaultInjector::new(site.clone());
-                let mut protection_taps = protection.make();
-                let mut taps = TapList::new();
-                taps.push(&mut injector);
-                for t in protection_taps.iter_mut() {
-                    taps.push(t.as_mut());
-                }
-                let out = self
-                    .model
-                    .generate(prompt, self.config.gen_tokens, &mut taps);
-                drop(taps);
-                debug_assert!(injector.fired(), "fault site never reached");
-                let outcome = self.judge.classify(&self.references[input_id], &out.tokens);
-                TrialRecord {
-                    site,
-                    outcome,
-                    bit_class,
-                }
-            },
+            |_, &task| self.trial_record(protection, task / trials, task % trials),
         );
-
         let mut result = CampaignResult::default();
-        for rec in records {
-            result.counts.record(rec.outcome);
-            result
-                .per_layer
-                .entry(rec.site.point.layer)
-                .or_default()
-                .record(rec.outcome);
-            result
-                .per_bit_class
-                .entry(rec.bit_class)
-                .or_default()
-                .record(rec.outcome);
-            if rec.site.step == 0 {
-                result.first_token_faults.record(rec.outcome);
-            }
+        for rec in &records {
+            result.accumulate(rec);
         }
         result
+    }
+
+    /// Configuration fingerprint used to validate checkpoint compatibility.
+    /// Covers everything that changes trial outcomes, including a hash of
+    /// the reference generations (so a different model or input set is
+    /// rejected even at identical config).
+    pub fn fingerprint(&self, scheme: &str) -> String {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over reference tokens
+        for reference in &self.references {
+            for &t in reference {
+                h = (h ^ t as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            h = (h ^ 0xff).wrapping_mul(0x100_0000_01b3);
+        }
+        let layers = match &self.config.layer_filter {
+            None => "all".to_string(),
+            Some(kinds) => kinds
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join("+"),
+        };
+        format!(
+            "v1|seed={}|trials={}|gen={}|fault={:?}|steps={:?}|weight={:?}|layers={}|inputs={}|budget={:?}|deadline={:?}|scheme={}|refs={:016x}",
+            self.config.seed,
+            self.config.trials_per_input,
+            self.config.gen_tokens,
+            self.config.fault_model,
+            self.config.step_filter,
+            self.config.step_weighting,
+            layers,
+            self.inputs.len(),
+            self.config.trial_token_budget,
+            self.config.trial_deadline_ms,
+            scheme,
+            h,
+        )
+    }
+
+    /// Run the campaign with periodic checkpointing, optionally resuming a
+    /// previous invocation's checkpoint. Because trials derive their RNG
+    /// streams from `(seed, input, trial)` and the aggregate folds records
+    /// in task order, an interrupted-and-resumed run produces a result
+    /// bit-identical to an uninterrupted one.
+    pub fn run_resumable(
+        &self,
+        protection: &dyn ProtectionFactory,
+        pool: &WorkStealingPool,
+        policy: &CheckpointPolicy,
+    ) -> Result<CampaignRun, String> {
+        let trials = self.config.trials_per_input;
+        let total = self.inputs.len() * trials;
+        let fingerprint = self.fingerprint(protection.scheme_name());
+
+        let mut result = CampaignResult::default();
+        let mut done = 0usize;
+        if policy.resume {
+            if let Some(cp) = CampaignCheckpoint::load(&policy.path)? {
+                if cp.fingerprint != fingerprint {
+                    return Err(format!(
+                        "checkpoint {} belongs to a different campaign\n  found:    {}\n  expected: {}",
+                        policy.path.display(),
+                        cp.fingerprint,
+                        fingerprint
+                    ));
+                }
+                if cp.completed_tasks > total {
+                    return Err(format!(
+                        "checkpoint claims {} completed tasks of {total}",
+                        cp.completed_tasks
+                    ));
+                }
+                done = cp.completed_tasks;
+                result = cp.result;
+            }
+        }
+        let resumed_from = done;
+        let every = policy.every.max(1);
+
+        while done < total {
+            let mut end = (done + every).min(total);
+            if let Some(limit) = policy.abort_after {
+                end = end.min(resumed_from + limit);
+            }
+            let tasks: Vec<usize> = (done..end).collect();
+            let records = pool.map(&tasks, 8, |_, &task| {
+                self.trial_record(protection, task / trials, task % trials)
+            });
+            for rec in &records {
+                result.accumulate(rec);
+            }
+            done = end;
+            CampaignCheckpoint {
+                fingerprint: fingerprint.clone(),
+                completed_tasks: done,
+                result: result.clone(),
+            }
+            .save(&policy.path)
+            .map_err(|e| format!("write checkpoint {}: {e}", policy.path.display()))?;
+
+            if policy.abort_after.is_some_and(|limit| done >= resumed_from + limit)
+                && done < total
+            {
+                return Ok(CampaignRun {
+                    result,
+                    resumed_from,
+                    completed_tasks: done,
+                    total_tasks: total,
+                    interrupted: true,
+                });
+            }
+        }
+
+        // Complete: the checkpoint has served its purpose.
+        std::fs::remove_file(&policy.path).ok();
+        Ok(CampaignRun {
+            result,
+            resumed_from,
+            completed_tasks: done,
+            total_tasks: total,
+            interrupted: false,
+        })
     }
 
     /// Run every input once with protection but **no fault**, returning the
@@ -280,6 +621,7 @@ mod tests {
         assert_eq!(layer_total, 60);
         let bit_total: u64 = result.per_bit_class.values().map(|c| c.total()).sum();
         assert_eq!(bit_total, 60);
+        assert!(result.crashes.is_empty(), "clean engine must not crash");
     }
 
     #[test]
@@ -354,5 +696,198 @@ mod tests {
         let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
         let result = campaign.run(&Unprotected, &pool);
         assert_eq!(result.first_token_faults.total(), result.counts.total());
+    }
+
+    /// A protection "scheme" that panics on a subset of trials — the
+    /// adversarial case the crash isolation exists for.
+    struct PanicOnLayer {
+        every_nth_firing: usize,
+    }
+
+    struct PanickingTap {
+        firing: usize,
+        every: usize,
+    }
+
+    impl LayerTap for PanickingTap {
+        fn on_output(&mut self, _ctx: &ft2_model::TapCtx, _data: &mut ft2_tensor::Matrix) {
+            self.firing += 1;
+            if self.firing == self.every {
+                panic!("protection tap exploded on firing {}", self.firing);
+            }
+        }
+    }
+
+    impl ProtectionFactory for PanicOnLayer {
+        fn make(&self) -> Vec<Box<dyn LayerTap>> {
+            vec![Box::new(PanickingTap {
+                firing: 0,
+                every: self.every_nth_firing,
+            })]
+        }
+
+        fn scheme_name(&self) -> &str {
+            "Panicking"
+        }
+    }
+
+    #[test]
+    fn panicking_tap_is_classified_as_crash_not_fatal() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(4);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg.trials_per_input = 8;
+        cfg.gen_tokens = 4;
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        // Every trial's tap panics on its 3rd firing → all 24 trials crash.
+        let result = campaign.run(&PanicOnLayer { every_nth_firing: 3 }, &pool);
+        assert_eq!(result.counts.total(), 24);
+        assert_eq!(result.counts.crash, 24);
+        assert_eq!(result.crashes.len(), 24);
+        let failure = &result.crashes[0];
+        assert!(failure.message.contains("protection tap exploded"));
+        assert!(failure.site.contains("campaign.rs"), "site: {}", failure.site);
+        // Crash list is in task order.
+        assert_eq!((failure.input, failure.trial), (0, 0));
+
+        // The pool survives and runs a clean campaign afterwards.
+        let clean = campaign.run(&Unprotected, &pool);
+        assert_eq!(clean.counts.crash, 0);
+        assert_eq!(clean.counts.total(), 24);
+    }
+
+    #[test]
+    fn token_budget_watchdog_hangs_deterministically() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(2);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg.trials_per_input = 5;
+        cfg.gen_tokens = 8;
+        // Budget below gen_tokens: every trial trips the watchdog.
+        cfg.trial_token_budget = Some(3);
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        let result = campaign.run(&Unprotected, &pool);
+        assert_eq!(result.counts.hang, 15);
+        assert_eq!(result.counts.total(), 15);
+        assert!(result.crashes.is_empty(), "hangs are not crashes");
+
+        // A generous budget changes nothing.
+        let mut cfg2 = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg2.trials_per_input = 5;
+        cfg2.gen_tokens = 8;
+        let baseline = Campaign::new(&model, &inputs, &judge, cfg2.clone(), &pool)
+            .run(&Unprotected, &pool);
+        cfg2.trial_token_budget = Some(1000);
+        let budgeted = Campaign::new(&model, &inputs, &judge, cfg2, &pool)
+            .run(&Unprotected, &pool);
+        assert_eq!(baseline.counts, budgeted.counts);
+    }
+
+    #[test]
+    fn traced_replay_matches_campaign_record() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(2);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::ExponentBit);
+        cfg.trials_per_input = 6;
+        cfg.gen_tokens = 6;
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        let full = campaign.run(&Unprotected, &pool);
+
+        // Replaying each trial individually reproduces the aggregate.
+        let mut replayed = CampaignResult::default();
+        for input in 0..inputs.len() {
+            for trial in 0..6 {
+                let (rec, trace) = campaign.trial_record_traced(&Unprotected, input, trial);
+                assert_eq!((rec.input, rec.trial), (input, trial));
+                assert!(trace.firings > 0);
+                assert!(
+                    trace.injected.is_some(),
+                    "completed trial must reach its site"
+                );
+                replayed.accumulate(&rec);
+            }
+        }
+        assert_eq!(replayed, full);
+    }
+
+    #[test]
+    fn resumable_run_matches_uninterrupted_bit_for_bit() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(4);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::ExponentBit);
+        cfg.trials_per_input = 10;
+        cfg.gen_tokens = 5;
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        let uninterrupted = campaign.run(&Unprotected, &pool);
+
+        let path = std::env::temp_dir().join("ft2-campaign-resume-test.json");
+        std::fs::remove_file(&path).ok();
+
+        // First invocation: killed after 7 tasks (mid-input).
+        let first = campaign
+            .run_resumable(
+                &Unprotected,
+                &pool,
+                &CheckpointPolicy {
+                    path: path.clone(),
+                    every: 4,
+                    resume: true,
+                    abort_after: Some(7),
+                },
+            )
+            .unwrap();
+        assert!(first.interrupted);
+        assert_eq!(first.completed_tasks, 7);
+        assert!(path.exists(), "interrupted run must leave its checkpoint");
+
+        // Second invocation resumes and completes.
+        let second = campaign
+            .run_resumable(&Unprotected, &pool, &CheckpointPolicy::resume_at(&path, 4))
+            .unwrap();
+        assert!(!second.interrupted);
+        assert_eq!(second.resumed_from, 7);
+        assert_eq!(second.completed_tasks, 30);
+        assert_eq!(second.result, uninterrupted);
+        assert!(!path.exists(), "completed run must remove its checkpoint");
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoint() {
+        let (model, inputs) = tiny_campaign_parts();
+        let pool = WorkStealingPool::new(2);
+        let judge = ExactJudge;
+        let mut cfg = CampaignConfig::quick(FaultModel::SingleBit);
+        cfg.trials_per_input = 4;
+        cfg.gen_tokens = 4;
+        let campaign = Campaign::new(&model, &inputs, &judge, cfg.clone(), &pool);
+
+        let path = std::env::temp_dir().join("ft2-campaign-foreign-test.json");
+        std::fs::remove_file(&path).ok();
+        let partial = campaign
+            .run_resumable(
+                &Unprotected,
+                &pool,
+                &CheckpointPolicy {
+                    path: path.clone(),
+                    every: 4,
+                    resume: false,
+                    abort_after: Some(4),
+                },
+            )
+            .unwrap();
+        assert!(partial.interrupted);
+
+        // Different seed → different fingerprint → resume must refuse.
+        cfg.seed ^= 0xDEAD;
+        let other = Campaign::new(&model, &inputs, &judge, cfg, &pool);
+        let err = other
+            .run_resumable(&Unprotected, &pool, &CheckpointPolicy::resume_at(&path, 4))
+            .unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

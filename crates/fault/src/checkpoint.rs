@@ -1,0 +1,458 @@
+//! Campaign checkpointing: crash-safe persistence of partial results.
+//!
+//! A full campaign (`inputs × trials` generations) can run for hours; an
+//! OOM-kill or a pre-empted node should not forfeit the completed work. The
+//! campaign engine therefore persists, every `CheckpointPolicy::every`
+//! tasks, the aggregate [`CampaignResult`] over the completed task prefix
+//! `0..completed_tasks` together with a config *fingerprint*. Because every
+//! trial derives its RNG stream from `(seed, input, trial)` and aggregation
+//! folds records in task order, resuming from `completed_tasks` reproduces
+//! the uninterrupted run bit for bit.
+//!
+//! The format is a small hand-rolled JSON document (the workspace is
+//! dependency-free, so no serde): human-inspectable, versioned by the
+//! fingerprint, written atomically via a temp file + rename so a crash
+//! mid-write can never corrupt an existing checkpoint.
+
+use crate::campaign::{CampaignResult, TrialFailure};
+use crate::outcome::OutcomeCounts;
+use ft2_model::LayerKind;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A persisted campaign prefix: everything needed to resume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// Fingerprint of the campaign configuration; a resume with a different
+    /// fingerprint is rejected rather than silently merged.
+    pub fingerprint: String,
+    /// Number of tasks (in task order) folded into `result`.
+    pub completed_tasks: usize,
+    /// Aggregate over tasks `0..completed_tasks`.
+    pub result: CampaignResult,
+}
+
+impl CampaignCheckpoint {
+    /// Serialise to the checkpoint JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"fingerprint\": {},", quote(&self.fingerprint));
+        let _ = writeln!(s, "  \"completed_tasks\": {},", self.completed_tasks);
+        let _ = writeln!(s, "  \"counts\": {},", counts_json(&self.result.counts));
+        s.push_str("  \"per_layer\": {");
+        for (i, (k, v)) in self.result.per_layer.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", quote(k.name()), counts_json(v));
+        }
+        s.push_str("},\n  \"per_bit_class\": {");
+        for (i, (k, v)) in self.result.per_bit_class.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", quote(k), counts_json(v));
+        }
+        s.push_str("},\n");
+        let _ = writeln!(
+            s,
+            "  \"first_token_faults\": {},",
+            counts_json(&self.result.first_token_faults)
+        );
+        s.push_str("  \"crashes\": [");
+        for (i, c) in self.result.crashes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "[{}, {}, {}, {}]",
+                c.input,
+                c.trial,
+                quote(&c.site),
+                quote(&c.message)
+            );
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse a checkpoint document.
+    pub fn from_json(text: &str) -> Result<CampaignCheckpoint, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj("checkpoint")?;
+        let mut result = CampaignResult {
+            counts: parse_counts(get(obj, "counts")?)?,
+            first_token_faults: parse_counts(get(obj, "first_token_faults")?)?,
+            ..CampaignResult::default()
+        };
+        for (name, v) in get(obj, "per_layer")?.as_obj("per_layer")? {
+            let kind = LayerKind::ALL
+                .iter()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| format!("unknown layer kind {name:?}"))?;
+            result.per_layer.insert(*kind, parse_counts(v)?);
+        }
+        for (name, v) in get(obj, "per_bit_class")?.as_obj("per_bit_class")? {
+            // Bit-class keys are interned &'static str in memory.
+            let key = match name.as_str() {
+                "sign" => "sign",
+                "exponent" => "exponent",
+                "mantissa" => "mantissa",
+                other => return Err(format!("unknown bit class {other:?}")),
+            };
+            result.per_bit_class.insert(key, parse_counts(v)?);
+        }
+        for v in get(obj, "crashes")?.as_arr("crashes")? {
+            let row = v.as_arr("crash row")?;
+            if row.len() != 4 {
+                return Err("crash row must have 4 fields".to_string());
+            }
+            result.crashes.push(TrialFailure {
+                input: row[0].as_u64("crash input")? as usize,
+                trial: row[1].as_u64("crash trial")? as usize,
+                site: row[2].as_str("crash site")?.to_string(),
+                message: row[3].as_str("crash message")?.to_string(),
+            });
+        }
+        Ok(CampaignCheckpoint {
+            fingerprint: get(obj, "fingerprint")?.as_str("fingerprint")?.to_string(),
+            completed_tasks: get(obj, "completed_tasks")?.as_u64("completed_tasks")? as usize,
+            result,
+        })
+    }
+
+    /// Write atomically: temp file in the same directory, then rename. A
+    /// crash mid-write leaves either the old checkpoint or none.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a checkpoint if one exists; `Ok(None)` when the file is absent.
+    pub fn load(path: &Path) -> Result<Option<CampaignCheckpoint>, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+}
+
+fn counts_json(c: &OutcomeCounts) -> String {
+    format!(
+        "[{}, {}, {}, {}, {}]",
+        c.masked_identical, c.masked_semantic, c.sdc, c.crash, c.hang
+    )
+}
+
+fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
+    let a = v.as_arr("counts")?;
+    if a.len() != 5 {
+        return Err(format!("counts must have 5 fields, got {}", a.len()));
+    }
+    Ok(OutcomeCounts {
+        masked_identical: a[0].as_u64("counts[0]")?,
+        masked_semantic: a[1].as_u64("counts[1]")?,
+        sdc: a[2].as_u64("counts[2]")?,
+        crash: a[3].as_u64("counts[3]")?,
+        hang: a[4].as_u64("counts[4]")?,
+    })
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for the checkpoint grammar (objects, arrays, strings,
+/// unsigned integers). Everything the checkpoint writer emits round-trips.
+#[derive(Debug)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(u64),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("{what}: expected integer")),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", ch as char, *pos))
+    }
+}
+
+fn peek(b: &[u8], pos: &mut usize) -> Option<u8> {
+    skip_ws(b, pos);
+    b.get(*pos).copied()
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    match peek(b, pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            if peek(b, pos) == Some(b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                entries.push((key, parse_value(b, pos)?));
+                match peek(b, pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            if peek(b, pos) == Some(b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                match peek(b, pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        _ => Err(format!("unexpected value at byte {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    // Collect raw bytes of each UTF-8 run between escapes.
+    let mut run = *pos;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&b[run..*pos]).map_err(|e| format!("bad utf8: {e}"))?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&b[run..*pos]).map_err(|e| format!("bad utf8: {e}"))?,
+                );
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", *other as char)),
+                }
+                run = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::TapPoint;
+
+    fn sample_checkpoint() -> CampaignCheckpoint {
+        let mut result = CampaignResult::default();
+        result.counts = OutcomeCounts {
+            masked_identical: 10,
+            masked_semantic: 4,
+            sdc: 3,
+            crash: 2,
+            hang: 1,
+        };
+        result.per_layer.insert(
+            TapPoint {
+                block: 0,
+                layer: LayerKind::Fc1,
+            }
+            .layer,
+            OutcomeCounts {
+                masked_identical: 5,
+                ..OutcomeCounts::default()
+            },
+        );
+        result.per_bit_class.insert(
+            "exponent",
+            OutcomeCounts {
+                sdc: 3,
+                ..OutcomeCounts::default()
+            },
+        );
+        result.first_token_faults.sdc = 1;
+        result.crashes.push(TrialFailure {
+            input: 2,
+            trial: 17,
+            site: "crates/core/src/protect.rs:88".to_string(),
+            message: "index out of bounds: \"weird\"\npayload".to_string(),
+        });
+        CampaignCheckpoint {
+            fingerprint: "seed=1|trials=50".to_string(),
+            completed_tasks: 20,
+            result,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let cp = sample_checkpoint();
+        let parsed = CampaignCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed, cp);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("ft2-checkpoint-test");
+        let path = dir.join("qa.json");
+        let cp = sample_checkpoint();
+        cp.save(&path).unwrap();
+        let loaded = CampaignCheckpoint::load(&path).unwrap().unwrap();
+        assert_eq!(loaded, cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none_and_garbage_is_err() {
+        let missing = std::env::temp_dir().join("ft2-no-such-checkpoint.json");
+        assert_eq!(CampaignCheckpoint::load(&missing).unwrap(), None);
+        assert!(CampaignCheckpoint::from_json("{nope").is_err());
+        assert!(CampaignCheckpoint::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for s in ["plain", "with \"quotes\"", "tab\tnl\nbackslash\\", "\u{1}ctl"] {
+            let q = quote(s);
+            let mut pos = 0;
+            let back = parse_string(q.as_bytes(), &mut pos).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

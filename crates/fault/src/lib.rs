@@ -18,18 +18,35 @@
 //! * [`campaign`] — the statistical fault-injection campaign engine: runs
 //!   `inputs × trials` independent generations on a work-stealing pool with
 //!   per-trial derived RNG streams (bit-reproducible at any thread count)
-//!   and aggregates SDC rates with 95% confidence intervals.
+//!   and aggregates SDC rates with 95% confidence intervals. Trials run
+//!   under panic isolation (crashes become [`Outcome::Crash`], watchdog
+//!   aborts become [`Outcome::Hang`]) and campaigns checkpoint their
+//!   aggregate for bit-identical resume after an interruption.
+//! * [`watchdog`] — the per-trial watchdog tap (wall-clock deadline and
+//!   generation-step budget) behind the Hang classification.
+//! * [`checkpoint`] — crash-safe JSON persistence of partial campaign
+//!   results.
+//! * [`trace`] — the anomaly-recording tap behind `ft2-repro replay`.
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod dmr;
 pub mod inject;
 pub mod model;
 pub mod outcome;
 pub mod site;
+pub mod trace;
+pub mod watchdog;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, ProtectionFactory, Unprotected};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignResult, CampaignRun, CheckpointPolicy, ProtectionFactory,
+    TrialFailure, TrialRecord, TrialTrace, Unprotected,
+};
+pub use checkpoint::CampaignCheckpoint;
 pub use dmr::{run_dmr_campaign, DmrReport};
 pub use inject::FaultInjector;
 pub use model::FaultModel;
 pub use outcome::{ExactJudge, Outcome, OutcomeCounts, OutcomeJudge};
 pub use site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
+pub use trace::{TraceEvent, TraceTap};
+pub use watchdog::{TrialAbort, WatchdogTap};

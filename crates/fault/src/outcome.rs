@@ -1,7 +1,14 @@
 //! Fault-injection outcome taxonomy (§2.3).
+//!
+//! Beyond the paper's three-way masked/semantic/SDC split, the campaign
+//! engine distinguishes two *detected unrecoverable error* (DUE) classes
+//! that real fault campaigns must survive rather than crash on:
+//! [`Outcome::Crash`] (the trial panicked — corrupted index, NaN cascade
+//! tripping an assert, a buggy protection tap) and [`Outcome::Hang`] (the
+//! trial exceeded its watchdog budget).
 
 /// The outcome of a single fault-injection trial.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Output bit-identical to the fault-free reference.
     MaskedIdentical,
@@ -10,12 +17,27 @@ pub enum Outcome {
     MaskedSemantic,
     /// Silent data corruption: the answer is wrong.
     Sdc,
+    /// The trial panicked (detected unrecoverable error).
+    Crash {
+        /// `file:line` where the panic was raised, when known.
+        site: String,
+        /// The panic message.
+        message: String,
+    },
+    /// The trial exceeded its watchdog budget (wall-clock deadline or token
+    /// budget) and was aborted.
+    Hang,
 }
 
 impl Outcome {
     /// Is this outcome masked (either kind)?
-    pub const fn is_masked(self) -> bool {
+    pub fn is_masked(&self) -> bool {
         matches!(self, Outcome::MaskedIdentical | Outcome::MaskedSemantic)
+    }
+
+    /// Is this outcome a detected unrecoverable error (crash or hang)?
+    pub fn is_due(&self) -> bool {
+        matches!(self, Outcome::Crash { .. } | Outcome::Hang)
     }
 }
 
@@ -28,15 +50,21 @@ pub struct OutcomeCounts {
     pub masked_semantic: u64,
     /// Silent data corruptions.
     pub sdc: u64,
+    /// Trials that panicked (DUE).
+    pub crash: u64,
+    /// Trials aborted by the watchdog (DUE).
+    pub hang: u64,
 }
 
 impl OutcomeCounts {
     /// Record one outcome.
-    pub fn record(&mut self, o: Outcome) {
+    pub fn record(&mut self, o: &Outcome) {
         match o {
             Outcome::MaskedIdentical => self.masked_identical += 1,
             Outcome::MaskedSemantic => self.masked_semantic += 1,
             Outcome::Sdc => self.sdc += 1,
+            Outcome::Crash { .. } => self.crash += 1,
+            Outcome::Hang => self.hang += 1,
         }
     }
 
@@ -45,11 +73,18 @@ impl OutcomeCounts {
         self.masked_identical += other.masked_identical;
         self.masked_semantic += other.masked_semantic;
         self.sdc += other.sdc;
+        self.crash += other.crash;
+        self.hang += other.hang;
     }
 
     /// Total trials recorded.
     pub fn total(&self) -> u64 {
-        self.masked_identical + self.masked_semantic + self.sdc
+        self.masked_identical + self.masked_semantic + self.sdc + self.crash + self.hang
+    }
+
+    /// Detected unrecoverable errors (crashes + hangs).
+    pub fn due(&self) -> u64 {
+        self.crash + self.hang
     }
 
     /// SDC rate in [0, 1] (0 for no trials).
@@ -95,13 +130,31 @@ mod tests {
     #[test]
     fn counts_record_and_rate() {
         let mut c = OutcomeCounts::default();
-        c.record(Outcome::MaskedIdentical);
-        c.record(Outcome::MaskedIdentical);
-        c.record(Outcome::MaskedSemantic);
-        c.record(Outcome::Sdc);
+        c.record(&Outcome::MaskedIdentical);
+        c.record(&Outcome::MaskedIdentical);
+        c.record(&Outcome::MaskedSemantic);
+        c.record(&Outcome::Sdc);
         assert_eq!(c.total(), 4);
         assert!((c.sdc_rate() - 0.25).abs() < 1e-12);
         assert!(c.sdc_ci95() > 0.0);
+    }
+
+    #[test]
+    fn due_outcomes_count_toward_total() {
+        let mut c = OutcomeCounts::default();
+        c.record(&Outcome::Crash {
+            site: "x.rs:1".into(),
+            message: "boom".into(),
+        });
+        c.record(&Outcome::Hang);
+        c.record(&Outcome::Sdc);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.due(), 2);
+        assert_eq!(c.crash, 1);
+        assert_eq!(c.hang, 1);
+        // DUE trials dilute the SDC rate: they are observed, non-silent
+        // failures, so they belong in the denominator.
+        assert!((c.sdc_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -110,16 +163,22 @@ mod tests {
             masked_identical: 1,
             masked_semantic: 2,
             sdc: 3,
+            crash: 4,
+            hang: 5,
         };
         let b = OutcomeCounts {
             masked_identical: 10,
             masked_semantic: 20,
             sdc: 30,
+            crash: 40,
+            hang: 50,
         };
         a.merge(&b);
         assert_eq!(a.masked_identical, 11);
         assert_eq!(a.masked_semantic, 22);
         assert_eq!(a.sdc, 33);
+        assert_eq!(a.crash, 44);
+        assert_eq!(a.hang, 55);
     }
 
     #[test]
@@ -129,6 +188,8 @@ mod tests {
         assert_eq!(j.classify(&[1, 2, 3], &[1, 2, 4]), Outcome::Sdc);
         assert!(Outcome::MaskedSemantic.is_masked());
         assert!(!Outcome::Sdc.is_masked());
+        assert!(Outcome::Hang.is_due());
+        assert!(!Outcome::Sdc.is_due());
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Verbose trial tracing for deterministic replay.
+//!
+//! When a campaign reports a crash or a surprising SDC, the per-trial RNG
+//! derivation (`seed, input, trial`) makes the trial exactly reproducible in
+//! isolation. [`TraceTap`] rides the layer-output hook *after* the injector
+//! and the protection taps and records numeric anomalies — NaN/Inf counts
+//! and the running max-magnitude — per `(step, layer)` firing, so a replay
+//! shows where a corrupted value entered and how far it propagated before
+//! the outcome was decided.
+
+use ft2_model::{HookKind, LayerTap, TapCtx, TapPoint};
+use ft2_tensor::Matrix;
+
+/// One anomalous hook firing observed during a traced trial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Generation step (0 = prefill).
+    pub step: usize,
+    /// Layer that produced the anomalous output.
+    pub point: TapPoint,
+    /// Linear output or following activation.
+    pub hook: HookKind,
+    /// NaN elements in the output.
+    pub nan: usize,
+    /// Infinite elements in the output.
+    pub inf: usize,
+    /// Largest finite magnitude in the output.
+    pub max_abs: f32,
+}
+
+/// A [`LayerTap`] that records anomalous layer outputs (any NaN/Inf, or a
+/// new global max magnitude). Event count is capped so a fully poisoned
+/// generation cannot accumulate unbounded state.
+pub struct TraceTap {
+    /// Recorded anomalies, in firing order.
+    pub events: Vec<TraceEvent>,
+    /// Largest finite magnitude seen anywhere in the trial.
+    pub peak_abs: f32,
+    /// Hook firings observed (including unremarkable ones).
+    pub firings: usize,
+    cap: usize,
+}
+
+impl Default for TraceTap {
+    fn default() -> Self {
+        TraceTap::new()
+    }
+}
+
+impl TraceTap {
+    /// A trace with the default event cap (256).
+    pub fn new() -> TraceTap {
+        TraceTap {
+            events: Vec::new(),
+            peak_abs: 0.0,
+            firings: 0,
+            cap: 256,
+        }
+    }
+}
+
+impl LayerTap for TraceTap {
+    fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix) {
+        self.firings += 1;
+        let mut nan = 0usize;
+        let mut inf = 0usize;
+        let mut max_abs = 0.0f32;
+        for &v in data.as_slice() {
+            if v.is_nan() {
+                nan += 1;
+            } else if v.is_infinite() {
+                inf += 1;
+            } else if v.abs() > max_abs {
+                max_abs = v.abs();
+            }
+        }
+        let new_peak = max_abs > self.peak_abs;
+        if max_abs > self.peak_abs {
+            self.peak_abs = max_abs;
+        }
+        if (nan > 0 || inf > 0 || new_peak) && self.events.len() < self.cap {
+            self.events.push(TraceEvent {
+                step: ctx.step,
+                point: ctx.point,
+                hook: ctx.hook,
+                nan,
+                inf,
+                max_abs,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::LayerKind;
+    use ft2_tensor::DType;
+
+    fn ctx(step: usize) -> TapCtx {
+        TapCtx {
+            point: TapPoint {
+                block: 0,
+                layer: LayerKind::Fc1,
+            },
+            hook: HookKind::LinearOutput,
+            step,
+            first_pos: 0,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn records_nan_inf_and_peaks() {
+        let mut tap = TraceTap::new();
+        let mut clean = Matrix::from_vec(1, 3, vec![0.5, -1.0, 0.25]);
+        tap.on_output(&ctx(0), &mut clean);
+        // First firing sets the peak, so it is recorded.
+        assert_eq!(tap.events.len(), 1);
+
+        // Same values again: no new peak, no anomaly, no event.
+        tap.on_output(&ctx(1), &mut clean);
+        assert_eq!(tap.events.len(), 1);
+
+        let mut poisoned = Matrix::from_vec(1, 3, vec![f32::NAN, f32::INFINITY, 1e30]);
+        tap.on_output(&ctx(2), &mut poisoned);
+        assert_eq!(tap.events.len(), 2);
+        let e = &tap.events[1];
+        assert_eq!((e.nan, e.inf), (1, 1));
+        assert_eq!(e.max_abs, 1e30);
+        assert_eq!(tap.peak_abs, 1e30);
+        assert_eq!(tap.firings, 3);
+    }
+
+    #[test]
+    fn event_cap_bounds_memory() {
+        let mut tap = TraceTap::new();
+        tap.cap = 4;
+        for step in 0..100 {
+            // Ever-growing peak would otherwise record every firing.
+            let mut m = Matrix::from_vec(1, 1, vec![step as f32 + 1.0]);
+            tap.on_output(&ctx(step), &mut m);
+        }
+        assert_eq!(tap.events.len(), 4);
+        assert_eq!(tap.firings, 100);
+        assert_eq!(tap.peak_abs, 100.0);
+    }
+}

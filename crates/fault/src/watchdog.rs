@@ -1,0 +1,164 @@
+//! Per-trial watchdog: abort runaway generations.
+//!
+//! An injected fault can knock a generation into pathological territory —
+//! degenerate token loops that never emit EOS, or numerically poisoned
+//! states where every layer is saturated and each decode step crawls. At
+//! campaign scale one such trial can stall a worker for the length of the
+//! whole run. The fix is cooperative cancellation: [`WatchdogTap`] rides
+//! the same layer-output hook as the fault injector, checks its budgets on
+//! every firing (thousands of checkpoints per generated token), and aborts
+//! the trial by panicking with a typed [`TrialAbort`] payload. The campaign
+//! engine catches the unwind, downcasts the payload, and classifies the
+//! trial as [`crate::Outcome::Hang`] — a detected unrecoverable error —
+//! rather than crediting it as masked or crashing the campaign.
+//!
+//! The token budget is deterministic (it counts generation steps). The
+//! wall-clock deadline is inherently *not* bit-reproducible across machines
+//! or load conditions; campaigns that must be exactly reproducible should
+//! set only `trial_token_budget`.
+
+use ft2_model::{LayerTap, TapCtx};
+use ft2_tensor::Matrix;
+use std::time::{Duration, Instant};
+
+/// Typed panic payload used for cooperative trial cancellation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrialAbort {
+    /// The trial exceeded its wall-clock deadline.
+    Deadline {
+        /// Budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The trial exceeded its generation-step budget.
+    TokenBudget {
+        /// The step at which the budget tripped.
+        step: usize,
+        /// The configured maximum number of steps.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for TrialAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrialAbort::Deadline { budget_ms } => {
+                write!(f, "trial exceeded {budget_ms} ms wall-clock deadline")
+            }
+            TrialAbort::TokenBudget { step, budget } => {
+                write!(f, "trial reached step {step} past its {budget}-step budget")
+            }
+        }
+    }
+}
+
+/// A [`LayerTap`] that aborts the surrounding trial when it exceeds a
+/// wall-clock deadline and/or a generation-step budget.
+///
+/// Register it *first* in the tap list so the check runs even when a later
+/// tap (injector, protector) is what loops or stalls.
+pub struct WatchdogTap {
+    deadline: Option<(Instant, Duration)>,
+    token_budget: Option<usize>,
+}
+
+impl WatchdogTap {
+    /// A watchdog with the given budgets; `None` disables that check. The
+    /// wall clock starts now.
+    pub fn new(deadline: Option<Duration>, token_budget: Option<usize>) -> WatchdogTap {
+        WatchdogTap {
+            deadline: deadline.map(|d| (Instant::now(), d)),
+            token_budget,
+        }
+    }
+
+    /// True when at least one budget is configured.
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some() || self.token_budget.is_some()
+    }
+}
+
+impl LayerTap for WatchdogTap {
+    fn on_output(&mut self, ctx: &TapCtx, _data: &mut Matrix) {
+        if let Some(budget) = self.token_budget {
+            if ctx.step >= budget {
+                std::panic::panic_any(TrialAbort::TokenBudget {
+                    step: ctx.step,
+                    budget,
+                });
+            }
+        }
+        if let Some((start, limit)) = self.deadline {
+            if start.elapsed() > limit {
+                std::panic::panic_any(TrialAbort::Deadline {
+                    budget_ms: limit.as_millis() as u64,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::{HookKind, TapPoint};
+    use ft2_parallel::catch_quiet;
+    use ft2_tensor::DType;
+
+    fn ctx_at_step(step: usize) -> TapCtx {
+        TapCtx {
+            point: TapPoint {
+                block: 0,
+                layer: ft2_model::LayerKind::ALL[0],
+            },
+            hook: HookKind::LinearOutput,
+            step,
+            first_pos: 0,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn token_budget_aborts_with_typed_payload() {
+        let mut wd = WatchdogTap::new(None, Some(4));
+        let mut m = Matrix::from_vec(1, 1, vec![0.0]);
+        // Below budget: no abort.
+        wd.on_output(&ctx_at_step(3), &mut m);
+
+        let mut wd = WatchdogTap::new(None, Some(4));
+        let err = catch_quiet(move || {
+            let mut m = Matrix::from_vec(1, 1, vec![0.0]);
+            wd.on_output(&ctx_at_step(4), &mut m);
+        })
+        .unwrap_err();
+        let abort = err
+            .payload
+            .downcast_ref::<TrialAbort>()
+            .expect("payload must be TrialAbort");
+        assert_eq!(*abort, TrialAbort::TokenBudget { step: 4, budget: 4 });
+    }
+
+    #[test]
+    fn expired_deadline_aborts() {
+        let mut wd = WatchdogTap::new(Some(Duration::ZERO), None);
+        std::thread::sleep(Duration::from_millis(1));
+        let err = catch_quiet(move || {
+            let mut m = Matrix::from_vec(1, 1, vec![0.0]);
+            wd.on_output(&ctx_at_step(0), &mut m);
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err.payload.downcast_ref::<TrialAbort>(),
+            Some(TrialAbort::Deadline { .. })
+        ));
+    }
+
+    #[test]
+    fn unarmed_watchdog_is_inert() {
+        let mut wd = WatchdogTap::new(None, None);
+        assert!(!wd.is_armed());
+        let mut m = Matrix::from_vec(1, 1, vec![0.0]);
+        for step in 0..100 {
+            wd.on_output(&ctx_at_step(step), &mut m);
+        }
+    }
+}

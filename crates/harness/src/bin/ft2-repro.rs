@@ -1,13 +1,30 @@
 //! `ft2-repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! ft2-repro <experiment> [...]
+//! ft2-repro [--resume] <experiment> [...]
 //!   experiments: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
 //!                fig11 fig12 fig13 fig14 fig15 fig16 ablations all
 //!
+//! ft2-repro replay <seed>/<input>/<trial> \
+//!           [--model M] [--dataset D] [--scheme S] [--fault F]
+//!   re-runs exactly one campaign trial with verbose tracing: the injected
+//!   site and corrupted value, the outcome, and per-layer NaN/Inf anomaly
+//!   events. Crashed trials are listed by campaigns as seed/input/trial
+//!   pointers for exactly this command.
+//!
 //! Sizing (env): FT2_INPUTS (12), FT2_TRIALS (30), FT2_SEED, FT2_QUICK=1
+//!
+//! Resilience (env):
+//!   FT2_CHECKPOINT_EVERY   checkpoint the campaign aggregate every N
+//!                          trials (enables checkpointing)
+//!   FT2_CHECKPOINT_DIR     checkpoint directory (results/checkpoints)
+//!   FT2_RESUME=1           same as --resume: continue compatible
+//!                          checkpoints bit-identically
+//!   FT2_TRIAL_DEADLINE_MS  per-trial wall-clock watchdog (Hang/DUE)
+//!   FT2_TRIAL_TOKEN_BUDGET per-trial generation-step watchdog
 //! ```
 
+use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
 use std::time::Instant;
 
@@ -77,19 +94,60 @@ fn run_one(ctx: &ExperimentCtx, name: &str) -> bool {
     true
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: ft2-repro <experiment>... | all");
-        println!("experiments: {}", EXPERIMENTS.join(" "));
-        println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
-        return;
+fn run_replay(args: &[String]) -> Result<(), String> {
+    let triple = args
+        .first()
+        .ok_or("usage: ft2-repro replay <seed>/<input>/<trial> [options]")?;
+    let mut spec = ReplaySpec::parse(triple)?;
+    let mut rest = args[1..].iter();
+    while let Some(key) = rest.next() {
+        let value = rest
+            .next()
+            .ok_or_else(|| format!("option {key} needs a value"))?;
+        spec.set(key, value)?;
     }
     let ctx = ExperimentCtx::new();
+    experiments::replay::run(&ctx, &spec)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: ft2-repro [--resume] <experiment>... | all");
+        println!("       ft2-repro replay <seed>/<input>/<trial> [--model M] [--dataset D] [--scheme S] [--fault F]");
+        println!("experiments: {}", EXPERIMENTS.join(" "));
+        println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
+        println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
+        println!("  FT2_CHECKPOINT_EVERY, FT2_CHECKPOINT_DIR control checkpointing;");
+        println!("  FT2_TRIAL_DEADLINE_MS, FT2_TRIAL_TOKEN_BUDGET arm the trial watchdog");
+        return;
+    }
+
+    if args[0] == "replay" {
+        if let Err(e) = run_replay(&args[1..]) {
+            eprintln!("replay failed: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let resume_flag = args.iter().any(|a| a == "--resume");
+    args.retain(|a| a != "--resume");
+
+    let mut ctx = ExperimentCtx::new();
+    ctx.resilience.resume |= resume_flag;
     println!(
         "sizing: {} inputs x {} trials per campaign (seed {:#x})\n",
         ctx.settings.inputs, ctx.settings.trials, ctx.settings.seed
     );
+    if ctx.resilience.enabled() {
+        println!(
+            "checkpointing: every {} trials under {}{}\n",
+            ctx.resilience.cadence(),
+            ctx.resilience.checkpoint_dir.display(),
+            if ctx.resilience.resume { " (resuming)" } else { "" }
+        );
+    }
 
     let list: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.to_vec()

@@ -132,12 +132,17 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Table> {
         cfg.step_weighting = weighting;
         let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
         for (scheme_name, result) in [
-            ("No Protection", campaign.run(&Unprotected, &ctx.pool)),
+            (
+                "No Protection",
+                super::run_checkpointed(ctx, &campaign, dataset, &Unprotected),
+            ),
             (
                 "FT2",
-                campaign.run(
+                super::run_checkpointed(
+                    ctx,
+                    &campaign,
+                    dataset,
                     &SchemeFactory::new(Scheme::Ft2, pair.model.config(), None),
-                    &ctx.pool,
                 ),
             ),
         ] {
@@ -163,7 +168,7 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Table> {
         let cfg = ctx.settings.campaign(dataset, FaultModel::ExponentBit);
         let ft2 = SchemeFactory::new(Scheme::Ft2, pair.model.config(), None);
         let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg.clone(), &ctx.pool);
-        let ft2_result = campaign.run(&ft2, &ctx.pool);
+        let ft2_result = super::run_checkpointed(ctx, &campaign, dataset, &ft2);
         let dmr = run_dmr_campaign(&pair.model, &pair.prompts, &judge, &cfg, &ctx.pool);
         let mut t = Table::new(
             "Ablation — FT2 vs dual modular redundancy (Vicuna-7B, SQuAD, EXP)",

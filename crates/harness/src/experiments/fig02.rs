@@ -1,7 +1,7 @@
 //! Figure 2 — motivational comparison: SDC rate of existing protections vs
 //! FT2 on Llama2-7B + GSM8K under the EXP fault model.
 
-use super::{prepare_pair, ExperimentCtx};
+use super::{prepare_pair, run_checkpointed, ExperimentCtx};
 use crate::report::{format_pct, Table};
 use ft2_core::{Scheme, SchemeFactory};
 use ft2_fault::FaultModel;
@@ -34,7 +34,7 @@ pub fn run(ctx: &ExperimentCtx) -> Table {
         let mut cfg = ctx.settings.campaign(dataset, FaultModel::ExponentBit);
         cfg.trials_per_input = ctx.settings.trials * 4; // single-pair figure: afford tighter CIs
         let campaign = ft2_fault::Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
-        let r = campaign.run(&factory, &ctx.pool);
+        let r = run_checkpointed(ctx, &campaign, dataset, &factory);
         table.row(vec![
             scheme.name().to_string(),
             format_pct(r.sdc_rate()),

@@ -10,7 +10,7 @@
 //! is the paper's bar height. Same experiment, far tighter error bars per
 //! trial.
 
-use super::{prepare_pair, ExperimentCtx, OfflineCoverageFactory};
+use super::{prepare_pair, run_checkpointed, ExperimentCtx, OfflineCoverageFactory};
 use crate::report::{format_pct, Table};
 use ft2_core::critical::CriticalityReport;
 use ft2_fault::{Campaign, FaultModel};
@@ -54,7 +54,7 @@ pub fn run(ctx: &ExperimentCtx) -> Table {
         // Conditional trials are cheap signal: use a higher count here.
         cfg.trials_per_input = ctx.settings.trials * 2;
         let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
-        let r = campaign.run(&factory, &ctx.pool);
+        let r = run_checkpointed(ctx, &campaign, dataset, &factory);
 
         let share = config.out_features(excluded) as f64 / total_features as f64;
         table.row(vec![

@@ -5,7 +5,7 @@
 //! active (during step 0 FT2 can only correct NaNs — bounds do not exist
 //! yet), which is the configuration §4.2.2 argues is acceptable.
 
-use super::{prepare_pair, ExperimentCtx};
+use super::{prepare_pair, run_checkpointed, ExperimentCtx};
 use crate::report::{format_pct, Table};
 use ft2_core::{Scheme, SchemeFactory};
 use ft2_fault::{Campaign, FaultModel, StepFilter, Unprotected};
@@ -27,7 +27,7 @@ pub fn run(ctx: &ExperimentCtx) -> Table {
         // (a) Unprotected, faults anywhere.
         let cfg = ctx.settings.campaign(dataset, fm);
         let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
-        let r = campaign.run(&Unprotected, &ctx.pool);
+        let r = run_checkpointed(ctx, &campaign, dataset, &Unprotected);
         table.row(vec![
             fm.name().into(),
             "no protection (all steps)".into(),
@@ -37,7 +37,7 @@ pub fn run(ctx: &ExperimentCtx) -> Table {
 
         // (b) Full FT2.
         let ft2 = SchemeFactory::new(Scheme::Ft2, pair.model.config(), None);
-        let r = campaign.run(&ft2, &ctx.pool);
+        let r = run_checkpointed(ctx, &campaign, dataset, &ft2);
         table.row(vec![
             fm.name().into(),
             "FT2 (all steps)".into(),
@@ -50,7 +50,7 @@ pub fn run(ctx: &ExperimentCtx) -> Table {
         let mut cfg0 = ctx.settings.campaign(dataset, fm);
         cfg0.step_filter = StepFilter::FirstTokenOnly;
         let campaign0 = Campaign::new(&pair.model, &pair.prompts, &judge, cfg0, &ctx.pool);
-        let r = campaign0.run(&ft2, &ctx.pool);
+        let r = run_checkpointed(ctx, &campaign0, dataset, &ft2);
         table.row(vec![
             fm.name().into(),
             "faults in first token only (NaN corrected)".into(),

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod fig02;
+pub mod replay;
 pub mod fig03;
 pub mod fig04;
 pub mod fig06;
@@ -19,10 +20,10 @@ pub mod table1;
 pub mod table2;
 
 use crate::report::{Csv, Table};
-use crate::settings::Settings;
+use crate::settings::{Resilience, Settings};
 use ft2_core::profile::{offline_profile, OfflineBounds};
 use ft2_core::protect::{Correction, Coverage, NanPolicy, Protector};
-use ft2_fault::{Campaign, CampaignResult, ProtectionFactory};
+use ft2_fault::{Campaign, CampaignResult, CheckpointPolicy, ProtectionFactory};
 use ft2_model::{LayerKind, LayerTap, Model, ModelSpec};
 use ft2_parallel::WorkStealingPool;
 use ft2_tasks::datasets::generate_prompts;
@@ -33,6 +34,8 @@ use std::sync::Arc;
 pub struct ExperimentCtx {
     /// Experiment sizing.
     pub settings: Settings,
+    /// Campaign checkpoint/resume behaviour.
+    pub resilience: Resilience,
     /// Work-stealing pool shared by all campaigns.
     pub pool: WorkStealingPool,
     /// CSV artifact writer.
@@ -50,6 +53,7 @@ impl ExperimentCtx {
     pub fn new() -> ExperimentCtx {
         ExperimentCtx {
             settings: Settings::from_env(),
+            resilience: Resilience::from_env(),
             pool: WorkStealingPool::with_default_threads(),
             csv: Csv::default_dir(),
         }
@@ -106,6 +110,12 @@ pub fn prepare_pair(
 }
 
 /// Run one campaign (one fault model, one protection) on a prepared pair.
+///
+/// When checkpointing is enabled (see [`Resilience`]), the campaign runs
+/// through the resumable path: its aggregate is persisted periodically
+/// under a fingerprint-derived filename and, with `--resume`, a compatible
+/// checkpoint left by an interrupted earlier invocation is continued —
+/// bit-identically to an uninterrupted run.
 pub fn run_campaign(
     ctx: &ExperimentCtx,
     pair: &PairContext,
@@ -116,7 +126,99 @@ pub fn run_campaign(
     let judge = pair.task.judge();
     let cfg = ctx.settings.campaign(dataset, fault_model);
     let campaign = Campaign::new(&pair.model, &pair.prompts, &judge, cfg, &ctx.pool);
-    campaign.run(protection, &ctx.pool)
+    run_checkpointed(ctx, &campaign, dataset, protection)
+}
+
+/// Checkpoint-aware execution of an already-built campaign. Drivers that
+/// need a non-standard [`ft2_fault::CampaignConfig`] (layer filters, step
+/// filters, scale sweeps) build their own `Campaign` and route it through
+/// here so `--resume` covers them too; the checkpoint filename hashes the
+/// full config fingerprint, so every variant gets its own file.
+pub fn run_checkpointed(
+    ctx: &ExperimentCtx,
+    campaign: &Campaign<'_>,
+    dataset: DatasetId,
+    protection: &dyn ProtectionFactory,
+) -> CampaignResult {
+    if !ctx.resilience.enabled() {
+        return report_dues(campaign, protection, campaign.run(protection, &ctx.pool));
+    }
+
+    let policy = CheckpointPolicy {
+        path: ctx
+            .resilience
+            .checkpoint_dir
+            .join(checkpoint_name(campaign, dataset, protection)),
+        every: ctx.resilience.cadence(),
+        resume: ctx.resilience.resume,
+        abort_after: None,
+    };
+    let result = match campaign.run_resumable(protection, &ctx.pool, &policy) {
+        Ok(run) => {
+            if run.resumed_from > 0 {
+                eprintln!(
+                    "   (resumed {} from {}/{} completed trials)",
+                    protection.scheme_name(),
+                    run.resumed_from,
+                    run.total_tasks
+                );
+            }
+            run.result
+        }
+        Err(e) => {
+            eprintln!("   (checkpoint unusable: {e}; rerunning from scratch)");
+            campaign.run(protection, &ctx.pool)
+        }
+    };
+    report_dues(campaign, protection, result)
+}
+
+/// DUE trials (crashes, watchdog hangs) dilute the SDC denominator without
+/// showing up in the figure tables, so surface them on stderr; crashed
+/// trials come with their `ft2-repro replay` pointer.
+fn report_dues(
+    campaign: &Campaign<'_>,
+    protection: &dyn ProtectionFactory,
+    result: CampaignResult,
+) -> CampaignResult {
+    if result.counts.due() > 0 {
+        eprintln!(
+            "   ({}: {} crashed, {} hung of {} trials)",
+            protection.scheme_name(),
+            result.counts.crash,
+            result.counts.hang,
+            result.counts.total()
+        );
+        let seed = campaign.config().seed;
+        for f in result.crashes.iter().take(5) {
+            eprintln!(
+                "     crash at {}: {}  (replay {:#x}/{}/{})",
+                f.site, f.message, seed, f.input, f.trial
+            );
+        }
+    }
+    result
+}
+
+/// Checkpoint filename: a readable prefix plus a hash of the full campaign
+/// fingerprint, so different configurations never collide (and a stale
+/// checkpoint for a changed config is simply ignored, not rejected).
+fn checkpoint_name(
+    campaign: &Campaign<'_>,
+    dataset: DatasetId,
+    protection: &dyn ProtectionFactory,
+) -> String {
+    let fingerprint = campaign.fingerprint(protection.scheme_name());
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in fingerprint.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    let scheme: String = protection
+        .scheme_name()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    format!("{}-{}-{:016x}.json", dataset.name(), scheme, h)
 }
 
 /// A protection factory with an arbitrary linear-layer coverage set and
@@ -146,13 +248,13 @@ impl ProtectionFactory for OfflineCoverageFactory {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use ft2_core::{Scheme, SchemeFactory};
     use ft2_fault::FaultModel;
     use ft2_model::ZooModel;
 
-    fn tiny_ctx() -> ExperimentCtx {
+    pub(crate) fn tiny_ctx() -> ExperimentCtx {
         ExperimentCtx {
             settings: Settings {
                 inputs: 3,
@@ -161,6 +263,13 @@ mod tests {
                 gen_math: 12,
                 profile_inputs: 3,
                 seed: 7,
+                trial_deadline_ms: None,
+                trial_token_budget: None,
+            },
+            resilience: Resilience {
+                checkpoint_every: None,
+                checkpoint_dir: std::env::temp_dir().join("ft2_checkpoints_test"),
+                resume: false,
             },
             pool: WorkStealingPool::new(2),
             csv: Csv::new(std::env::temp_dir().join("ft2_results_test")),

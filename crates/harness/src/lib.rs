@@ -16,4 +16,4 @@ pub mod report;
 pub mod settings;
 
 pub use report::{format_pct, Csv, Table};
-pub use settings::{EvalPair, Settings};
+pub use settings::{EvalPair, Resilience, Settings};

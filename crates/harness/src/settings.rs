@@ -9,7 +9,9 @@ use ft2_tasks::{DatasetId, TaskSpec, TaskType};
 /// * `FT2_INPUTS`  — inputs per (model, dataset) pair (default 12);
 /// * `FT2_TRIALS`  — fault-injection trials per input (default 30);
 /// * `FT2_SEED`    — campaign master seed;
-/// * `FT2_QUICK=1` — smoke-test sizing (6 inputs × 10 trials).
+/// * `FT2_QUICK=1` — smoke-test sizing (6 inputs × 10 trials);
+/// * `FT2_TRIAL_DEADLINE_MS`   — per-trial wall-clock watchdog (DUE/Hang);
+/// * `FT2_TRIAL_TOKEN_BUDGET`  — per-trial generation-step watchdog.
 ///
 /// The defaults regenerate every figure in minutes on a laptop core. The
 /// paper's campaign (50 inputs × 500 trials, 11M injections) is
@@ -33,6 +35,13 @@ pub struct Settings {
     pub profile_inputs: usize,
     /// Campaign master seed.
     pub seed: u64,
+    /// Per-trial wall-clock watchdog deadline in milliseconds (None = off).
+    /// Trials over budget are classified as Hang (DUE); wall-clock aborts
+    /// are not bit-reproducible across machines.
+    pub trial_deadline_ms: Option<u64>,
+    /// Per-trial generation-step watchdog budget (None = off). Unlike the
+    /// deadline, this abort is deterministic.
+    pub trial_token_budget: Option<usize>,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -60,6 +69,10 @@ impl Settings {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0xF7_2025),
+            trial_deadline_ms: std::env::var("FT2_TRIAL_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            trial_token_budget: env_usize("FT2_TRIAL_TOKEN_BUDGET"),
         }
     }
 
@@ -87,7 +100,61 @@ impl Settings {
             step_filter: StepFilter::AllSteps,
             step_weighting: StepWeighting::default(),
             layer_filter: None,
+            trial_deadline_ms: self.trial_deadline_ms,
+            trial_token_budget: self.trial_token_budget,
         }
+    }
+}
+
+/// Campaign checkpoint/resume behaviour, overridable from the environment:
+///
+/// * `FT2_CHECKPOINT_EVERY` — persist the campaign aggregate every N tasks
+///   (enables checkpointing; unset = off unless resuming);
+/// * `FT2_CHECKPOINT_DIR`   — checkpoint directory (default
+///   `results/checkpoints`);
+/// * `FT2_RESUME=1`         — resume compatible checkpoints (the
+///   `ft2-repro --resume` flag sets this too).
+///
+/// Checkpoint files are keyed by a fingerprint of the campaign config and
+/// reference generations, so a resumed run is bit-identical to an
+/// uninterrupted one and incompatible checkpoints are never merged.
+#[derive(Clone, Debug)]
+pub struct Resilience {
+    /// Checkpoint cadence in tasks (None = checkpointing off unless
+    /// `resume` is set).
+    pub checkpoint_every: Option<usize>,
+    /// Directory for checkpoint files.
+    pub checkpoint_dir: std::path::PathBuf,
+    /// Resume compatible checkpoints found in `checkpoint_dir`.
+    pub resume: bool,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience::from_env()
+    }
+}
+
+impl Resilience {
+    /// Defaults with environment overrides applied.
+    pub fn from_env() -> Resilience {
+        Resilience {
+            checkpoint_every: env_usize("FT2_CHECKPOINT_EVERY"),
+            checkpoint_dir: std::env::var("FT2_CHECKPOINT_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|_| std::path::PathBuf::from("results/checkpoints")),
+            resume: std::env::var("FT2_RESUME").is_ok_and(|v| v == "1"),
+        }
+    }
+
+    /// Whether campaigns should run through the checkpointing path.
+    pub fn enabled(&self) -> bool {
+        self.checkpoint_every.is_some() || self.resume
+    }
+
+    /// Checkpoint cadence (defaults to 256 tasks when only `resume` is on).
+    pub fn cadence(&self) -> usize {
+        self.checkpoint_every.unwrap_or(256).max(1)
     }
 }
 
@@ -154,6 +221,8 @@ mod tests {
             gen_math: 36,
             profile_inputs: 4,
             seed: 1,
+            trial_deadline_ms: None,
+            trial_token_budget: None,
         };
         assert_eq!(s.gen_tokens(TaskType::Qa), 16);
         assert_eq!(s.gen_tokens(TaskType::Math), 36);

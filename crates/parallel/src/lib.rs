@@ -14,9 +14,11 @@
 //!   atomic-counter self-scheduling ([`parallel_for_dynamic`]) for mildly
 //!   irregular loops.
 //! * [`pool`] — a persistent work-stealing thread pool
-//!   ([`pool::WorkStealingPool`]) built on `crossbeam-deque`, used by the
+//!   ([`pool::WorkStealingPool`]) built purely on `std::sync`, used by the
 //!   campaign engine so that worker threads are spawned once per campaign
-//!   rather than once per batch.
+//!   rather than once per batch. Every pool task runs under panic
+//!   isolation: a panicking trial is recorded as a [`pool::TaskPanic`]
+//!   instead of deadlocking the batch or killing a worker (see [`panics`]).
 //!
 //! Determinism contract: all combinators write results by *task index*, so
 //! the output of a parallel run is identical to the sequential run
@@ -24,10 +26,12 @@
 //! derive their RNG stream from the task index (see `ft2_numeric::rng`),
 //! never from thread identity.
 
+pub mod panics;
 pub mod pool;
 pub mod scope;
 
-pub use pool::WorkStealingPool;
+pub use panics::{catch_quiet, CaughtPanic};
+pub use pool::{TaskPanic, WorkStealingPool};
 pub use scope::{
     num_threads, parallel_chunks_mut, parallel_for, parallel_for_dynamic, parallel_map,
     parallel_reduce,

@@ -1,0 +1,150 @@
+//! Panic capture for fault-tolerant parallel execution.
+//!
+//! Fault-injection campaigns run untrusted-by-construction workloads: a
+//! corrupted index or a NaN cascade inside a trial may panic. The campaign
+//! engine must classify such trials as crashes and keep going, which needs
+//! two things the standard library does not give directly:
+//!
+//! * **where** the panic happened — `catch_unwind` yields only the payload,
+//!   while the panic *location* is only visible to the panic hook; and
+//! * **silence** — the default hook prints every panic to stderr, which at
+//!   campaign scale (hundreds of thousands of trials) would drown the
+//!   operator in expected-crash backtraces.
+//!
+//! [`catch_quiet`] solves both: it installs (once, process-wide) a hook
+//! wrapper that records the panic location into a thread-local and
+//! suppresses printing while — and only while — the current thread is
+//! inside a `catch_quiet` body. Panics on other threads, and panics that
+//! escape `catch_quiet`, still reach the previously-installed hook
+//! unchanged, so `#[should_panic]` tests and real bugs behave normally.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// True while the current thread executes a [`catch_quiet`] body.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+    /// `file:line` of the most recent panic on this thread.
+    static LAST_SITE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let site = info
+                .location()
+                .map(|l| format!("{}:{}", l.file(), l.line()));
+            LAST_SITE.with(|s| *s.borrow_mut() = site);
+            if !QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A panic caught by [`catch_quiet`]: the location, a best-effort message,
+/// and the original payload (for [`std::panic::resume_unwind`] or typed
+/// downcasts such as watchdog aborts).
+pub struct CaughtPanic {
+    /// `file:line` where the panic was raised, when known.
+    pub site: String,
+    /// The payload rendered as text (`&str`/`String` payloads verbatim).
+    pub message: String,
+    /// The original panic payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaughtPanic")
+            .field("site", &self.site)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CaughtPanic {
+    /// Re-raise the original panic.
+    pub fn resume(self) -> ! {
+        panic::resume_unwind(self.payload)
+    }
+}
+
+/// Render a panic payload as text the way the default hook would.
+pub fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `f`, catching any panic without letting the global hook print it.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers confine each
+/// task's writes to its own output slot (the pool and campaign contract),
+/// so observing a half-finished task state after a catch is not possible.
+pub fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, CaughtPanic> {
+    install_hook();
+    let was_quiet = QUIET.with(|q| q.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(was_quiet));
+    result.map_err(|payload| {
+        let site = LAST_SITE
+            .with(|s| s.borrow_mut().take())
+            .unwrap_or_else(|| "<unknown>".to_string());
+        let message = payload_message(payload.as_ref());
+        CaughtPanic {
+            site,
+            message,
+            payload,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catches_str_and_string_payloads() {
+        let err = catch_quiet(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(err.message, "boom 7");
+        assert!(err.site.contains("panics.rs"), "site: {}", err.site);
+
+        let err = catch_quiet(|| std::panic::panic_any("static")).unwrap_err();
+        assert_eq!(err.message, "static");
+    }
+
+    #[test]
+    fn typed_payloads_survive_for_downcast() {
+        #[derive(Debug, PartialEq)]
+        struct Marker(u32);
+        let err = catch_quiet(|| std::panic::panic_any(Marker(9))).unwrap_err();
+        assert_eq!(err.payload.downcast_ref::<Marker>(), Some(&Marker(9)));
+        assert_eq!(err.message, "<non-string panic payload>");
+    }
+
+    #[test]
+    fn success_passes_through() {
+        assert_eq!(catch_quiet(|| 41 + 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn nested_catch_restores_quiet_flag() {
+        let outer = catch_quiet(|| {
+            let inner = catch_quiet(|| panic!("inner"));
+            assert!(inner.is_err());
+            QUIET.with(Cell::get)
+        });
+        assert!(outer.unwrap(), "quiet flag must survive the inner catch");
+        assert!(!QUIET.with(Cell::get), "flag restored after outermost");
+    }
+}

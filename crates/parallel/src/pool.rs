@@ -1,52 +1,117 @@
-//! A persistent work-stealing thread pool over `crossbeam-deque`.
+//! A persistent, panic-isolating work-stealing thread pool.
 //!
 //! The campaign engine in `ft2-fault` issues hundreds of thousands of
 //! independent trials whose costs differ by an order of magnitude. Static
-//! chunking leaves threads idle at the tail; a shared injector queue
-//! serialises on one atomic. The classic answer is work stealing: each
-//! worker owns a LIFO deque, pulls from a global FIFO injector when its
-//! deque is empty, and steals from siblings when the injector is dry.
+//! chunking leaves threads idle at the tail; a shared queue serialises on
+//! one lock. The classic answer is work stealing: each worker owns a deque,
+//! takes from its own back (LIFO, cache-warm), and steals from siblings'
+//! fronts (FIFO, coarse) when it runs dry. This implementation is built
+//! purely on `std::sync` so the workspace has no external dependencies.
 //!
 //! The pool executes *batches*: [`WorkStealingPool::run`] blocks until every
 //! task of the batch has completed, writing results by task index so output
 //! is deterministic. Workers park between batches, so a pool can be reused
 //! across an entire campaign without re-spawning threads.
+//!
+//! **Panic isolation.** Every task runs under [`crate::panics::catch_quiet`].
+//! A panicking task can therefore never deadlock the batch barrier, poison a
+//! worker, or abort the process: the panic is recorded as a [`TaskPanic`]
+//! (task index, `file:line` site, message), the batch runs to completion,
+//! and the pool stays usable for the next batch. [`WorkStealingPool::run`]
+//! re-raises a summary panic after the batch so plain data-parallel callers
+//! still observe their bugs; [`WorkStealingPool::try_run`] returns the
+//! records instead, which is what the campaign engine builds its
+//! `Outcome::Crash` classification on.
 
-use crossbeam::deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use crate::panics::catch_quiet;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Type-erased batch task: `run(task_index)`.
 type BatchFn = Arc<dyn Fn(usize) + Send + Sync>;
 
+/// One task panic caught during a batch.
+#[derive(Clone, Debug)]
+pub struct TaskPanic {
+    /// The task index whose closure panicked.
+    pub index: usize,
+    /// `file:line` of the panic, when known.
+    pub site: String,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked at {}: {}", self.index, self.site, self.message)
+    }
+}
+
 struct BatchState {
     /// Task closure for the current batch (None between batches).
     job: Mutex<Option<BatchFn>>,
-    /// Generation counter: bumped for each new batch to wake workers.
-    generation: AtomicUsize,
+    /// Per-worker block deques; slot `threads` belongs to the caller.
+    queues: Vec<Mutex<VecDeque<(usize, usize)>>>,
     /// Tasks remaining in the current batch.
     remaining: AtomicUsize,
     /// Workers currently holding a clone of the batch closure. `run` waits
     /// for this to hit zero so no borrow of the caller's stack outlives it.
     active: AtomicUsize,
+    /// Panics caught during the current batch, in discovery order.
+    panics: Mutex<Vec<TaskPanic>>,
+    /// Latest published batch generation; guarded by `work_mx`.
+    work_mx: Mutex<usize>,
     /// Signalled when a new batch is published or shutdown requested.
     work_cv: Condvar,
-    work_mx: Mutex<usize>, // holds the latest published generation
-    /// Signalled when `remaining` reaches zero.
-    done_cv: Condvar,
+    /// Guards the batch-completion wait.
     done_mx: Mutex<()>,
+    /// Signalled when `remaining` reaches zero or a worker goes inactive.
+    done_cv: Condvar,
     shutdown: AtomicBool,
-    injector: Injector<(usize, usize)>, // ranges (lo, hi)
 }
 
-/// A fixed-size pool of worker threads with per-worker deques and a global
-/// injector. See the module docs for the execution model.
+impl BatchState {
+    /// Pop a block: own queue from the back, siblings from the front.
+    fn take_block(&self, own: usize) -> Option<(usize, usize)> {
+        if let Some(b) = self.queues[own].lock().expect("pool queue").pop_back() {
+            return Some(b);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (own + off) % n;
+            if let Some(b) = self.queues[victim].lock().expect("pool queue").pop_front() {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Run one block of tasks, isolating per-task panics, then retire it.
+    fn run_block(&self, job: &BatchFn, lo: usize, hi: usize) {
+        for i in lo..hi {
+            if let Err(caught) = catch_quiet(|| job(i)) {
+                let mut panics = self.panics.lock().expect("pool panic log");
+                panics.push(TaskPanic {
+                    index: i,
+                    site: caught.site,
+                    message: caught.message,
+                });
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.done_mx.lock().expect("pool done lock");
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads with per-worker deques and lock-based
+/// stealing. See the module docs for the execution and panic model.
 pub struct WorkStealingPool {
     state: Arc<BatchState>,
-    stealers: Arc<Vec<Stealer<(usize, usize)>>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
 }
@@ -57,36 +122,30 @@ impl WorkStealingPool {
         let threads = threads.max(1);
         let state = Arc::new(BatchState {
             job: Mutex::new(None),
-            generation: AtomicUsize::new(0),
+            // One deque per worker plus one for the caller thread.
+            queues: (0..=threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
-            work_cv: Condvar::new(),
+            panics: Mutex::new(Vec::new()),
             work_mx: Mutex::new(0),
-            done_cv: Condvar::new(),
+            work_cv: Condvar::new(),
             done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            injector: Injector::new(),
         });
 
-        let workers: Vec<Worker<(usize, usize)>> =
-            (0..threads).map(|_| Worker::new_lifo()).collect();
-        let stealers: Arc<Vec<Stealer<(usize, usize)>>> =
-            Arc::new(workers.iter().map(|w| w.stealer()).collect());
-
         let mut handles = Vec::with_capacity(threads);
-        for (wid, local) in workers.into_iter().enumerate() {
+        for wid in 0..threads {
             let state = Arc::clone(&state);
-            let stealers = Arc::clone(&stealers);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ft2-worker-{wid}"))
-                    .spawn(move || worker_loop(wid, local, state, stealers))
+                    .spawn(move || worker_loop(wid, state))
                     .expect("failed to spawn pool worker"),
             );
         }
         WorkStealingPool {
             state,
-            stealers,
             handles,
             threads,
         }
@@ -103,69 +162,90 @@ impl WorkStealingPool {
     }
 
     /// Execute `f(i)` for all `i in 0..n` on the pool in blocks of `grain`,
-    /// blocking until the whole batch completes. Panics in tasks abort the
-    /// process (they would otherwise deadlock the barrier), which is the
-    /// behaviour we want for campaign bugs.
-    pub fn run<F>(&self, n: usize, grain: usize, f: F)
+    /// blocking until the whole batch completes. Panicking tasks are
+    /// isolated (the batch still completes and the pool stays usable);
+    /// returns every caught panic in task-discovery order.
+    pub fn try_run<F>(&self, n: usize, grain: usize, f: F) -> Vec<TaskPanic>
     where
         F: Fn(usize) + Send + Sync,
     {
         if n == 0 {
-            return;
+            return Vec::new();
         }
         let grain = grain.max(1);
         // Type-erase the closure. SAFETY of the lifetime: we block until
-        // `remaining == 0`, so no worker can touch `f` after `run` returns.
-        // We encode this by transmuting the closure to 'static behind Arc.
+        // `remaining == 0` and `active == 0`, so no worker can touch `f`
+        // after this call returns. We encode this by transmuting the
+        // closure to 'static behind Arc.
         let boxed: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(f);
         let boxed: BatchFn = unsafe { std::mem::transmute(boxed) };
 
         let blocks = n.div_ceil(grain);
         self.state.remaining.store(blocks, Ordering::SeqCst);
-        *self.state.job.lock() = Some(boxed);
+        self.state.panics.lock().expect("pool panic log").clear();
+        *self.state.job.lock().expect("pool job slot") = Some(Arc::clone(&boxed));
+
+        // Distribute blocks round-robin over all deques (workers + caller).
+        let slots = self.state.queues.len();
         let mut lo = 0;
+        let mut slot = 0;
         while lo < n {
             let hi = (lo + grain).min(n);
-            self.state.injector.push((lo, hi));
+            self.state.queues[slot]
+                .lock()
+                .expect("pool queue")
+                .push_back((lo, hi));
+            slot = (slot + 1) % slots;
             lo = hi;
         }
+
         // Publish the new generation and wake everyone.
-        let gen = self.state.generation.fetch_add(1, Ordering::SeqCst) + 1;
         {
-            let mut g = self.state.work_mx.lock();
-            *g = gen;
+            let mut g = self.state.work_mx.lock().expect("pool work lock");
+            *g += 1;
             self.state.work_cv.notify_all();
         }
-        // Help out from the calling thread: steal blocks from the injector.
-        loop {
-            match self.state.injector.steal() {
-                crossbeam::deque::Steal::Success((lo, hi)) => {
-                    let job = self.state.job.lock().clone();
-                    if let Some(job) = job {
-                        for i in lo..hi {
-                            job(i);
-                        }
-                    }
-                    self.state.remaining.fetch_sub(1, Ordering::SeqCst);
-                }
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => break,
-            }
+
+        // Help out from the calling thread (its deque is slot `threads`).
+        while let Some((lo, hi)) = self.state.take_block(self.threads) {
+            self.state.run_block(&boxed, lo, hi);
         }
+        drop(boxed);
+
         // Wait until every block has run AND every worker has dropped its
         // clone of the batch closure (so borrows of the caller's stack
         // cannot outlive this call).
-        let mut guard = self.state.done_mx.lock();
+        let mut guard = self.state.done_mx.lock().expect("pool done lock");
         while self.state.remaining.load(Ordering::SeqCst) != 0
             || self.state.active.load(Ordering::SeqCst) != 0
         {
-            self.state.done_cv.wait(&mut guard);
+            guard = self.state.done_cv.wait(guard).expect("pool done wait");
         }
         drop(guard);
-        *self.state.job.lock() = None;
+        *self.state.job.lock().expect("pool job slot") = None;
+        std::mem::take(&mut *self.state.panics.lock().expect("pool panic log"))
     }
 
-    /// Parallel map on the pool: results in input-index order.
+    /// Like [`WorkStealingPool::try_run`], but re-raises a summary panic
+    /// after the batch completes if any task panicked. The barrier still
+    /// cannot deadlock and the pool stays usable afterwards.
+    pub fn run<F>(&self, n: usize, grain: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let panics = self.try_run(n, grain, f);
+        if let Some(first) = panics.first() {
+            panic!(
+                "{} pool task(s) panicked; first: {}",
+                panics.len(),
+                first
+            );
+        }
+    }
+
+    /// Parallel map on the pool: results in input-index order. Panics (after
+    /// completing the batch) if any task panicked, since the output vector
+    /// would otherwise contain uninitialised slots.
     pub fn map<T, R, F>(&self, items: &[T], grain: usize, f: F) -> Vec<R>
     where
         T: Sync,
@@ -186,7 +266,8 @@ impl WorkStealingPool {
                 out_ptr.get().add(i).write(MaybeUninit::new(r));
             }
         });
-        // SAFETY: all slots initialised by the completed batch.
+        // SAFETY: all slots initialised by the completed batch (run panics
+        // — leaking the Vec, which is safe — when any task failed).
         unsafe {
             let mut v = std::mem::ManuallyDrop::new(out);
             Vec::from_raw_parts(v.as_mut_ptr() as *mut R, v.len(), v.capacity())
@@ -198,77 +279,43 @@ impl Drop for WorkStealingPool {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut g = self.state.work_mx.lock();
-            *g = usize::MAX;
+            let _g = self.state.work_mx.lock().expect("pool work lock");
             self.state.work_cv.notify_all();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        let _ = &self.stealers;
     }
 }
 
-fn worker_loop(
-    wid: usize,
-    local: Worker<(usize, usize)>,
-    state: Arc<BatchState>,
-    stealers: Arc<Vec<Stealer<(usize, usize)>>>,
-) {
+fn worker_loop(wid: usize, state: Arc<BatchState>) {
     let mut seen_gen = 0usize;
     loop {
         // Wait for a new batch (or shutdown).
         {
-            let mut g = state.work_mx.lock();
+            let mut g = state.work_mx.lock().expect("pool work lock");
             while *g <= seen_gen && !state.shutdown.load(Ordering::SeqCst) {
-                state.work_cv.wait(&mut g);
+                g = state.work_cv.wait(g).expect("pool work wait");
             }
             seen_gen = *g;
         }
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let job = state.job.lock().clone();
+        let job = state.job.lock().expect("pool job slot").clone();
         let Some(job) = job else { continue };
         state.active.fetch_add(1, Ordering::SeqCst);
 
-        // Drain: local deque, then injector, then steal from siblings.
-        loop {
-            let block = local.pop().or_else(|| {
-                std::iter::repeat_with(|| {
-                    state
-                        .injector
-                        .steal_batch_and_pop(&local)
-                        .or_else(|| {
-                            stealers
-                                .iter()
-                                .enumerate()
-                                .filter(|(i, _)| *i != wid)
-                                .map(|(_, s)| s.steal())
-                                .collect()
-                        })
-                })
-                .find(|s| !s.is_retry())
-                .and_then(|s| s.success())
-            });
-            match block {
-                Some((lo, hi)) => {
-                    for i in lo..hi {
-                        job(i);
-                    }
-                    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                        let _g = state.done_mx.lock();
-                        state.done_cv.notify_all();
-                    }
-                }
-                None => break,
-            }
+        // Drain: own deque from the back, then steal siblings' fronts.
+        while let Some((lo, hi)) = state.take_block(wid) {
+            state.run_block(&job, lo, hi);
         }
+
         // Drop the closure clone *before* signalling inactivity.
         drop(job);
         state.active.fetch_sub(1, Ordering::SeqCst);
         {
-            let _g = state.done_mx.lock();
+            let _g = state.done_mx.lock().expect("pool done lock");
             state.done_cv.notify_all();
         }
     }
@@ -351,5 +398,56 @@ mod tests {
             pool.run(100, 4, |_| {});
             drop(pool);
         }
+    }
+
+    #[test]
+    fn panicking_task_does_not_deadlock_or_poison() {
+        let pool = WorkStealingPool::new(4);
+        let hits = AtomicU64::new(0);
+        let panics = pool.try_run(1000, 8, |i| {
+            if i % 250 == 3 {
+                panic!("injected failure at {i}");
+            }
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        // Every non-panicking task ran; every panicking one was recorded.
+        assert_eq!(hits.load(Ordering::Relaxed), 996);
+        assert_eq!(panics.len(), 4);
+        let mut indices: Vec<usize> = panics.iter().map(|p| p.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![3, 253, 503, 753]);
+        assert!(panics[0].message.starts_with("injected failure"));
+        assert!(panics[0].site.contains("pool.rs"), "site: {}", panics[0].site);
+
+        // The pool is immediately reusable.
+        let hits = AtomicU64::new(0);
+        assert!(pool
+            .try_run(500, 16, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .is_empty());
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn run_repropagates_panics_after_completion() {
+        let pool = WorkStealingPool::new(2);
+        let err = crate::panics::catch_quiet(|| {
+            pool.run(64, 4, |i| {
+                if i == 10 {
+                    panic!("boom");
+                }
+            });
+        })
+        .unwrap_err();
+        assert!(err.message.contains("1 pool task(s) panicked"), "{}", err.message);
+        assert!(err.message.contains("task 10"), "{}", err.message);
+
+        // Still usable after the propagated panic.
+        let hits = AtomicU64::new(0);
+        pool.run(32, 4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
     }
 }

@@ -181,8 +181,17 @@ where
             acc = merge(acc, f(i));
         }
         partials.push(acc);
-        for h in handles {
-            partials.push(h.join().expect("parallel_reduce worker panicked"));
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(partial) => partials.push(partial),
+                // Propagate the worker's own panic message instead of a
+                // generic expect — the payload is the actual bug report.
+                Err(payload) => panic!(
+                    "parallel_reduce worker {} panicked: {}",
+                    w + 1,
+                    crate::panics::payload_message(payload.as_ref())
+                ),
+            }
         }
     });
     let mut it = partials.into_iter();
@@ -207,12 +216,16 @@ where
         return;
     }
     // Move chunks into per-index cells so workers can take their own.
-    let cells: Vec<parking_lot::Mutex<Option<&mut [T]>>> = chunks
+    let cells: Vec<std::sync::Mutex<Option<&mut [T]>>> = chunks
         .into_iter()
-        .map(|c| parking_lot::Mutex::new(Some(c)))
+        .map(|c| std::sync::Mutex::new(Some(c)))
         .collect();
     parallel_for_dynamic(n, 1, |i| {
-        let c = cells[i].lock().take().expect("chunk taken twice");
+        let c = cells[i]
+            .lock()
+            .expect("chunk cell")
+            .take()
+            .expect("chunk taken twice");
         f(i, c);
     });
 }
@@ -323,6 +336,31 @@ mod tests {
     fn parallel_reduce_identity_on_empty() {
         let total = parallel_reduce(0, 42u64, |_| 1, |a, b| a + b);
         assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn parallel_reduce_propagates_worker_panic_message() {
+        // Force multi-threaded splitting regardless of FT2_THREADS by using
+        // a large n; a panic in any range must surface its original message.
+        let err = crate::panics::catch_quiet(|| {
+            parallel_reduce(
+                4096,
+                0u64,
+                |i| {
+                    if i == 4095 {
+                        panic!("poisoned trial {i}");
+                    }
+                    1
+                },
+                |a, b| a + b,
+            )
+        })
+        .unwrap_err();
+        assert!(
+            err.message.contains("poisoned trial 4095"),
+            "message: {}",
+            err.message
+        );
     }
 
     #[test]

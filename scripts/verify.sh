@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: the workspace must build and test fully offline
+# against the committed lockfile — no registry, no network. CI runs exactly
+# this script so the local gate and CI cannot drift apart.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (offline, locked) =="
+cargo build --release --workspace --offline --locked
+
+echo "== cargo test (offline, locked) =="
+cargo test -q --workspace --offline --locked
+
+echo "verify: OK"

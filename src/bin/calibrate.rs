@@ -58,6 +58,8 @@ fn main() {
             step_filter: ft2::fault::StepFilter::AllSteps,
             step_weighting: ft2::fault::StepWeighting::default(),
             layer_filter: None,
+            trial_deadline_ms: None,
+            trial_token_budget: None,
         };
         let campaign = Campaign::new(&model, &prompts, &judge, cfg, &pool);
         print!("{:>6}:", fm.name());
