@@ -1,7 +1,29 @@
-//! Per-layer value bounds for range restriction.
+//! Per-layer value bounds for range restriction, plus the architectural
+//! priors that guard bound integrity against a poisoned profiling pass.
 
-use ft2_model::TapPoint;
+use ft2_model::{LayerKind, TapPoint};
 use std::collections::HashMap;
+
+/// Largest |value| a healthy layer of this kind plausibly produces on the
+/// simulator, with a wide safety margin. Calibrated against offline profiles
+/// of every zoo model (worst observed |bound| ≈ 6.5; the MLP expansion
+/// layers feeding the activation are the widest). A profiled bound beyond
+/// this cap can only come from a fault during profiling.
+pub fn prior_cap(kind: LayerKind) -> f32 {
+    match kind {
+        LayerKind::Fc1 | LayerKind::GateProj => 64.0,
+        _ => 32.0,
+    }
+}
+
+/// The static fallback bound for a layer kind, used when a profiled bound
+/// fails [`LayerBounds::is_sane`]. Deliberately loose — it restores *some*
+/// upper/lower check (catching exponent-scale excursions) without risking
+/// clamping legitimate values.
+pub fn static_prior(kind: LayerKind) -> LayerBounds {
+    let cap = prior_cap(kind);
+    LayerBounds { lo: -cap, hi: cap }
+}
 
 /// The `[lo, hi]` bound of one protected layer.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -21,11 +43,12 @@ impl LayerBounds {
         }
     }
 
-    /// Widen to include `v` (NaNs are ignored — they are corrected, not
-    /// learned).
+    /// Widen to include `v`. Non-finite values are ignored — they are
+    /// corrected, not learned: a NaN or ±Inf admitted here would become a
+    /// permanent bound endpoint that disables the range check forever.
     #[inline]
     pub fn observe(&mut self, v: f32) {
-        if v.is_nan() {
+        if !v.is_finite() {
             return;
         }
         if v < self.lo {
@@ -80,6 +103,18 @@ impl LayerBounds {
     #[inline]
     pub fn contains(&self, v: f32) -> bool {
         v >= self.lo && v <= self.hi
+    }
+
+    /// Does this bound look like the product of a clean profiling pass for
+    /// a layer of `kind`? Requires: initialised, both endpoints finite,
+    /// not inverted, and both magnitudes under the architectural prior cap.
+    pub fn is_sane(&self, kind: LayerKind) -> bool {
+        let cap = prior_cap(kind);
+        self.lo.is_finite()
+            && self.hi.is_finite()
+            && self.lo <= self.hi
+            && self.lo.abs() <= cap
+            && self.hi.abs() <= cap
     }
 }
 
@@ -141,6 +176,22 @@ impl BoundsStore {
             b.observe(v.lo);
             b.observe(v.hi);
         }
+    }
+
+    /// Validate every bound against the architectural prior of its layer
+    /// kind and replace insane ones with [`static_prior`]. Returns how many
+    /// bounds were repaired. Run after any profiling pass whose inputs may
+    /// have been faulted (the online first-token pass in particular) so a
+    /// corrupted observation cannot silently disable protection.
+    pub fn enforce_integrity(&mut self) -> usize {
+        let mut repaired = 0;
+        for (point, b) in self.map.iter_mut() {
+            if !b.is_sane(point.layer) {
+                *b = static_prior(point.layer);
+                repaired += 1;
+            }
+        }
+        repaired
     }
 
     /// Memory footprint of the stored bounds in bytes (two f32 per layer —
@@ -226,6 +277,58 @@ mod tests {
         assert_eq!(s.memory_bytes(), 16);
         let scaled = s.scaled(2.0);
         assert_eq!(scaled.get(&point(0)).unwrap().hi, 2.0);
+    }
+
+    #[test]
+    fn observe_ignores_infinities() {
+        // Regression: an Inf observed during profiling used to become a
+        // permanent `hi = inf` bound, disabling the upper check forever.
+        let mut b = LayerBounds::empty();
+        b.observe(f32::INFINITY);
+        b.observe(f32::NEG_INFINITY);
+        assert!(!b.is_initialised());
+        b.observe(1.0);
+        b.observe(-2.0);
+        b.observe(f32::INFINITY);
+        b.observe(f32::NEG_INFINITY);
+        assert_eq!(b.lo, -2.0);
+        assert_eq!(b.hi, 1.0);
+        // The upper-bound check still works after seeing an Inf.
+        assert!(!b.contains(1.5));
+        assert_eq!(b.clamp(f32::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn sanity_check_rejects_poisoned_bounds() {
+        let kind = LayerKind::VProj;
+        assert!(LayerBounds { lo: -2.0, hi: 3.0 }.is_sane(kind));
+        // Uninitialised / inverted.
+        assert!(!LayerBounds::empty().is_sane(kind));
+        // Non-finite endpoint.
+        assert!(!LayerBounds { lo: -1.0, hi: f32::INFINITY }.is_sane(kind));
+        assert!(!LayerBounds { lo: f32::NAN, hi: 1.0 }.is_sane(kind));
+        // Magnitude beyond the architectural prior.
+        assert!(!LayerBounds { lo: -1.0, hi: 1.0e6 }.is_sane(kind));
+        // The wide MLP kinds get a wider cap.
+        assert!(LayerBounds { lo: -50.0, hi: 50.0 }.is_sane(LayerKind::Fc1));
+        assert!(!LayerBounds { lo: -50.0, hi: 50.0 }.is_sane(LayerKind::VProj));
+    }
+
+    #[test]
+    fn enforce_integrity_repairs_only_insane_bounds() {
+        let mut s = BoundsStore::new();
+        let good = LayerBounds { lo: -1.5, hi: 2.5 };
+        s.set(point(0), good);
+        s.set(point(1), LayerBounds { lo: -1.0, hi: 1.0e8 }); // poisoned
+        let repaired = s.enforce_integrity();
+        assert_eq!(repaired, 1);
+        assert_eq!(*s.get(&point(0)).unwrap(), good);
+        let fixed = s.get(&point(1)).unwrap();
+        assert_eq!(*fixed, static_prior(LayerKind::VProj));
+        // The repaired bound still catches exponent-scale excursions.
+        assert!(!fixed.contains(1.0e4));
+        // Running again repairs nothing.
+        assert_eq!(s.enforce_integrity(), 0);
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub mod profile;
 pub mod protect;
 pub mod schemes;
 
-pub use bounds::{BoundsStore, LayerBounds};
+pub use bounds::{prior_cap, static_prior, BoundsStore, LayerBounds};
 pub use critical::{critical_layers, is_critical, CriticalityReport};
 pub use persist::{from_csv as bounds_from_csv, to_csv as bounds_to_csv};
 pub use profile::offline_profile;
-pub use protect::{Correction, Coverage, NanPolicy, Protector};
+pub use protect::{Correction, Coverage, NanPolicy, Protector, DEFAULT_STORM_THRESHOLD};
 pub use schemes::{Scheme, SchemeFactory};

@@ -42,6 +42,10 @@ pub struct OfflineBounds {
     pub activations: BoundsStore,
     /// Number of profiling generations performed.
     pub inputs_profiled: usize,
+    /// Bounds replaced by the static architectural prior because they
+    /// failed the integrity check (non-finite, inverted, or implausibly
+    /// large — a poisoned profiling pass).
+    pub bounds_repaired: usize,
 }
 
 impl OfflineBounds {
@@ -82,6 +86,10 @@ pub fn offline_profile(
         out.linear.merge(lin);
         out.activations.merge(act);
     }
+    // Same integrity net as the online first-token pass: a fault (or Inf
+    // overflow) during profiling must not yield a bound that disables the
+    // range check for every later campaign trial.
+    out.bounds_repaired = out.linear.enforce_integrity() + out.activations.enforce_integrity();
     out
 }
 
@@ -130,6 +138,8 @@ mod tests {
         let bounds = offline_profile(&model, &prompts, 6, &pool);
         assert_eq!(bounds.linear.len(), n_points);
         assert_eq!(bounds.inputs_profiled, 2);
+        // A clean profiling run never trips the integrity guard.
+        assert_eq!(bounds.bounds_repaired, 0);
         // OPT has one activation point per block (post-ReLU on FC1).
         assert_eq!(bounds.activations.len(), 2);
         // Every recorded bound is initialised and finite.

@@ -14,8 +14,21 @@
 //!   them.
 
 use crate::bounds::{BoundsStore, LayerBounds};
-use ft2_model::{HookKind, LayerKind, LayerTap, TapCtx};
+use ft2_model::{AnomalyVerdict, HookKind, LayerKind, LayerTap, StepReport, TapCtx};
 use ft2_tensor::Matrix;
+
+/// Corrections per step at or above which the step verdict escalates to
+/// [`AnomalyVerdict::Storm`] even without a severe excursion: a burst of
+/// clamps usually signals a corrupted hidden state that clamping cannot
+/// fully repair. Overridable via [`Protector::with_storm_threshold`]
+/// (`FT2_STORM_THRESHOLD` at the harness level).
+pub const DEFAULT_STORM_THRESHOLD: u64 = 16;
+
+/// A corrected value is *severe* when it lies beyond the protection bound
+/// widened by this extra factor. Benign clips land just outside the bound;
+/// an exponent-bit fault lands orders of magnitude outside, so even a
+/// single severe correction escalates the step to a storm.
+const SEVERE_EXCESS_FACTOR: f32 = 8.0;
 
 /// What to do with an out-of-bound value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +103,10 @@ pub struct ProtectionStats {
     pub nans_corrected: u64,
     /// Hook invocations on covered points.
     pub invocations: u64,
+    /// Profiled bounds replaced by the static prior (integrity guard).
+    pub bound_repairs: u64,
+    /// Rollback escalations applied (one per `on_rollback`).
+    pub escalations: u64,
 }
 
 /// The protection tap. Register it *after* the fault injector.
@@ -98,6 +115,15 @@ pub struct Protector {
     mode: BoundsMode,
     correction: Correction,
     nan_policy: NanPolicy,
+    /// Corrections per step at which the verdict escalates to storm.
+    storm_threshold: u64,
+    /// Rollback escalation level: each level halves the excess of the
+    /// online scale factor over 1 and forces activation coverage on.
+    escalation: u32,
+    // Per-step counters, reported and reset by `end_step`.
+    step_clamps: u64,
+    step_nans: u64,
+    step_severe: u64,
     /// Activity counters (exposed for tests/overhead analysis).
     pub stats: ProtectionStats,
 }
@@ -115,6 +141,11 @@ impl Protector {
             },
             correction: Correction::ClampToBound,
             nan_policy: NanPolicy::ToZero,
+            storm_threshold: DEFAULT_STORM_THRESHOLD,
+            escalation: 0,
+            step_clamps: 0,
+            step_nans: 0,
+            step_severe: 0,
             stats: ProtectionStats::default(),
         }
     }
@@ -131,6 +162,11 @@ impl Protector {
             mode: BoundsMode::Offline(bounds),
             correction,
             nan_policy,
+            storm_threshold: DEFAULT_STORM_THRESHOLD,
+            escalation: 0,
+            step_clamps: 0,
+            step_nans: 0,
+            step_severe: 0,
             stats: ProtectionStats::default(),
         }
     }
@@ -147,33 +183,56 @@ impl Protector {
         self
     }
 
+    /// Override the per-step storm threshold.
+    pub fn with_storm_threshold(mut self, threshold: u64) -> Protector {
+        self.storm_threshold = threshold.max(1);
+        self
+    }
+
+    /// The online scale factor after `level` rollback escalations: each
+    /// level halves the excess over 1, tightening toward the raw profiled
+    /// bound (scale 2.0 → 1.5 → 1.25 → …).
+    fn escalated_scale(base: f32, level: u32) -> f32 {
+        1.0 + (base - 1.0) / 2f32.powi(level.min(30) as i32)
+    }
+
     /// The effective bounds for a point right now (for inspection).
     pub fn current_bounds(&self, point: &ft2_model::TapPoint) -> Option<LayerBounds> {
         match &self.mode {
             BoundsMode::Offline(store) => store.get(point).copied(),
             BoundsMode::FirstToken { scale, recording } => {
-                recording.get(point).map(|b| b.scaled(*scale))
+                let eff = Self::escalated_scale(*scale, self.escalation);
+                recording.get(point).map(|b| b.scaled(eff))
             }
         }
     }
 
     fn correct(&mut self, data: &mut Matrix, bounds: Option<LayerBounds>) {
         let nan_to_zero = self.nan_policy == NanPolicy::ToZero;
+        // A correction is severe when the value lies beyond even the
+        // extra-widened bound — a benign clip never lands that far out.
+        let severe_bounds = bounds.map(|b| b.scaled(SEVERE_EXCESS_FACTOR));
         for v in data.as_mut_slice() {
             if v.is_nan() {
                 if nan_to_zero {
                     *v = 0.0;
                     self.stats.nans_corrected += 1;
+                    self.step_nans += 1;
+                    self.step_severe += 1;
                 }
                 continue;
             }
-            if let Some(b) = bounds {
+            if let (Some(b), Some(sb)) = (bounds, severe_bounds) {
                 if !b.contains(*v) {
+                    if !sb.contains(*v) {
+                        self.step_severe += 1;
+                    }
                     *v = match self.correction {
                         Correction::ClampToBound => b.clamp(*v),
                         Correction::ClipToZero => 0.0,
                     };
                     self.stats.clipped += 1;
+                    self.step_clamps += 1;
                 }
             }
         }
@@ -183,6 +242,17 @@ impl Protector {
 impl LayerTap for Protector {
     fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix) {
         if !self.coverage.covers(ctx.point.layer, ctx.hook) {
+            // Online mode records activation outputs during step 0 even
+            // when activation coverage is off, so a rollback escalation
+            // that switches it on mid-generation has bounds to use.
+            // Recording never mutates data and is not an invocation.
+            // (FT2's critical linear set is disjoint from the activation
+            // points, so the shared TapPoint key cannot collide.)
+            if ctx.step == 0 && ctx.hook == HookKind::ActivationOutput {
+                if let BoundsMode::FirstToken { recording, .. } = &mut self.mode {
+                    recording.observe_all(ctx.point, data.as_slice());
+                }
+            }
             return;
         }
         self.stats.invocations += 1;
@@ -202,15 +272,52 @@ impl LayerTap for Protector {
                             if v.is_nan() {
                                 *v = 0.0;
                                 self.stats.nans_corrected += 1;
+                                self.step_nans += 1;
+                                self.step_severe += 1;
                             }
                         }
                     }
                 } else {
-                    let b = recording.get(&ctx.point).map(|b| b.scaled(*scale));
+                    let eff = Self::escalated_scale(*scale, self.escalation);
+                    let b = recording.get(&ctx.point).map(|b| b.scaled(eff));
                     self.correct(data, b);
                 }
             }
         }
+    }
+
+    fn end_step(&mut self, step: usize) -> StepReport {
+        // The first-token profile is complete once step 0 ends: validate it
+        // against the architectural priors before it gates any correction,
+        // so a fault injected during profiling cannot disable protection.
+        if step == 0 {
+            if let BoundsMode::FirstToken { recording, .. } = &mut self.mode {
+                self.stats.bound_repairs += recording.enforce_integrity() as u64;
+            }
+        }
+        let clamps = std::mem::take(&mut self.step_clamps);
+        let nans = std::mem::take(&mut self.step_nans);
+        let severe = std::mem::take(&mut self.step_severe);
+        let verdict = if severe > 0 || clamps + nans >= self.storm_threshold {
+            AnomalyVerdict::Storm
+        } else if clamps + nans > 0 {
+            AnomalyVerdict::Corrected
+        } else {
+            AnomalyVerdict::Clean
+        };
+        StepReport {
+            clamps,
+            nans,
+            verdict,
+        }
+    }
+
+    fn on_rollback(&mut self, _step: usize, _attempt: u32) {
+        self.escalation += 1;
+        // Escalated re-decode: widen coverage to activation outputs (their
+        // step-0 bounds were recorded above) and tighten the online scale.
+        self.coverage.activations = true;
+        self.stats.escalations += 1;
     }
 }
 
@@ -342,6 +449,120 @@ mod tests {
         // Activation hook on FC1: covered.
         p.on_output(&ctx(0, LayerKind::Fc1, HookKind::ActivationOutput), &mut m);
         assert_eq!(p.stats.invocations, 1);
+    }
+
+    #[test]
+    fn benign_clamp_yields_corrected_verdict() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert_eq!(p.end_step(0).verdict, AnomalyVerdict::Clean);
+        // 5.0 is outside the scaled bound [-2, 4] but well inside the
+        // severe bound [-16, 32]: corrected, not a storm.
+        let mut m = Matrix::from_vec(1, 1, vec![5.0]);
+        p.on_output(&ctx(1, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let r = p.end_step(1);
+        assert_eq!(r.clamps, 1);
+        assert_eq!(r.verdict, AnomalyVerdict::Corrected);
+        // Counters reset between steps.
+        assert_eq!(p.end_step(2), StepReport::default());
+    }
+
+    #[test]
+    fn severe_excursion_storms_even_with_one_clamp() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let _ = p.end_step(0);
+        // An exponent-bit-style excursion: far beyond 8× the scaled bound.
+        let mut m = Matrix::from_vec(1, 1, vec![1.0e4]);
+        p.on_output(&ctx(1, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let r = p.end_step(1);
+        assert_eq!(r.clamps, 1);
+        assert_eq!(r.verdict, AnomalyVerdict::Storm);
+    }
+
+    #[test]
+    fn clamp_burst_reaching_threshold_storms() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0).with_storm_threshold(4);
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let _ = p.end_step(0);
+        // Four benign clips (inside the severe bound) hit the threshold.
+        let mut m = Matrix::from_vec(1, 4, vec![5.0, 5.0, -3.0, 6.0]);
+        p.on_output(&ctx(1, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let r = p.end_step(1);
+        assert_eq!(r.clamps, 4);
+        assert_eq!(r.verdict, AnomalyVerdict::Storm);
+    }
+
+    #[test]
+    fn corrected_nan_is_always_severe() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let _ = p.end_step(0);
+        let mut m = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        p.on_output(&ctx(1, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let r = p.end_step(1);
+        assert_eq!(r.nans, 1);
+        assert_eq!(r.verdict, AnomalyVerdict::Storm);
+    }
+
+    #[test]
+    fn poisoned_first_token_profile_is_repaired() {
+        // A fault during the profiling token records an absurd bound; the
+        // end-of-step-0 integrity guard replaces it with the static prior,
+        // so later out-of-bound values are still clamped.
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 2.0, 1.0e30]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let r0 = p.end_step(0);
+        assert_eq!(p.stats.bound_repairs, 1);
+        // Step 0 itself cannot clamp (no bounds yet).
+        assert_eq!(r0.clamps, 0);
+        let b = p
+            .current_bounds(&TapPoint { block: 0, layer: LayerKind::VProj })
+            .unwrap();
+        assert!(b.hi.is_finite());
+        // A later excursion is caught by the repaired (prior) bound.
+        let mut m = Matrix::from_vec(1, 1, vec![1.0e4]);
+        p.on_output(&ctx(1, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        assert!(m.get(0, 0) <= crate::bounds::prior_cap(LayerKind::VProj) * 2.0);
+        assert_eq!(p.stats.clipped, 1);
+    }
+
+    #[test]
+    fn clean_profile_is_not_repaired() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        let _ = p.end_step(0);
+        assert_eq!(p.stats.bound_repairs, 0);
+    }
+
+    #[test]
+    fn rollback_escalation_tightens_scale_and_covers_activations() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&ctx(0, LayerKind::VProj, HookKind::LinearOutput), &mut m);
+        // Activation outputs are recorded at step 0 even when uncovered...
+        let mut act = Matrix::from_vec(1, 2, vec![0.0, 3.0]);
+        p.on_output(&ctx(0, LayerKind::Fc1, HookKind::ActivationOutput), &mut act);
+        assert_eq!(p.stats.invocations, 1); // recording is not an invocation
+        let _ = p.end_step(0);
+
+        let point = TapPoint { block: 0, layer: LayerKind::VProj };
+        assert_eq!(p.current_bounds(&point).unwrap().hi, 4.0); // 2 × scale 2
+        p.on_rollback(1, 0);
+        assert_eq!(p.stats.escalations, 1);
+        // Scale tightens 2.0 → 1.5: bound hi becomes 3.0.
+        assert_eq!(p.current_bounds(&point).unwrap().hi, 3.0);
+        // ...so the escalated re-decode can protect them.
+        let mut act = Matrix::from_vec(1, 1, vec![1.0e4]);
+        p.on_output(&ctx(1, LayerKind::Fc1, HookKind::ActivationOutput), &mut act);
+        assert_eq!(p.stats.clipped, 1);
+        assert!(act.get(0, 0) < 1.0e4);
     }
 
     #[test]

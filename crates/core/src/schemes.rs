@@ -124,6 +124,7 @@ pub struct SchemeFactory {
     style: ArchStyle,
     offline: Option<Arc<OfflineBounds>>,
     scale: f32,
+    storm_threshold: Option<u64>,
 }
 
 impl SchemeFactory {
@@ -144,6 +145,7 @@ impl SchemeFactory {
             style: config.style,
             offline,
             scale: FT2_DEFAULT_SCALE,
+            storm_threshold: None,
         }
     }
 
@@ -154,12 +156,27 @@ impl SchemeFactory {
             style: config.style,
             offline: None,
             scale,
+            storm_threshold: None,
         }
+    }
+
+    /// Override the per-step storm threshold of every produced protector
+    /// (the `FT2_STORM_THRESHOLD` knob; `None` keeps the default).
+    pub fn with_storm_threshold(mut self, threshold: Option<u64>) -> SchemeFactory {
+        self.storm_threshold = threshold;
+        self
     }
 
     /// The scheme this factory produces.
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    fn tuned(&self, p: Protector) -> Protector {
+        match self.storm_threshold {
+            Some(t) => p.with_storm_threshold(t),
+            None => p,
+        }
     }
 }
 
@@ -170,32 +187,32 @@ impl ProtectionFactory for SchemeFactory {
             Scheme::NoProtection => Vec::new(),
             Scheme::Ranger => {
                 let offline = self.offline.as_ref().expect("Ranger needs offline bounds");
-                vec![Box::new(Protector::offline(
+                vec![Box::new(self.tuned(Protector::offline(
                     coverage,
                     offline.activations.scaled(OFFLINE_BOUND_SCALE),
                     Correction::ClampToBound,
                     NanPolicy::ToZero,
-                ))]
+                )))]
             }
             Scheme::MaxiMals | Scheme::GlobalClipper | Scheme::Ft2Offline => {
                 let offline = self
                     .offline
                     .as_ref()
                     .unwrap_or_else(|| panic!("{} needs offline bounds", self.scheme.name()));
-                vec![Box::new(Protector::offline(
+                vec![Box::new(self.tuned(Protector::offline(
                     coverage,
                     offline.linear.scaled(OFFLINE_BOUND_SCALE),
                     Correction::ClampToBound,
                     NanPolicy::ToZero,
-                ))]
+                )))]
             }
             Scheme::Ft2 | Scheme::FullProtection => {
-                vec![Box::new(Protector::ft2_online(coverage, self.scale))]
+                vec![Box::new(self.tuned(Protector::ft2_online(coverage, self.scale)))]
             }
             Scheme::Ft2ClipToZero => {
                 let p = Protector::ft2_online(coverage, self.scale)
                     .with_correction(Correction::ClipToZero);
-                vec![Box::new(p)]
+                vec![Box::new(self.tuned(p))]
             }
         }
     }

@@ -26,7 +26,7 @@ use crate::outcome::{Outcome, OutcomeCounts, OutcomeJudge};
 use crate::site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
 use crate::trace::{TraceEvent, TraceTap};
 use crate::watchdog::{TrialAbort, WatchdogTap};
-use ft2_model::{LayerKind, LayerTap, Model, TapList};
+use ft2_model::{LayerKind, LayerTap, Model, RecoveryPolicy, StepRecord, TapList};
 use ft2_numeric::Xoshiro256StarStar;
 use ft2_parallel::{catch_quiet, WorkStealingPool};
 use std::collections::BTreeMap;
@@ -84,6 +84,11 @@ pub struct CampaignConfig {
     /// Deterministic: a trial that reaches this step is a [`Outcome::Hang`]
     /// at every thread count and on every machine.
     pub trial_token_budget: Option<usize>,
+    /// Token-rollback retry budget per decode step (0 = recovery disabled,
+    /// the pre-recovery behaviour). With a budget, an anomaly-storm verdict
+    /// rolls the KV cache back and re-decodes the token with escalated
+    /// protection instead of accepting a likely-SDC token.
+    pub recovery_retries: u32,
 }
 
 impl CampaignConfig {
@@ -99,8 +104,21 @@ impl CampaignConfig {
             layer_filter: None,
             trial_deadline_ms: None,
             trial_token_budget: None,
+            recovery_retries: 0,
         }
     }
+}
+
+/// Everything one isolated trial produces: the aggregate record plus the
+/// raw evidence (`ft2-repro replay` renders the latter).
+struct TrialBody {
+    record: TrialRecord,
+    /// `(original, corrupted)` at the injection site, when reached.
+    injected: Option<(f32, f32)>,
+    /// The faulty generation (empty for crashed/hung trials).
+    tokens: Vec<u32>,
+    /// Per-step anomaly reports of the accepted execution.
+    steps: Vec<StepRecord>,
 }
 
 /// A crashed trial's identity and panic details, kept for replay.
@@ -134,6 +152,11 @@ pub struct CampaignResult {
     /// The first [`MAX_CRASH_RECORDS`] crashed trials, in task order — each
     /// is replayable via `ft2-repro replay <seed>/<input>/<trial>`.
     pub crashes: Vec<TrialFailure>,
+    /// Total token rollbacks performed across all trials.
+    pub rollbacks: u64,
+    /// Total anomaly-storm verdicts across all trials (including storms
+    /// cleared by a rollback).
+    pub storms: u64,
 }
 
 impl CampaignResult {
@@ -172,6 +195,8 @@ impl CampaignResult {
                 });
             }
         }
+        self.rollbacks += rec.rollbacks as u64;
+        self.storms += rec.storms as u64;
     }
 }
 
@@ -188,6 +213,10 @@ pub struct TrialRecord {
     pub outcome: Outcome,
     /// Bit class of the flipped bit ("sign" / "exponent" / "mantissa").
     pub bit_class: &'static str,
+    /// Token rollbacks performed in this trial.
+    pub rollbacks: u32,
+    /// Anomaly-storm verdicts observed in this trial.
+    pub storms: u32,
 }
 
 /// Verbose observations from a traced single-trial replay.
@@ -206,6 +235,9 @@ pub struct TrialTrace {
     pub tokens: Vec<u32>,
     /// The fault-free reference generation.
     pub reference: Vec<u32>,
+    /// Per-step anomaly reports of the accepted execution (clamp/NaN
+    /// counts, verdict, re-decode count) — why a rollback fired, or didn't.
+    pub steps: Vec<StepRecord>,
 }
 
 /// Checkpoint cadence and resume behaviour for
@@ -333,7 +365,7 @@ impl<'a> Campaign<'a> {
         input_id: usize,
         trial_id: usize,
     ) -> TrialRecord {
-        self.run_trial(protection, input_id, trial_id, None).0
+        self.run_trial(protection, input_id, trial_id, None).record
     }
 
     /// Run one trial with verbose tracing (for `ft2-repro replay`). The
@@ -346,17 +378,17 @@ impl<'a> Campaign<'a> {
         trial_id: usize,
     ) -> (TrialRecord, TrialTrace) {
         let mut tracer = TraceTap::new();
-        let (record, injected, tokens) =
-            self.run_trial(protection, input_id, trial_id, Some(&mut tracer));
+        let body = self.run_trial(protection, input_id, trial_id, Some(&mut tracer));
         let trace = TrialTrace {
-            injected,
+            injected: body.injected,
             events: tracer.events,
             peak_abs: tracer.peak_abs,
             firings: tracer.firings,
-            tokens,
+            tokens: body.tokens,
             reference: self.references[input_id].clone(),
+            steps: body.steps,
         };
-        (record, trace)
+        (body.record, trace)
     }
 
     /// The isolated trial body shared by all run modes. Tap order:
@@ -368,7 +400,7 @@ impl<'a> Campaign<'a> {
         input_id: usize,
         trial_id: usize,
         tracer: Option<&mut TraceTap>,
-    ) -> (TrialRecord, Option<(f32, f32)>, Vec<u32>) {
+    ) -> TrialBody {
         let prompt = &self.inputs[input_id];
         let (site, bit_class) = self.sample_site(input_id, trial_id);
 
@@ -378,6 +410,7 @@ impl<'a> Campaign<'a> {
             self.config.trial_token_budget,
         );
         let mut protection_taps = protection.make();
+        let policy = RecoveryPolicy::retries(self.config.recovery_retries);
         let generated = catch_quiet(|| {
             let mut taps = TapList::new();
             if watchdog.is_armed() {
@@ -391,20 +424,33 @@ impl<'a> Campaign<'a> {
                 taps.push(tr);
             }
             self.model
-                .generate(prompt, self.config.gen_tokens, &mut taps)
-                .tokens
+                .generate_with_recovery(prompt, self.config.gen_tokens, &mut taps, policy)
         });
 
-        let (outcome, tokens) = match generated {
-            Ok(tokens) => {
+        let (outcome, tokens, steps, rollbacks, storms) = match generated {
+            Ok(out) => {
                 debug_assert!(injector.fired(), "fault site never reached");
-                (
-                    self.judge.classify(&self.references[input_id], &tokens),
-                    tokens,
-                )
+                // Note: the injector fires exactly once, so a rolled-back
+                // token is re-decoded *without* the fault — the transient-
+                // fault semantics that make rollback recovery sound.
+                let outcome = if out.recovery_failed {
+                    Outcome::RecoveryFailed {
+                        retries: out.rollbacks,
+                    }
+                } else {
+                    let judged = self.judge.classify(&self.references[input_id], &out.tokens);
+                    if out.rollbacks > 0 && judged.is_masked() {
+                        Outcome::Recovered {
+                            retries: out.rollbacks,
+                        }
+                    } else {
+                        judged
+                    }
+                };
+                (outcome, out.tokens, out.steps, out.rollbacks, out.storms)
             }
             Err(caught) if caught.payload.downcast_ref::<TrialAbort>().is_some() => {
-                (Outcome::Hang, Vec::new())
+                (Outcome::Hang, Vec::new(), Vec::new(), 0, 0)
             }
             Err(caught) => (
                 Outcome::Crash {
@@ -412,20 +458,25 @@ impl<'a> Campaign<'a> {
                     message: caught.message,
                 },
                 Vec::new(),
+                Vec::new(),
+                0,
+                0,
             ),
         };
-        let injected = injector.original.zip(injector.corrupted);
-        (
-            TrialRecord {
+        TrialBody {
+            record: TrialRecord {
                 input: input_id,
                 trial: trial_id,
                 site,
                 outcome,
                 bit_class,
+                rollbacks,
+                storms,
             },
-            injected,
+            injected: injector.original.zip(injector.corrupted),
             tokens,
-        )
+            steps,
+        }
     }
 
     /// Run the full campaign under a protection scheme.
@@ -465,7 +516,7 @@ impl<'a> Campaign<'a> {
                 .join("+"),
         };
         format!(
-            "v1|seed={}|trials={}|gen={}|fault={:?}|steps={:?}|weight={:?}|layers={}|inputs={}|budget={:?}|deadline={:?}|scheme={}|refs={:016x}",
+            "v2|seed={}|trials={}|gen={}|fault={:?}|steps={:?}|weight={:?}|layers={}|inputs={}|budget={:?}|deadline={:?}|recovery={}|scheme={}|refs={:016x}",
             self.config.seed,
             self.config.trials_per_input,
             self.config.gen_tokens,
@@ -476,6 +527,7 @@ impl<'a> Campaign<'a> {
             self.inputs.len(),
             self.config.trial_token_budget,
             self.config.trial_deadline_ms,
+            self.config.recovery_retries,
             scheme,
             h,
         )

@@ -74,7 +74,10 @@ impl CampaignCheckpoint {
                 quote(&c.message)
             );
         }
-        s.push_str("]\n}\n");
+        s.push_str("],\n");
+        let _ = writeln!(s, "  \"rollbacks\": {},", self.result.rollbacks);
+        let _ = writeln!(s, "  \"storms\": {}", self.result.storms);
+        s.push_str("}\n");
         s
     }
 
@@ -116,6 +119,8 @@ impl CampaignCheckpoint {
                 message: row[3].as_str("crash message")?.to_string(),
             });
         }
+        result.rollbacks = get(obj, "rollbacks")?.as_u64("rollbacks")?;
+        result.storms = get(obj, "storms")?.as_u64("storms")?;
         Ok(CampaignCheckpoint {
             fingerprint: get(obj, "fingerprint")?.as_str("fingerprint")?.to_string(),
             completed_tasks: get(obj, "completed_tasks")?.as_u64("completed_tasks")? as usize,
@@ -146,15 +151,21 @@ impl CampaignCheckpoint {
 
 fn counts_json(c: &OutcomeCounts) -> String {
     format!(
-        "[{}, {}, {}, {}, {}]",
-        c.masked_identical, c.masked_semantic, c.sdc, c.crash, c.hang
+        "[{}, {}, {}, {}, {}, {}, {}]",
+        c.masked_identical,
+        c.masked_semantic,
+        c.sdc,
+        c.crash,
+        c.hang,
+        c.recovered,
+        c.recovery_failed
     )
 }
 
 fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
     let a = v.as_arr("counts")?;
-    if a.len() != 5 {
-        return Err(format!("counts must have 5 fields, got {}", a.len()));
+    if a.len() != 7 {
+        return Err(format!("counts must have 7 fields, got {}", a.len()));
     }
     Ok(OutcomeCounts {
         masked_identical: a[0].as_u64("counts[0]")?,
@@ -162,6 +173,8 @@ fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
         sdc: a[2].as_u64("counts[2]")?,
         crash: a[3].as_u64("counts[3]")?,
         hang: a[4].as_u64("counts[4]")?,
+        recovered: a[5].as_u64("counts[5]")?,
+        recovery_failed: a[6].as_u64("counts[6]")?,
     })
 }
 
@@ -380,13 +393,19 @@ mod tests {
     use ft2_model::TapPoint;
 
     fn sample_checkpoint() -> CampaignCheckpoint {
-        let mut result = CampaignResult::default();
-        result.counts = OutcomeCounts {
-            masked_identical: 10,
-            masked_semantic: 4,
-            sdc: 3,
-            crash: 2,
-            hang: 1,
+        let mut result = CampaignResult {
+            counts: OutcomeCounts {
+                masked_identical: 10,
+                masked_semantic: 4,
+                sdc: 3,
+                crash: 2,
+                hang: 1,
+                recovered: 6,
+                recovery_failed: 2,
+            },
+            rollbacks: 9,
+            storms: 11,
+            ..CampaignResult::default()
         };
         result.per_layer.insert(
             TapPoint {

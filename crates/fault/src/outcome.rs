@@ -27,17 +27,37 @@ pub enum Outcome {
     /// The trial exceeded its watchdog budget (wall-clock deadline or token
     /// budget) and was aborted.
     Hang,
+    /// The anomaly detector stormed, the engine rolled the token back, and
+    /// the re-decoded output was masked — the fault was actively survived.
+    Recovered {
+        /// Rollback re-decodes spent across the generation.
+        retries: u32,
+    },
+    /// Rollback recovery was attempted but the retry budget was exhausted
+    /// with the step still storming (detected, unrecovered — a DUE).
+    RecoveryFailed {
+        /// Rollback re-decodes spent before giving up.
+        retries: u32,
+    },
 }
 
 impl Outcome {
-    /// Is this outcome masked (either kind)?
+    /// Is this outcome masked (either kind)? A recovered trial counts: its
+    /// final output is correct.
     pub fn is_masked(&self) -> bool {
-        matches!(self, Outcome::MaskedIdentical | Outcome::MaskedSemantic)
+        matches!(
+            self,
+            Outcome::MaskedIdentical | Outcome::MaskedSemantic | Outcome::Recovered { .. }
+        )
     }
 
-    /// Is this outcome a detected unrecoverable error (crash or hang)?
+    /// Is this outcome a detected unrecoverable error (crash, hang, or
+    /// exhausted recovery)?
     pub fn is_due(&self) -> bool {
-        matches!(self, Outcome::Crash { .. } | Outcome::Hang)
+        matches!(
+            self,
+            Outcome::Crash { .. } | Outcome::Hang | Outcome::RecoveryFailed { .. }
+        )
     }
 }
 
@@ -54,6 +74,10 @@ pub struct OutcomeCounts {
     pub crash: u64,
     /// Trials aborted by the watchdog (DUE).
     pub hang: u64,
+    /// Trials recovered by token rollback (masked after re-decode).
+    pub recovered: u64,
+    /// Trials whose rollback retry budget was exhausted (DUE).
+    pub recovery_failed: u64,
 }
 
 impl OutcomeCounts {
@@ -65,6 +89,8 @@ impl OutcomeCounts {
             Outcome::Sdc => self.sdc += 1,
             Outcome::Crash { .. } => self.crash += 1,
             Outcome::Hang => self.hang += 1,
+            Outcome::Recovered { .. } => self.recovered += 1,
+            Outcome::RecoveryFailed { .. } => self.recovery_failed += 1,
         }
     }
 
@@ -75,16 +101,25 @@ impl OutcomeCounts {
         self.sdc += other.sdc;
         self.crash += other.crash;
         self.hang += other.hang;
+        self.recovered += other.recovered;
+        self.recovery_failed += other.recovery_failed;
     }
 
     /// Total trials recorded.
     pub fn total(&self) -> u64 {
-        self.masked_identical + self.masked_semantic + self.sdc + self.crash + self.hang
+        self.masked_identical
+            + self.masked_semantic
+            + self.sdc
+            + self.crash
+            + self.hang
+            + self.recovered
+            + self.recovery_failed
     }
 
-    /// Detected unrecoverable errors (crashes + hangs).
+    /// Detected unrecoverable errors (crashes + hangs + exhausted
+    /// recoveries).
     pub fn due(&self) -> u64 {
-        self.crash + self.hang
+        self.crash + self.hang + self.recovery_failed
     }
 
     /// SDC rate in [0, 1] (0 for no trials).
@@ -165,6 +200,8 @@ mod tests {
             sdc: 3,
             crash: 4,
             hang: 5,
+            recovered: 6,
+            recovery_failed: 7,
         };
         let b = OutcomeCounts {
             masked_identical: 10,
@@ -172,6 +209,8 @@ mod tests {
             sdc: 30,
             crash: 40,
             hang: 50,
+            recovered: 60,
+            recovery_failed: 70,
         };
         a.merge(&b);
         assert_eq!(a.masked_identical, 11);
@@ -179,6 +218,27 @@ mod tests {
         assert_eq!(a.sdc, 33);
         assert_eq!(a.crash, 44);
         assert_eq!(a.hang, 55);
+        assert_eq!(a.recovered, 66);
+        assert_eq!(a.recovery_failed, 77);
+    }
+
+    #[test]
+    fn recovery_outcomes_classify_and_count() {
+        let rec = Outcome::Recovered { retries: 1 };
+        let fail = Outcome::RecoveryFailed { retries: 3 };
+        assert!(rec.is_masked());
+        assert!(!rec.is_due());
+        assert!(fail.is_due());
+        assert!(!fail.is_masked());
+        let mut c = OutcomeCounts::default();
+        c.record(&rec);
+        c.record(&fail);
+        c.record(&Outcome::Sdc);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.recovered, 1);
+        assert_eq!(c.recovery_failed, 1);
+        assert_eq!(c.due(), 1);
+        assert!((c.sdc_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub struct TraceTap {
     pub peak_abs: f32,
     /// Hook firings observed (including unremarkable ones).
     pub firings: usize,
+    /// Token rollbacks the engine performed during the trial.
+    pub rollbacks: usize,
     cap: usize,
 }
 
@@ -54,6 +56,7 @@ impl TraceTap {
             events: Vec::new(),
             peak_abs: 0.0,
             firings: 0,
+            rollbacks: 0,
             cap: 256,
         }
     }
@@ -88,6 +91,10 @@ impl LayerTap for TraceTap {
                 max_abs,
             });
         }
+    }
+
+    fn on_rollback(&mut self, _step: usize, _attempt: u32) {
+        self.rollbacks += 1;
     }
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! ft2-repro [--resume] <experiment> [...]
 //!   experiments: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
-//!                fig11 fig12 fig13 fig14 fig15 fig16 ablations all
+//!                fig11 fig12 fig13 fig14 fig15 fig16 ablations recovery all
 //!
 //! ft2-repro replay <seed>/<input>/<trial> \
 //!           [--model M] [--dataset D] [--scheme S] [--fault F]
@@ -22,6 +22,8 @@
 //!                          checkpoints bit-identically
 //!   FT2_TRIAL_DEADLINE_MS  per-trial wall-clock watchdog (Hang/DUE)
 //!   FT2_TRIAL_TOKEN_BUDGET per-trial generation-step watchdog
+//!   FT2_RECOVERY_RETRIES   token-rollback retry budget per decode step
+//!   FT2_STORM_THRESHOLD    corrections per step that escalate to a storm
 //! ```
 
 use ft2_harness::experiments::replay::ReplaySpec;
@@ -30,7 +32,7 @@ use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations", "recovery",
 ];
 
 fn run_one(ctx: &ExperimentCtx, name: &str) -> bool {
@@ -88,6 +90,9 @@ fn run_one(ctx: &ExperimentCtx, name: &str) -> bool {
         "ablations" => {
             experiments::ablations::run(ctx);
         }
+        "recovery" => {
+            experiments::recovery::run(ctx);
+        }
         _ => return false,
     }
     eprintln!("### {name} done in {:.1?}\n", t0.elapsed());
@@ -119,7 +124,8 @@ fn main() {
         println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
         println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
         println!("  FT2_CHECKPOINT_EVERY, FT2_CHECKPOINT_DIR control checkpointing;");
-        println!("  FT2_TRIAL_DEADLINE_MS, FT2_TRIAL_TOKEN_BUDGET arm the trial watchdog");
+        println!("  FT2_TRIAL_DEADLINE_MS, FT2_TRIAL_TOKEN_BUDGET arm the trial watchdog;");
+        println!("  FT2_RECOVERY_RETRIES arms token-rollback recovery (FT2_STORM_THRESHOLD tunes it)");
         return;
     }
 

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod fig02;
+pub mod recovery;
 pub mod replay;
 pub mod fig03;
 pub mod fig04;
@@ -265,6 +266,8 @@ pub(crate) mod tests {
                 seed: 7,
                 trial_deadline_ms: None,
                 trial_token_budget: None,
+                recovery_retries: 0,
+                storm_threshold: None,
             },
             resilience: Resilience {
                 checkpoint_every: None,

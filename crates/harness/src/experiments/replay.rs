@@ -220,6 +220,29 @@ pub fn run(ctx: &ExperimentCtx, spec: &ReplaySpec) -> Result<(), String> {
             e.max_abs
         );
     }
+
+    // Per-step detection budget of the accepted execution: this is the
+    // evidence trail for why the engine rolled a token back (Storm) or let
+    // it stand (Clean/Corrected). Steps are only recorded by the recovery-
+    // aware engine path, so the table shows the prefill at step 0 and every
+    // decode step exactly once.
+    if !trace.steps.is_empty() {
+        println!(
+            "verdicts:   {} rollback(s), {} storm(s) across the trial",
+            record.rollbacks, record.storms
+        );
+        println!("  step | clamps | NaNs | verdict   | re-decodes");
+        for s in &trace.steps {
+            println!(
+                "  {:>4} | {:>6} | {:>4} | {:<9} | {}",
+                s.step,
+                s.report.clamps,
+                s.report.nans,
+                format!("{:?}", s.report.verdict),
+                s.redecodes
+            );
+        }
+    }
     Ok(())
 }
 

@@ -43,6 +43,11 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The data rows (header excluded), for assertions on emitted results.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Render to a string.
     pub fn render(&self) -> String {
         let cols = self.header.len();

@@ -11,7 +11,15 @@ use ft2_tasks::{DatasetId, TaskSpec, TaskType};
 /// * `FT2_SEED`    — campaign master seed;
 /// * `FT2_QUICK=1` — smoke-test sizing (6 inputs × 10 trials);
 /// * `FT2_TRIAL_DEADLINE_MS`   — per-trial wall-clock watchdog (DUE/Hang);
-/// * `FT2_TRIAL_TOKEN_BUDGET`  — per-trial generation-step watchdog.
+/// * `FT2_TRIAL_TOKEN_BUDGET`  — per-trial generation-step watchdog;
+/// * `FT2_RECOVERY_RETRIES`    — token-rollback retry budget per decode
+///   step (default 0 = recovery disabled);
+/// * `FT2_STORM_THRESHOLD`    — corrections per decode step that escalate
+///   an anomaly verdict to a storm (default: library default).
+///
+/// A knob that is set but malformed (empty, negative, non-numeric) is
+/// ignored with a warning on stderr — it never panics and never silently
+/// enables a watchdog.
 ///
 /// The defaults regenerate every figure in minutes on a laptop core. The
 /// paper's campaign (50 inputs × 500 trials, 11M injections) is
@@ -42,10 +50,37 @@ pub struct Settings {
     /// Per-trial generation-step watchdog budget (None = off). Unlike the
     /// deadline, this abort is deterministic.
     pub trial_token_budget: Option<usize>,
+    /// Token-rollback retry budget per decode step (0 = recovery off).
+    pub recovery_retries: u32,
+    /// Override for the anomaly-storm clamp threshold (None = the
+    /// `ft2-core` default).
+    pub storm_threshold: Option<u64>,
+}
+
+/// Parse one knob value. A malformed value (empty, negative, non-numeric)
+/// warns on stderr and returns `None` — the knob falls back to its default
+/// instead of panicking or being silently misread.
+fn parse_knob<T: std::str::FromStr>(name: &str, raw: &str) -> Option<T> {
+    match raw.trim().parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring malformed {name}={raw:?} (expected a non-negative integer); \
+                 using the default"
+            );
+            None
+        }
+    }
+}
+
+fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| parse_knob(name, &v))
 }
 
 fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
+    env_knob(name)
 }
 
 impl Default for Settings {
@@ -65,14 +100,11 @@ impl Settings {
             gen_qa: 16,
             gen_math: 36,
             profile_inputs: env_usize("FT2_PROFILE_INPUTS").unwrap_or(72),
-            seed: std::env::var("FT2_SEED")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0xF7_2025),
-            trial_deadline_ms: std::env::var("FT2_TRIAL_DEADLINE_MS")
-                .ok()
-                .and_then(|v| v.parse().ok()),
+            seed: env_knob("FT2_SEED").unwrap_or(0xF7_2025),
+            trial_deadline_ms: env_knob("FT2_TRIAL_DEADLINE_MS"),
             trial_token_budget: env_usize("FT2_TRIAL_TOKEN_BUDGET"),
+            recovery_retries: env_knob("FT2_RECOVERY_RETRIES").unwrap_or(0),
+            storm_threshold: env_knob("FT2_STORM_THRESHOLD"),
         }
     }
 
@@ -102,6 +134,7 @@ impl Settings {
             layer_filter: None,
             trial_deadline_ms: self.trial_deadline_ms,
             trial_token_budget: self.trial_token_budget,
+            recovery_retries: self.recovery_retries,
         }
     }
 }
@@ -223,10 +256,55 @@ mod tests {
             seed: 1,
             trial_deadline_ms: None,
             trial_token_budget: None,
+            recovery_retries: 0,
+            storm_threshold: None,
         };
         assert_eq!(s.gen_tokens(TaskType::Qa), 16);
         assert_eq!(s.gen_tokens(TaskType::Math), 36);
         assert_eq!(s.campaign(DatasetId::Gsm8k, FaultModel::SingleBit).gen_tokens, 36);
         assert_eq!(s.campaign(DatasetId::Squad, FaultModel::SingleBit).gen_tokens, 16);
+    }
+
+    #[test]
+    fn settings_wire_recovery_into_campaigns() {
+        let s = Settings {
+            inputs: 1,
+            trials: 1,
+            gen_qa: 16,
+            gen_math: 36,
+            profile_inputs: 4,
+            seed: 1,
+            trial_deadline_ms: None,
+            trial_token_budget: None,
+            recovery_retries: 3,
+            storm_threshold: Some(8),
+        };
+        let cfg = s.campaign(DatasetId::Squad, FaultModel::ExponentBit);
+        assert_eq!(cfg.recovery_retries, 3);
+    }
+
+    #[test]
+    fn malformed_watchdog_knobs_fall_back_to_disabled() {
+        // Empty, negative, and non-numeric values must all be rejected
+        // (with a stderr warning, exercised here only for no-panic) and
+        // leave the watchdogs disabled.
+        for raw in ["", "-5", "twelve", "1e3", "0x10", " "] {
+            assert_eq!(
+                parse_knob::<u64>("FT2_TRIAL_DEADLINE_MS", raw),
+                None,
+                "value {raw:?} should be rejected"
+            );
+            assert_eq!(parse_knob::<usize>("FT2_TRIAL_TOKEN_BUDGET", raw), None);
+            assert_eq!(parse_knob::<u32>("FT2_RECOVERY_RETRIES", raw), None);
+        }
+    }
+
+    #[test]
+    fn wellformed_knobs_parse_with_surrounding_whitespace() {
+        assert_eq!(parse_knob::<u64>("FT2_TRIAL_DEADLINE_MS", "250"), Some(250));
+        assert_eq!(parse_knob::<usize>("FT2_TRIAL_TOKEN_BUDGET", " 64 "), Some(64));
+        assert_eq!(parse_knob::<u32>("FT2_RECOVERY_RETRIES", "2"), Some(2));
+        assert_eq!(parse_knob::<u64>("FT2_STORM_THRESHOLD", "8"), Some(8));
+        assert_eq!(parse_knob::<usize>("FT2_TRIAL_TOKEN_BUDGET", "0"), Some(0));
     }
 }

@@ -187,6 +187,33 @@ impl CostModel {
         extra / base
     }
 
+    /// Cost of one token rollback at context length `ctx`: the KV truncate
+    /// is free (a length reset), so a rollback re-pays the decode step plus
+    /// the protection taps of the re-decode — which runs with escalated
+    /// coverage (activations on), hence the extra activation-point kernels.
+    pub fn rollback_time(&self, shape: &WorkloadShape, ctx: usize) -> f64 {
+        let activation_points = if shape.gated_mlp { 2.0 } else { 1.0 };
+        let escalation_extra =
+            activation_points * shape.blocks as f64 * self.protection_kernel_s;
+        self.decode_step_time(shape, ctx) + self.protection_time_per_step(shape) + escalation_extra
+    }
+
+    /// Recovery (rollback re-decode) overhead as a fraction of unprotected
+    /// generation time, given the campaign-observed rollbacks per
+    /// generation. Rollbacks are charged at the worst-case context (end of
+    /// the generation), so this slightly over-states the true cost.
+    pub fn recovery_overhead(
+        &self,
+        shape: &WorkloadShape,
+        prompt: usize,
+        gen_tokens: usize,
+        rollbacks_per_generation: f64,
+    ) -> f64 {
+        let base = self.generation_time(shape, prompt, gen_tokens).total_s();
+        let extra = self.rollback_time(shape, prompt + gen_tokens) * rollbacks_per_generation;
+        extra / base
+    }
+
     /// Offline bound-profiling time for `n_inputs` full generations
     /// (the Fig. 4 quantity), in seconds.
     pub fn profiling_time(
@@ -296,6 +323,33 @@ mod tests {
         }
         let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
         assert!(avg > 0.01 && avg < 0.08, "avg overhead {avg}");
+    }
+
+    #[test]
+    fn rollback_costs_about_one_decode_step() {
+        let model = CostModel::new(A100);
+        let s = llama_shape();
+        let step = model.decode_step_time(&s, 210);
+        let rb = model.rollback_time(&s, 210);
+        // Strictly more than a plain step (protection re-runs, escalated
+        // coverage adds activation kernels), but within a small factor.
+        assert!(rb > step);
+        assert!(rb < 1.5 * step, "rollback {rb} vs step {step}");
+    }
+
+    #[test]
+    fn recovery_overhead_scales_with_rollbacks_and_stays_small() {
+        let model = CostModel::new(A100);
+        let s = opt_shape();
+        let none = model.recovery_overhead(&s, 150, 60, 0.0);
+        assert_eq!(none, 0.0);
+        let one = model.recovery_overhead(&s, 150, 60, 1.0);
+        let three = model.recovery_overhead(&s, 150, 60, 3.0);
+        assert!(one > 0.0);
+        assert!((three / one - 3.0).abs() < 1e-9, "linear in rollbacks");
+        // One rollback in a 60-token generation costs roughly one extra
+        // step: ~2% of the inference.
+        assert!(one > 0.005 && one < 0.05, "overhead {one}");
     }
 
     #[test]

@@ -32,6 +32,14 @@ impl KvCacheBlock {
     pub fn is_empty(&self) -> bool {
         self.k.rows() == 0
     }
+
+    /// Drop cached positions past `len` — token rollback. Attention only
+    /// ever *appends* rows for new positions (prior rows are immutable), so
+    /// truncating to a pre-step length restores the exact pre-step cache.
+    pub fn truncate(&mut self, len: usize) {
+        self.k.truncate_rows(len);
+        self.v.truncate_rows(len);
+    }
 }
 
 /// Apply rotary position embeddings in place to `[n, hidden]` data laid out
@@ -225,6 +233,30 @@ mod tests {
         let row1_a = out_a.slice_rows(1, 2);
         let row1_b = out_b.slice_rows(1, 2);
         assert!(row1_a.max_abs_diff(&row1_b) > 1e-4);
+    }
+
+    #[test]
+    fn truncate_restores_pre_step_cache_exactly() {
+        // Decode a position, roll it back, re-decode: the cache contents and
+        // the attention output must be bit-identical — the invariant the
+        // engine's token rollback relies on.
+        let config = ModelConfig::tiny_llama();
+        let weights = ModelWeights::build(&config);
+        let block = &weights.blocks[0];
+        let mut taps = TapList::new();
+        let prefill = Matrix::from_fn(3, config.hidden, |r, c| ((r * 13 + c) % 11) as f32 * 0.07);
+        let mut cache = KvCacheBlock::new(config.hidden);
+        let _ = attention_forward(&config, block, 0, &prefill, 0, 0, &mut cache, &mut taps);
+        let snapshot_len = cache.len();
+        let k_before = cache.k.clone();
+
+        let x = Matrix::from_fn(1, config.hidden, |_, c| (c % 5) as f32 * 0.11 - 0.2);
+        let out_a = attention_forward(&config, block, 0, &x, 3, 1, &mut cache, &mut taps);
+        cache.truncate(snapshot_len);
+        assert_eq!(cache.len(), snapshot_len);
+        assert_eq!(cache.k, k_before);
+        let out_b = attention_forward(&config, block, 0, &x, 3, 1, &mut cache, &mut taps);
+        assert_eq!(out_a, out_b);
     }
 
     #[test]

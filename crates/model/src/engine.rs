@@ -4,7 +4,7 @@
 use crate::attention::KvCacheBlock;
 use crate::block::{block_forward, normed};
 use crate::config::ModelConfig;
-use crate::hooks::TapList;
+use crate::hooks::{AnomalyVerdict, StepReport, TapList};
 use crate::weights::ModelWeights;
 use ft2_tensor::{argmax, Matrix};
 use std::time::Instant;
@@ -13,6 +13,43 @@ use std::time::Instant;
 pub struct Model {
     config: ModelConfig,
     weights: ModelWeights,
+}
+
+/// How the engine reacts to a [`AnomalyVerdict::Storm`] during decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum re-decodes of one token before the generation is declared
+    /// [`GenerationOutput::recovery_failed`]. `0` disables rollback: storm
+    /// verdicts are recorded but the token is accepted as-is.
+    pub max_retries: u32,
+}
+
+impl RecoveryPolicy {
+    /// No rollback — the pre-recovery engine behaviour.
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy { max_retries: 0 }
+    }
+
+    /// Roll back and re-decode a storming token up to `n` times.
+    pub fn retries(n: u32) -> RecoveryPolicy {
+        RecoveryPolicy { max_retries: n }
+    }
+
+    /// Is rollback recovery active?
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+}
+
+/// What happened at one generation step (the finally-accepted execution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Generation step (0 = prefill).
+    pub step: usize,
+    /// Merged tap report of the accepted execution of this step.
+    pub report: StepReport,
+    /// Rollback re-decodes taken before the step was accepted.
+    pub redecodes: u32,
 }
 
 /// Result of a generation run.
@@ -24,6 +61,15 @@ pub struct GenerationOutput {
     pub prefill_ns: u64,
     /// Wall-clock time of all decode steps, nanoseconds.
     pub decode_ns: u64,
+    /// Per-step anomaly reports (one entry per accepted step, in order).
+    pub steps: Vec<StepRecord>,
+    /// Total token rollbacks performed.
+    pub rollbacks: u32,
+    /// Storm verdicts observed, including ones cleared by a rollback.
+    pub storms: u32,
+    /// A step exhausted its retry budget while still storming (only
+    /// possible with an enabled [`RecoveryPolicy`]).
+    pub recovery_failed: bool,
 }
 
 impl GenerationOutput {
@@ -62,6 +108,13 @@ impl KvCache {
     /// True when nothing has been prefetched yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Roll every block back to `len` cached positions (token rollback).
+    pub fn truncate(&mut self, len: usize) {
+        for b in &mut self.blocks {
+            b.truncate(len);
+        }
     }
 }
 
@@ -146,6 +199,26 @@ impl Model {
         gen_tokens: usize,
         taps: &mut TapList<'_>,
     ) -> GenerationOutput {
+        self.generate_with_recovery(prompt, gen_tokens, taps, RecoveryPolicy::disabled())
+    }
+
+    /// [`Model::generate`] with KV-snapshot token rollback: when the merged
+    /// end-of-step verdict is [`AnomalyVerdict::Storm`], the KV cache is
+    /// truncated back to its pre-step length, taps are told to escalate via
+    /// [`crate::hooks::LayerTap::on_rollback`], and the token is re-decoded —
+    /// up to `policy.max_retries` times per step before the step is accepted
+    /// anyway and the run marked [`GenerationOutput::recovery_failed`].
+    ///
+    /// The prefill (step 0) is never rolled back: there are no profiled
+    /// bounds yet to re-decode under, so a poisoned profiling pass is
+    /// handled by the bound-integrity guards instead.
+    pub fn generate_with_recovery(
+        &self,
+        prompt: &[u32],
+        gen_tokens: usize,
+        taps: &mut TapList<'_>,
+        policy: RecoveryPolicy,
+    ) -> GenerationOutput {
         assert!(!prompt.is_empty(), "empty prompt");
         assert!(
             prompt.len() + gen_tokens <= self.config.max_seq,
@@ -156,10 +229,23 @@ impl Model {
         );
         let mut cache = KvCache::new(&self.config);
         let mut tokens = Vec::with_capacity(gen_tokens);
+        let mut steps = Vec::with_capacity(gen_tokens);
+        let mut rollbacks = 0u32;
+        let mut storms = 0u32;
+        let mut recovery_failed = false;
 
         // Prefill == first-token generation (step 0).
         let t0 = Instant::now();
         let h = self.forward_step(prompt, 0, 0, &mut cache, taps);
+        let report0 = taps.end_step(0);
+        if report0.verdict == AnomalyVerdict::Storm {
+            storms += 1;
+        }
+        steps.push(StepRecord {
+            step: 0,
+            report: report0,
+            redecodes: 0,
+        });
         let last = h.slice_rows(h.rows() - 1, h.rows());
         let logits = self.logits(&last);
         let mut next = argmax(&logits) as u32;
@@ -170,9 +256,34 @@ impl Model {
         let t1 = Instant::now();
         for step in 1..gen_tokens {
             let pos = prompt.len() + step - 1;
-            let h = self.forward_step(&[next], pos, step, &mut cache, taps);
-            let logits = self.logits(&h);
-            next = argmax(&logits) as u32;
+            let snapshot = cache.len();
+            let mut redecodes = 0u32;
+            loop {
+                let h = self.forward_step(&[next], pos, step, &mut cache, taps);
+                let report = taps.end_step(step);
+                if report.verdict == AnomalyVerdict::Storm {
+                    storms += 1;
+                    if redecodes < policy.max_retries {
+                        cache.truncate(snapshot);
+                        taps.notify_rollback(step, redecodes);
+                        rollbacks += 1;
+                        redecodes += 1;
+                        continue;
+                    }
+                    if policy.enabled() {
+                        // Retry budget exhausted and the step still storms.
+                        recovery_failed = true;
+                    }
+                }
+                let logits = self.logits(&h);
+                next = argmax(&logits) as u32;
+                steps.push(StepRecord {
+                    step,
+                    report,
+                    redecodes,
+                });
+                break;
+            }
             tokens.push(next);
         }
         let decode_ns = t1.elapsed().as_nanos() as u64;
@@ -181,6 +292,10 @@ impl Model {
             tokens,
             prefill_ns,
             decode_ns,
+            steps,
+            rollbacks,
+            storms,
+            recovery_failed,
         }
     }
 }
@@ -281,6 +396,127 @@ mod tests {
         let mut taps = TapList::new();
         let prompt: Vec<u32> = (0..60).collect();
         let _ = model.generate(&prompt, 10, &mut taps);
+    }
+
+    /// Corrupts one decode step's V_PROJ output and storms until rolled
+    /// back `heal_after` times — a stand-in for a transient fault plus a
+    /// detector (the injector's `fired` flag gives real faults the same
+    /// "clean on re-decode" shape).
+    struct TransientStorm {
+        target_step: usize,
+        heal_after: u32,
+        attempts: u32,
+        stormed_this_step: bool,
+    }
+
+    impl TransientStorm {
+        fn at(target_step: usize, heal_after: u32) -> Self {
+            TransientStorm {
+                target_step,
+                heal_after,
+                attempts: 0,
+                stormed_this_step: false,
+            }
+        }
+    }
+
+    impl LayerTap for TransientStorm {
+        fn on_output(&mut self, ctx: &TapCtx, data: &mut ft2_tensor::Matrix) {
+            if ctx.step == self.target_step
+                && ctx.point.layer == crate::config::LayerKind::VProj
+                && ctx.point.block == 0
+                && self.attempts < self.heal_after
+            {
+                for v in data.as_mut_slice() {
+                    *v += 1.0e3;
+                }
+                self.stormed_this_step = true;
+            }
+        }
+        fn end_step(&mut self, _step: usize) -> StepReport {
+            let verdict = if self.stormed_this_step {
+                AnomalyVerdict::Storm
+            } else {
+                AnomalyVerdict::Clean
+            };
+            self.stormed_this_step = false;
+            StepReport {
+                clamps: 0,
+                nans: 0,
+                verdict,
+            }
+        }
+        fn on_rollback(&mut self, _step: usize, _attempt: u32) {
+            self.attempts += 1;
+        }
+    }
+
+    #[test]
+    fn rollback_recovers_clean_tokens_after_transient_storm() {
+        let model = Model::new(ModelConfig::tiny_llama());
+        let prompt = [4u32, 9, 16, 25];
+        let mut clean_taps = TapList::new();
+        let clean = model.generate(&prompt, 8, &mut clean_taps);
+
+        // Corrupt step 3 once; one rollback re-decodes it cleanly.
+        let mut storm = TransientStorm::at(3, 1);
+        let mut taps = TapList::new();
+        taps.push(&mut storm);
+        let out = model.generate_with_recovery(&prompt, 8, &mut taps, RecoveryPolicy::retries(2));
+        assert_eq!(out.tokens, clean.tokens);
+        assert_eq!(out.rollbacks, 1);
+        assert_eq!(out.storms, 1);
+        assert!(!out.recovery_failed);
+        assert_eq!(out.steps.len(), 8);
+        assert_eq!(out.steps[3].redecodes, 1);
+        assert_eq!(out.steps[3].report.verdict, AnomalyVerdict::Clean);
+    }
+
+    #[test]
+    fn disabled_policy_accepts_storming_step_without_failure_flag() {
+        let model = Model::new(ModelConfig::tiny_llama());
+        let prompt = [4u32, 9, 16, 25];
+        let mut storm = TransientStorm::at(3, u32::MAX);
+        let mut taps = TapList::new();
+        taps.push(&mut storm);
+        let out = model.generate_with_recovery(&prompt, 8, &mut taps, RecoveryPolicy::disabled());
+        // The storm is recorded, but with rollback disabled the token is
+        // accepted and the run is not marked recovery-failed.
+        assert_eq!(out.rollbacks, 0);
+        assert_eq!(out.storms, 1);
+        assert!(!out.recovery_failed);
+        assert_eq!(out.steps[3].report.verdict, AnomalyVerdict::Storm);
+    }
+
+    #[test]
+    fn exhausted_retries_mark_recovery_failed() {
+        let model = Model::new(ModelConfig::tiny_llama());
+        let prompt = [4u32, 9, 16, 25];
+        // Storms persist through every re-decode of step 2.
+        let mut storm = TransientStorm::at(2, u32::MAX);
+        let mut taps = TapList::new();
+        taps.push(&mut storm);
+        let out = model.generate_with_recovery(&prompt, 8, &mut taps, RecoveryPolicy::retries(2));
+        assert_eq!(out.rollbacks, 2);
+        assert_eq!(out.storms, 3); // initial attempt + two re-decodes
+        assert!(out.recovery_failed);
+        assert_eq!(out.steps[2].redecodes, 2);
+        assert_eq!(out.steps[2].report.verdict, AnomalyVerdict::Storm);
+    }
+
+    #[test]
+    fn recovery_disabled_matches_plain_generate() {
+        let model = Model::new(ModelConfig::tiny_opt());
+        let prompt = [3u32, 14, 15, 92, 6];
+        let mut taps_a = TapList::new();
+        let a = model.generate(&prompt, 8, &mut taps_a);
+        let mut taps_b = TapList::new();
+        let b =
+            model.generate_with_recovery(&prompt, 8, &mut taps_b, RecoveryPolicy::disabled());
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.rollbacks, 0);
+        assert_eq!(b.steps.len(), 8);
+        assert!(b.steps.iter().all(|s| s.report.verdict == AnomalyVerdict::Clean));
     }
 
     #[test]

@@ -50,12 +50,66 @@ pub struct TapCtx {
     pub dtype: DType,
 }
 
+/// Severity classification of one generation step, produced by taps that
+/// correct anomalies (the protection tap). The engine's recovery loop acts
+/// on the merged verdict of all taps after each decode step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyVerdict {
+    /// No anomaly was detected this step.
+    #[default]
+    Clean,
+    /// Anomalies were detected and corrected within the detection budget;
+    /// the corrected state is trusted.
+    Corrected,
+    /// The detector fired past its budget (or saw a severe excursion) — the
+    /// hidden state is likely corrupted beyond what clamping repairs, and
+    /// the step is a rollback candidate.
+    Storm,
+}
+
+/// What a tap observed (and corrected) during one generation step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Out-of-bound values clamped/zeroed this step.
+    pub clamps: u64,
+    /// NaN values corrected this step.
+    pub nans: u64,
+    /// The tap's severity verdict for the step.
+    pub verdict: AnomalyVerdict,
+}
+
+impl StepReport {
+    /// Total corrections applied this step.
+    pub fn corrections(&self) -> u64 {
+        self.clamps + self.nans
+    }
+
+    /// Merge another tap's report: counts add, the verdict takes the
+    /// maximum severity.
+    pub fn merge(&mut self, other: &StepReport) {
+        self.clamps += other.clamps;
+        self.nans += other.nans;
+        self.verdict = self.verdict.max(other.verdict);
+    }
+}
+
 /// A forward hook on linear-layer outputs.
 pub trait LayerTap {
     /// Observe and possibly mutate the freshly-stored output of a linear
     /// layer. `data` has one row per sequence position processed this step
     /// and `out_features` columns.
     fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix);
+
+    /// Called by the engine after the forward pass of `step` completes.
+    /// Taps that accumulate per-step anomaly counters report (and reset)
+    /// them here; the default is a clean report.
+    fn end_step(&mut self, _step: usize) -> StepReport {
+        StepReport::default()
+    }
+
+    /// Called when the engine rolls back `step` for re-decode `attempt`
+    /// (0-based). Protection taps escalate here; most taps ignore it.
+    fn on_rollback(&mut self, _step: usize, _attempt: u32) {}
 }
 
 /// An ordered list of taps, applied in registration order.
@@ -90,6 +144,24 @@ impl<'a> TapList<'a> {
     pub fn fire(&mut self, ctx: &TapCtx, data: &mut Matrix) {
         for tap in &mut self.taps {
             tap.on_output(ctx, data);
+        }
+    }
+
+    /// End-of-step notification: merge every tap's [`StepReport`] (counts
+    /// add, verdict takes the maximum severity).
+    pub fn end_step(&mut self, step: usize) -> StepReport {
+        let mut report = StepReport::default();
+        for tap in &mut self.taps {
+            report.merge(&tap.end_step(step));
+        }
+        report
+    }
+
+    /// Tell every tap the engine is rolling back `step` for re-decode
+    /// `attempt`.
+    pub fn notify_rollback(&mut self, step: usize, attempt: u32) {
+        for tap in &mut self.taps {
+            tap.on_rollback(step, attempt);
         }
     }
 }
@@ -217,6 +289,46 @@ mod tests {
         drop(taps);
         assert_eq!(rec.captures.len(), 1);
         assert_eq!(rec.captures[0].1, vec![3.0, 4.0]);
+    }
+
+    struct Stormy;
+    impl LayerTap for Stormy {
+        fn on_output(&mut self, _ctx: &TapCtx, _data: &mut Matrix) {}
+        fn end_step(&mut self, _step: usize) -> StepReport {
+            StepReport {
+                clamps: 3,
+                nans: 1,
+                verdict: AnomalyVerdict::Storm,
+            }
+        }
+    }
+
+    #[test]
+    fn end_step_merges_counts_and_takes_max_verdict() {
+        let mut quiet = AddOne; // default end_step: clean
+        let mut loud = Stormy;
+        let mut taps = TapList::new();
+        taps.push(&mut quiet).push(&mut loud);
+        let report = taps.end_step(2);
+        assert_eq!(report.clamps, 3);
+        assert_eq!(report.nans, 1);
+        assert_eq!(report.corrections(), 4);
+        assert_eq!(report.verdict, AnomalyVerdict::Storm);
+    }
+
+    #[test]
+    fn verdict_severity_is_ordered() {
+        assert!(AnomalyVerdict::Clean < AnomalyVerdict::Corrected);
+        assert!(AnomalyVerdict::Corrected < AnomalyVerdict::Storm);
+        let mut r = StepReport::default();
+        r.merge(&StepReport {
+            clamps: 1,
+            nans: 0,
+            verdict: AnomalyVerdict::Corrected,
+        });
+        assert_eq!(r.verdict, AnomalyVerdict::Corrected);
+        r.merge(&StepReport::default()); // clean merge cannot downgrade
+        assert_eq!(r.verdict, AnomalyVerdict::Corrected);
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod weights;
 pub mod zoo;
 
 pub use config::{Activation, ArchStyle, LayerKind, ModelConfig, NormKind};
-pub use engine::{GenerationOutput, Model};
+pub use engine::{GenerationOutput, KvCache, Model, RecoveryPolicy, StepRecord};
 pub use graph::{ArchGraph, OpClass};
-pub use hooks::{HookKind, LayerTap, NoTaps, RecordingTap, TapCtx, TapList, TapPoint};
+pub use hooks::{
+    AnomalyVerdict, HookKind, LayerTap, NoTaps, RecordingTap, StepReport, TapCtx, TapList,
+    TapPoint,
+};
 pub use zoo::{model_zoo, ModelSpec, ZooModel};

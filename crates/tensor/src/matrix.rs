@@ -161,6 +161,15 @@ impl Matrix {
         self.rows += other.rows;
     }
 
+    /// Drop all rows past `rows`, keeping the leading prefix — the inverse
+    /// of [`Matrix::append_rows`] (KV-cache rollback restores a snapshot by
+    /// truncating back to the snapshotted length).
+    pub fn truncate_rows(&mut self, rows: usize) {
+        assert!(rows <= self.rows, "cannot truncate {} rows to {rows}", self.rows);
+        self.data.truncate(rows * self.cols);
+        self.rows = rows;
+    }
+
     /// The transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);

@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release (offline, locked) =="
 cargo build --release --workspace --offline --locked
 
+echo "== cargo clippy -D warnings (offline, locked) =="
+cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+
 echo "== cargo test (offline, locked) =="
 cargo test -q --workspace --offline --locked
 

@@ -60,6 +60,7 @@ fn main() {
             layer_filter: None,
             trial_deadline_ms: None,
             trial_token_budget: None,
+            recovery_retries: 0,
         };
         let campaign = Campaign::new(&model, &prompts, &judge, cfg, &pool);
         print!("{:>6}:", fm.name());
