@@ -1,0 +1,452 @@
+//! Stored-state integrity: weight-tile checksums, background scrubbing,
+//! and KV-cache CRC guards.
+//!
+//! The paper's protection (and PR 2's rollback) handle *transient* faults in
+//! the computation path. Persistent faults live in stored state — weight
+//! matrices and cached K/V rows — and every subsequent step re-reads them,
+//! so rollback re-decodes into the same corruption forever. The defence is
+//! the classic detect → localise → repair vertical:
+//!
+//! * [`WeightChecksums`] — per-tile CRC-64 checksums over every
+//!   block-linear weight matrix, computed once from the golden checkpoint at
+//!   load time and shared (read-only) across trials.
+//! * [`WeightScrubber`] — a background scrubber that re-verifies `N` tiles
+//!   per decode step, round-robin, amortising the full sweep across the
+//!   generation (priced by `CostModel::scrub_time`). A mismatched tile is
+//!   restored from the golden copy.
+//! * [`KvGuard`] — CRC seals over cached K/V rows, sealed when a step's
+//!   fresh rows are appended and re-verified before every forward pass (the
+//!   attention of each step reads *every* cached position, so verify-before-
+//!   forward is exactly verify-on-read). Poisoned positions cannot be
+//!   restored from any golden copy — the cache is derived state — so the
+//!   guard reports the earliest poisoned position and the engine invalidates
+//!   and re-decodes the suffix via the existing rollback machinery.
+//!
+//! A CRC-64 detects every error burst confined to 64 bits (see
+//! [`ft2_numeric::crc`]), so any fault-model corruption of a single stored
+//! element is guaranteed to change the tile/row checksum.
+
+use ft2_model::state::{StateCtx, StateReport, StateTap};
+use ft2_model::weights::ModelWeights;
+use ft2_model::{LayerKind, ModelConfig};
+use ft2_numeric::crc64_f32s;
+use std::sync::Arc;
+
+/// Elements per checksummed weight tile. 256 × 4 B = 1 KiB tiles — small
+/// enough to localise a repair precisely, large enough that the checksum
+/// table stays tiny relative to the weights (0.4% overhead at 8 B/tile).
+pub const TILE_ELEMS: usize = 256;
+
+/// One checksummed tile of a block-linear weight matrix.
+#[derive(Clone, Copy, Debug)]
+struct Tile {
+    block: usize,
+    layer: LayerKind,
+    start: usize,
+    len: usize,
+    crc: u64,
+}
+
+/// Per-tile CRC-64 checksums of every block-linear weight matrix, computed
+/// from the golden checkpoint. Immutable; share one instance across trials
+/// via `Arc`.
+pub struct WeightChecksums {
+    tiles: Vec<Tile>,
+}
+
+impl WeightChecksums {
+    /// Checksum every block-linear weight matrix of `weights` in tiles of
+    /// [`TILE_ELEMS`] elements.
+    pub fn build(config: &ModelConfig, weights: &ModelWeights) -> WeightChecksums {
+        let mut tiles = Vec::new();
+        for (b, bw) in weights.blocks.iter().enumerate() {
+            for &k in config.block_layers() {
+                let lin = bw.layer(k).expect("config layer missing from weights");
+                let data = lin.weight.as_slice();
+                let mut start = 0;
+                while start < data.len() {
+                    let len = TILE_ELEMS.min(data.len() - start);
+                    tiles.push(Tile {
+                        block: b,
+                        layer: k,
+                        start,
+                        len,
+                        crc: crc64_f32s(&data[start..start + len]),
+                    });
+                    start += len;
+                }
+            }
+        }
+        WeightChecksums { tiles }
+    }
+
+    /// Total number of checksummed tiles (one full scrub sweep verifies
+    /// this many).
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Does the tile at `idx` match the live weights?
+    fn tile_matches(&self, idx: usize, weights: &ModelWeights) -> bool {
+        let t = &self.tiles[idx];
+        let lin = weights.blocks[t.block]
+            .layer(t.layer)
+            .expect("layer missing");
+        crc64_f32s(&lin.weight.as_slice()[t.start..t.start + t.len]) == t.crc
+    }
+
+    /// Restore the tile at `idx` of the live weights from the golden copy,
+    /// after verifying the golden tile still matches its load-time checksum
+    /// (a corrupted repair source must never be propagated).
+    fn repair_tile(&self, idx: usize, live: &mut ModelWeights, golden: &ModelWeights) {
+        let t = &self.tiles[idx];
+        let src = golden.blocks[t.block]
+            .layer(t.layer)
+            .expect("layer missing");
+        let src_slice = &src.weight.as_slice()[t.start..t.start + t.len];
+        assert_eq!(
+            crc64_f32s(src_slice),
+            t.crc,
+            "golden copy corrupted: refusing to repair from it"
+        );
+        let dst = live.blocks[t.block]
+            .layer_mut(t.layer)
+            .expect("layer missing");
+        dst.weight.as_mut_slice()[t.start..t.start + t.len].copy_from_slice(src_slice);
+    }
+}
+
+/// Background weight scrubber: verifies `tiles_per_step` tiles per state
+/// pass, round-robin over the whole tile set, and restores mismatches from
+/// the golden checkpoint. [`StateTap::on_repair`] sweeps every tile at once
+/// (the engine's repair-and-retry rung).
+pub struct WeightScrubber {
+    checksums: Arc<WeightChecksums>,
+    tiles_per_step: usize,
+    cursor: usize,
+}
+
+impl WeightScrubber {
+    /// Scrubber verifying `tiles_per_step` tiles per generation step.
+    pub fn new(checksums: Arc<WeightChecksums>, tiles_per_step: usize) -> WeightScrubber {
+        WeightScrubber {
+            checksums,
+            tiles_per_step,
+            cursor: 0,
+        }
+    }
+
+    fn scrub(&mut self, ctx: &mut StateCtx<'_>, budget: usize) -> StateReport {
+        let total = self.checksums.num_tiles();
+        let mut report = StateReport::default();
+        if total == 0 {
+            return report;
+        }
+        for _ in 0..budget.min(total) {
+            let idx = self.cursor;
+            self.cursor = (self.cursor + 1) % total;
+            report.scrubbed_tiles += 1;
+            if !self.checksums.tile_matches(idx, ctx.weights) {
+                self.checksums.repair_tile(idx, ctx.weights, ctx.golden);
+                report.weight_repairs += 1;
+            }
+        }
+        report
+    }
+}
+
+impl StateTap for WeightScrubber {
+    fn on_step_state(&mut self, ctx: &mut StateCtx<'_>) -> StateReport {
+        let budget = self.tiles_per_step;
+        self.scrub(ctx, budget)
+    }
+
+    fn on_repair(&mut self, ctx: &mut StateCtx<'_>) -> StateReport {
+        let total = self.checksums.num_tiles();
+        self.scrub(ctx, total)
+    }
+}
+
+/// CRC seals over the K and V rows of one block's cache.
+#[derive(Default)]
+struct BlockSeals {
+    k: Vec<u64>,
+    v: Vec<u64>,
+}
+
+/// KV-cache CRC guard: seals every freshly appended cache row at
+/// end-of-step, verifies every sealed row before each forward pass, and
+/// reports the earliest corrupted position so the engine can invalidate and
+/// re-decode the poisoned suffix.
+#[derive(Default)]
+pub struct KvGuard {
+    seals: Vec<BlockSeals>,
+}
+
+impl KvGuard {
+    /// A guard with no seals yet (seals accrue as steps complete).
+    pub fn new() -> KvGuard {
+        KvGuard::default()
+    }
+
+    fn verify(&self, ctx: &StateCtx<'_>) -> StateReport {
+        let mut invalid: Option<usize> = None;
+        for (b, seals) in self.seals.iter().enumerate() {
+            let blk = ctx.cache.block(b);
+            for (pos, &crc) in seals.k.iter().enumerate() {
+                if crc64_f32s(blk.k.row(pos)) != crc {
+                    invalid = Some(invalid.map_or(pos, |p: usize| p.min(pos)));
+                }
+            }
+            for (pos, &crc) in seals.v.iter().enumerate() {
+                if crc64_f32s(blk.v.row(pos)) != crc {
+                    invalid = Some(invalid.map_or(pos, |p: usize| p.min(pos)));
+                }
+            }
+        }
+        StateReport {
+            kv_invalid_from: invalid,
+            ..StateReport::default()
+        }
+    }
+}
+
+impl StateTap for KvGuard {
+    fn on_step_state(&mut self, ctx: &mut StateCtx<'_>) -> StateReport {
+        self.verify(ctx)
+    }
+
+    fn on_step_end(&mut self, ctx: &mut StateCtx<'_>) {
+        // Seal every not-yet-sealed row (fresh appends of this step, plus
+        // any rows rebuilt after an invalidation).
+        let blocks = ctx.cache.num_blocks();
+        if self.seals.len() < blocks {
+            self.seals.resize_with(blocks, BlockSeals::default);
+        }
+        for (b, seals) in self.seals.iter_mut().enumerate() {
+            let blk = ctx.cache.block(b);
+            for pos in seals.k.len()..blk.k.rows() {
+                seals.k.push(crc64_f32s(blk.k.row(pos)));
+            }
+            for pos in seals.v.len()..blk.v.rows() {
+                seals.v.push(crc64_f32s(blk.v.row(pos)));
+            }
+        }
+    }
+
+    fn on_repair(&mut self, ctx: &mut StateCtx<'_>) -> StateReport {
+        self.verify(ctx)
+    }
+
+    fn on_cache_truncated(&mut self, len: usize) {
+        for seals in &mut self.seals {
+            seals.k.truncate(len);
+            seals.v.truncate(len);
+        }
+    }
+}
+
+/// Integrity-layer configuration attached to a protection scheme.
+#[derive(Clone)]
+pub struct IntegrityConfig {
+    /// Weight tiles the scrubber verifies per generation step (0 disables
+    /// weight scrubbing).
+    pub scrub_tiles_per_step: usize,
+    /// Enable the KV-cache CRC guard.
+    pub kv_guard: bool,
+    /// Golden-checkpoint tile checksums (required when
+    /// `scrub_tiles_per_step > 0`).
+    pub checksums: Option<Arc<WeightChecksums>>,
+}
+
+impl IntegrityConfig {
+    /// Integrity layer fully disabled.
+    pub fn disabled() -> IntegrityConfig {
+        IntegrityConfig {
+            scrub_tiles_per_step: 0,
+            kv_guard: false,
+            checksums: None,
+        }
+    }
+
+    /// Is any integrity mechanism active?
+    pub fn enabled(&self) -> bool {
+        self.scrub_tiles_per_step > 0 || self.kv_guard
+    }
+
+    /// Suffix appended to the scheme name for reporting/fingerprinting
+    /// (empty when disabled).
+    pub fn label_suffix(&self) -> String {
+        let mut s = String::new();
+        if self.scrub_tiles_per_step > 0 {
+            s.push_str(&format!("+scrub{}", self.scrub_tiles_per_step));
+        }
+        if self.kv_guard {
+            s.push_str("+kvguard");
+        }
+        s
+    }
+
+    /// Build the state taps this configuration calls for.
+    pub fn make_state(&self) -> Vec<Box<dyn StateTap>> {
+        let mut taps: Vec<Box<dyn StateTap>> = Vec::new();
+        if self.scrub_tiles_per_step > 0 {
+            let checksums = self
+                .checksums
+                .as_ref()
+                .expect("scrubbing requires golden checksums")
+                .clone();
+            taps.push(Box::new(WeightScrubber::new(
+                checksums,
+                self.scrub_tiles_per_step,
+            )));
+        }
+        if self.kv_guard {
+            taps.push(Box::new(KvGuard::new()));
+        }
+        taps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::{KvCache, Model, ModelConfig};
+    use ft2_tensor::DType;
+
+    fn ctx_parts() -> (ModelConfig, ModelWeights, ModelWeights) {
+        let config = ModelConfig::tiny_opt();
+        let golden = ModelWeights::build(&config);
+        let live = golden.clone();
+        (config, golden, live)
+    }
+
+    #[test]
+    fn checksums_cover_all_block_linears() {
+        let (config, golden, _) = ctx_parts();
+        let sums = WeightChecksums::build(&config, &golden);
+        // tiny-opt: 2 blocks × (4 × 32×32 + 128×32 + 32×128) elements,
+        // tiled at 256 elements each.
+        let per_block = 4 * (32 * 32) + 2 * (128 * 32);
+        assert_eq!(sums.num_tiles(), 2 * per_block / TILE_ELEMS);
+    }
+
+    #[test]
+    fn scrubber_detects_and_repairs_a_flipped_weight() {
+        let (config, golden, mut live) = ctx_parts();
+        let sums = Arc::new(WeightChecksums::build(&config, &golden));
+        // Corrupt one element of block 1's FC1.
+        let original = live.blocks[1].fc.as_ref().unwrap().0.weight.get_flat(7);
+        live.blocks[1]
+            .fc
+            .as_mut()
+            .unwrap()
+            .0
+            .weight
+            .set_flat(7, original + 1000.0);
+        let mut scrubber = WeightScrubber::new(sums.clone(), sums.num_tiles());
+        let mut cache = KvCache::new(&config);
+        let mut ctx = StateCtx {
+            step: 1,
+            prompt_len: 4,
+            weights: &mut live,
+            cache: &mut cache,
+            golden: &golden,
+            dtype: DType::F16,
+        };
+        let rep = scrubber.on_step_state(&mut ctx);
+        assert_eq!(rep.scrubbed_tiles as usize, sums.num_tiles());
+        assert_eq!(rep.weight_repairs, 1);
+        assert_eq!(
+            live.blocks[1].fc.as_ref().unwrap().0.weight.get_flat(7),
+            original
+        );
+    }
+
+    #[test]
+    fn scrubber_amortises_across_steps() {
+        let (config, golden, mut live) = ctx_parts();
+        let sums = Arc::new(WeightChecksums::build(&config, &golden));
+        let total = sums.num_tiles();
+        let mut scrubber = WeightScrubber::new(sums, 3);
+        let mut cache = KvCache::new(&config);
+        let mut scrubbed = 0u64;
+        for step in 0..total {
+            let mut ctx = StateCtx {
+                step,
+                prompt_len: 4,
+                weights: &mut live,
+                cache: &mut cache,
+                golden: &golden,
+                dtype: DType::F16,
+            };
+            scrubbed += scrubber.on_step_state(&mut ctx).scrubbed_tiles;
+        }
+        assert_eq!(scrubbed as usize, 3 * total);
+    }
+
+    #[test]
+    fn kv_guard_flags_earliest_poisoned_position() {
+        let config = ModelConfig::tiny_opt();
+        let model = Model::new(config.clone());
+        let golden = ModelWeights::build(&config);
+        let mut live = golden.clone();
+        let mut cache = KvCache::new(&config);
+        // Fill the cache via a real prefill.
+        let mut taps = ft2_model::TapList::new();
+        let _ = model.forward_step(&[1, 2, 3, 4, 5], 0, 0, &mut cache, &mut taps);
+        let mut guard = KvGuard::new();
+        let mut ctx = StateCtx {
+            step: 1,
+            prompt_len: 5,
+            weights: &mut live,
+            cache: &mut cache,
+            golden: &golden,
+            dtype: DType::F16,
+        };
+        guard.on_step_end(&mut ctx);
+        // Clean verify.
+        assert_eq!(guard.on_step_state(&mut ctx).kv_invalid_from, None);
+        // Corrupt position 3 of block 1's V and position 1 of block 0's K.
+        ctx.cache.block_mut(1).v.set_flat(3 * config.hidden + 2, 42.0);
+        ctx.cache.block_mut(0).k.set_flat(config.hidden + 5, -9.0);
+        let rep = guard.on_step_state(&mut ctx);
+        assert_eq!(rep.kv_invalid_from, Some(1));
+        // Invalidate + reseal: truncate to 1, seals follow.
+        ctx.cache.truncate(1);
+        guard.on_cache_truncated(1);
+        let _ = model.forward_step(&[2, 3, 4, 5], 1, 0, &mut cache, &mut taps);
+        let mut ctx = StateCtx {
+            step: 1,
+            prompt_len: 5,
+            weights: &mut live,
+            cache: &mut cache,
+            golden: &golden,
+            dtype: DType::F16,
+        };
+        guard.on_step_end(&mut ctx);
+        assert_eq!(guard.on_step_state(&mut ctx).kv_invalid_from, None);
+    }
+
+    #[test]
+    fn integrity_config_builds_requested_taps() {
+        let (config, golden, _) = ctx_parts();
+        let sums = Arc::new(WeightChecksums::build(&config, &golden));
+        assert!(IntegrityConfig::disabled().make_state().is_empty());
+        assert!(!IntegrityConfig::disabled().enabled());
+        let both = IntegrityConfig {
+            scrub_tiles_per_step: 8,
+            kv_guard: true,
+            checksums: Some(sums),
+        };
+        assert_eq!(both.make_state().len(), 2);
+        assert_eq!(both.label_suffix(), "+scrub8+kvguard");
+        let kv_only = IntegrityConfig {
+            scrub_tiles_per_step: 0,
+            kv_guard: true,
+            checksums: None,
+        };
+        assert_eq!(kv_only.make_state().len(), 1);
+        assert_eq!(kv_only.label_suffix(), "+kvguard");
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod bounds;
 pub mod critical;
+pub mod integrity;
 pub mod persist;
 pub mod profile;
 pub mod protect;
@@ -39,6 +40,7 @@ pub mod schemes;
 
 pub use bounds::{prior_cap, static_prior, BoundsStore, LayerBounds};
 pub use critical::{critical_layers, is_critical, CriticalityReport};
+pub use integrity::{IntegrityConfig, KvGuard, WeightChecksums, WeightScrubber, TILE_ELEMS};
 pub use persist::{from_csv as bounds_from_csv, to_csv as bounds_to_csv};
 pub use profile::offline_profile;
 pub use protect::{Correction, Coverage, NanPolicy, Protector, DEFAULT_STORM_THRESHOLD};

@@ -15,10 +15,11 @@
 //! "nearly 2× overhead" the paper cites for naive full coverage).
 
 use crate::critical::critical_layers;
+use crate::integrity::IntegrityConfig;
 use crate::profile::OfflineBounds;
 use crate::protect::{Correction, Coverage, NanPolicy, Protector};
 use ft2_fault::ProtectionFactory;
-use ft2_model::{ArchStyle, LayerKind, LayerTap, ModelConfig};
+use ft2_model::{ArchStyle, LayerKind, LayerTap, ModelConfig, StateTap};
 use std::sync::Arc;
 
 /// Default FT2 bound scale factor (§4.2.1: set to 2 "for easy and faster
@@ -125,6 +126,8 @@ pub struct SchemeFactory {
     offline: Option<Arc<OfflineBounds>>,
     scale: f32,
     storm_threshold: Option<u64>,
+    integrity: IntegrityConfig,
+    label: String,
 }
 
 impl SchemeFactory {
@@ -146,6 +149,8 @@ impl SchemeFactory {
             offline,
             scale: FT2_DEFAULT_SCALE,
             storm_threshold: None,
+            integrity: IntegrityConfig::disabled(),
+            label: scheme.name().to_string(),
         }
     }
 
@@ -157,7 +162,19 @@ impl SchemeFactory {
             offline: None,
             scale,
             storm_threshold: None,
+            integrity: IntegrityConfig::disabled(),
+            label: Scheme::Ft2.name().to_string(),
         }
+    }
+
+    /// Attach a stored-state integrity layer (weight scrubbing and/or a
+    /// KV-cache guard) to every produced tap set. The reported scheme name
+    /// gains a suffix (e.g. `FT2+scrub8+kvguard`) so campaign fingerprints
+    /// distinguish integrity configurations.
+    pub fn with_integrity(mut self, integrity: IntegrityConfig) -> SchemeFactory {
+        self.label = format!("{}{}", self.scheme.name(), integrity.label_suffix());
+        self.integrity = integrity;
+        self
     }
 
     /// Override the per-step storm threshold of every produced protector
@@ -217,8 +234,12 @@ impl ProtectionFactory for SchemeFactory {
         }
     }
 
+    fn make_state(&self) -> Vec<Box<dyn StateTap>> {
+        self.integrity.make_state()
+    }
+
     fn scheme_name(&self) -> &str {
-        self.scheme.name()
+        &self.label
     }
 }
 

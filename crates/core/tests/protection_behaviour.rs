@@ -4,7 +4,7 @@ use ft2_core::critical::critical_layers;
 use ft2_core::profile::offline_profile;
 use ft2_core::protect::{Correction, Coverage, NanPolicy, Protector};
 use ft2_core::{Scheme, SchemeFactory};
-use ft2_fault::{FaultInjector, FaultSite, ProtectionFactory};
+use ft2_fault::{FaultDuration, FaultInjector, FaultSite, FaultTarget, ProtectionFactory};
 use ft2_model::{LayerKind, TapList, TapPoint, ZooModel};
 use ft2_parallel::WorkStealingPool;
 use ft2_tasks::datasets::generate_prompts;
@@ -43,6 +43,8 @@ fn ft2_masks_a_catastrophic_critical_layer_fault() {
         },
         element: 5,
         bits: vec![14],
+        duration: FaultDuration::Transient,
+        target: FaultTarget::Activation,
     };
     let faulty = inject_and_generate(&model, &prompt, site.clone(), None, 12);
     // The unprotected fault corrupts at least the hidden state; the output
@@ -70,6 +72,8 @@ fn nan_faults_are_corrected_by_ft2_even_at_first_token() {
         },
         element: 9,
         bits: vec![14],
+        duration: FaultDuration::Transient,
+        target: FaultTarget::Activation,
     };
     let ft2 = SchemeFactory::new(Scheme::Ft2, model.config(), None);
     let protected = inject_and_generate(&model, &prompt, site.clone(), Some(&ft2), 10);

@@ -20,13 +20,15 @@
 //! few hundred tasks so an interrupted campaign resumes bit-identically.
 
 use crate::checkpoint::CampaignCheckpoint;
-use crate::inject::FaultInjector;
-use crate::model::FaultModel;
+use crate::inject::{FaultInjector, StateFaultInjector};
+use crate::model::{FaultDuration, FaultModel, FaultTarget};
 use crate::outcome::{Outcome, OutcomeCounts, OutcomeJudge};
 use crate::site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
 use crate::trace::{TraceEvent, TraceTap};
 use crate::watchdog::{TrialAbort, WatchdogTap};
-use ft2_model::{LayerKind, LayerTap, Model, RecoveryPolicy, StepRecord, TapList};
+use ft2_model::{
+    LayerKind, LayerTap, Model, RecoveryPolicy, StateTap, StateTapList, StepRecord, TapList,
+};
 use ft2_numeric::Xoshiro256StarStar;
 use ft2_parallel::{catch_quiet, WorkStealingPool};
 use std::collections::BTreeMap;
@@ -42,6 +44,14 @@ pub trait ProtectionFactory: Sync {
     /// Create the protection taps for one trial, to run *after* the fault
     /// injector in hook order.
     fn make(&self) -> Vec<Box<dyn LayerTap>>;
+
+    /// Create the stored-state taps (integrity scrubber / KV guard) for one
+    /// trial, to run *after* the stored-state fault injector in state-pass
+    /// order — a guard then observes a same-step corruption before the
+    /// forward consumes it. Default: none.
+    fn make_state(&self) -> Vec<Box<dyn StateTap>> {
+        Vec::new()
+    }
 
     /// Scheme name for reports.
     fn scheme_name(&self) -> &str {
@@ -70,6 +80,12 @@ pub struct CampaignConfig {
     pub gen_tokens: usize,
     /// Which bits faults flip.
     pub fault_model: FaultModel,
+    /// How long injected faults endure (transient upset, intermittent
+    /// re-striker, or persistent corruption).
+    pub fault_duration: FaultDuration,
+    /// What faults corrupt: computed activations, stored weights, or cached
+    /// K/V rows.
+    pub fault_target: FaultTarget,
     /// Which generation steps faults may strike.
     pub step_filter: StepFilter,
     /// How steps are weighted when drawing the fault step.
@@ -89,6 +105,12 @@ pub struct CampaignConfig {
     /// rolls the KV cache back and re-decodes the token with escalated
     /// protection instead of accepting a likely-SDC token.
     pub recovery_retries: u32,
+    /// After the rollback retry budget is exhausted, take one
+    /// repair-and-retry rung: sweep every integrity tap's full repair pass
+    /// (weight tiles restored from the golden copy, poisoned KV positions
+    /// invalidated and rebuilt), then re-decode once more. Requires state
+    /// taps to have any effect.
+    pub recovery_repair: bool,
 }
 
 impl CampaignConfig {
@@ -99,12 +121,15 @@ impl CampaignConfig {
             trials_per_input: 50,
             gen_tokens: 16,
             fault_model,
+            fault_duration: FaultDuration::Transient,
+            fault_target: FaultTarget::Activation,
             step_filter: StepFilter::AllSteps,
             step_weighting: StepWeighting::default(),
             layer_filter: None,
             trial_deadline_ms: None,
             trial_token_budget: None,
             recovery_retries: 0,
+            recovery_repair: false,
         }
     }
 }
@@ -157,6 +182,17 @@ pub struct CampaignResult {
     /// Total anomaly-storm verdicts across all trials (including storms
     /// cleared by a rollback).
     pub storms: u64,
+    /// Total weight tiles re-verified by integrity scrubbing (the scrub
+    /// work the campaign paid for, repairs or not).
+    pub scrubbed_tiles: u64,
+    /// Total weight tiles found corrupted and restored from the golden
+    /// copy.
+    pub weight_repairs: u64,
+    /// Total KV-cache positions invalidated and rebuilt after a guard
+    /// flagged them.
+    pub kv_repairs: u64,
+    /// Total repair-and-retry rungs taken after rollback exhaustion.
+    pub repair_retries: u64,
 }
 
 impl CampaignResult {
@@ -197,6 +233,10 @@ impl CampaignResult {
         }
         self.rollbacks += rec.rollbacks as u64;
         self.storms += rec.storms as u64;
+        self.scrubbed_tiles += rec.scrubbed_tiles;
+        self.weight_repairs += rec.weight_repairs;
+        self.kv_repairs += rec.kv_repairs;
+        self.repair_retries += rec.repair_retries as u64;
     }
 }
 
@@ -217,6 +257,14 @@ pub struct TrialRecord {
     pub rollbacks: u32,
     /// Anomaly-storm verdicts observed in this trial.
     pub storms: u32,
+    /// Weight tiles re-verified by scrubbing in this trial.
+    pub scrubbed_tiles: u64,
+    /// Weight tiles restored from the golden copy in this trial.
+    pub weight_repairs: u64,
+    /// KV-cache positions invalidated and rebuilt in this trial.
+    pub kv_repairs: u64,
+    /// Repair-and-retry rungs taken in this trial.
+    pub repair_retries: u32,
 }
 
 /// Verbose observations from a traced single-trial replay.
@@ -344,7 +392,9 @@ impl<'a> Campaign<'a> {
         let mut sampler =
             SiteSampler::new(self.model.config(), prompt.len(), self.config.gen_tokens)
                 .with_step_filter(self.config.step_filter)
-                .with_step_weighting(self.config.step_weighting);
+                .with_step_weighting(self.config.step_weighting)
+                .with_duration(self.config.fault_duration)
+                .with_target(self.config.fault_target);
         if let Some(kinds) = &self.config.layer_filter {
             sampler = sampler.with_layer_filter(kinds.clone());
         }
@@ -391,9 +441,11 @@ impl<'a> Campaign<'a> {
         (body.record, trace)
     }
 
-    /// The isolated trial body shared by all run modes. Tap order:
+    /// The isolated trial body shared by all run modes. Layer-tap order:
     /// watchdog (aborts fire even when a later tap stalls) → injector →
     /// protection → tracer (observes what protection let through).
+    /// State-tap order: stored-state injector → integrity taps (a guard
+    /// sees a same-step corruption in the pass that would consume it).
     fn run_trial(
         &self,
         protection: &dyn ProtectionFactory,
@@ -404,42 +456,83 @@ impl<'a> Campaign<'a> {
         let prompt = &self.inputs[input_id];
         let (site, bit_class) = self.sample_site(input_id, trial_id);
 
-        let mut injector = FaultInjector::new(site.clone());
+        let activation_fault = site.target == FaultTarget::Activation;
+        let mut injector = activation_fault.then(|| FaultInjector::new(site.clone()));
+        let mut state_injector =
+            (!activation_fault).then(|| StateFaultInjector::new(site.clone()));
         let mut watchdog = WatchdogTap::new(
             self.config.trial_deadline_ms.map(Duration::from_millis),
             self.config.trial_token_budget,
         );
         let mut protection_taps = protection.make();
-        let policy = RecoveryPolicy::retries(self.config.recovery_retries);
+        let mut state_taps = protection.make_state();
+        let mut policy = RecoveryPolicy::retries(self.config.recovery_retries);
+        if self.config.recovery_repair {
+            policy = policy.with_repair();
+        }
         let generated = catch_quiet(|| {
             let mut taps = TapList::new();
             if watchdog.is_armed() {
                 taps.push(&mut watchdog);
             }
-            taps.push(&mut injector);
+            if let Some(inj) = injector.as_mut() {
+                taps.push(inj);
+            }
             for t in protection_taps.iter_mut() {
                 taps.push(t.as_mut());
             }
             if let Some(tr) = tracer {
                 taps.push(tr);
             }
-            self.model
-                .generate_with_recovery(prompt, self.config.gen_tokens, &mut taps, policy)
+            let mut state = StateTapList::new();
+            if let Some(inj) = state_injector.as_mut() {
+                state.push(inj);
+            }
+            for t in state_taps.iter_mut() {
+                state.push(t.as_mut());
+            }
+            self.model.generate_resilient(
+                prompt,
+                self.config.gen_tokens,
+                &mut taps,
+                &mut state,
+                policy,
+            )
         });
 
+        let mut scrubbed_tiles = 0;
+        let mut weight_repairs = 0;
+        let mut kv_repairs = 0;
+        let mut repair_retries = 0;
         let (outcome, tokens, steps, rollbacks, storms) = match generated {
             Ok(out) => {
-                debug_assert!(injector.fired(), "fault site never reached");
-                // Note: the injector fires exactly once, so a rolled-back
-                // token is re-decoded *without* the fault — the transient-
-                // fault semantics that make rollback recovery sound.
+                debug_assert!(
+                    injector.as_ref().map(FaultInjector::fired).unwrap_or(true)
+                        && state_injector
+                            .as_ref()
+                            .map(StateFaultInjector::fired)
+                            .unwrap_or(true),
+                    "fault site never reached"
+                );
+                scrubbed_tiles = out.scrubbed_tiles;
+                weight_repairs = out.weight_repairs;
+                kv_repairs = out.kv_repairs;
+                repair_retries = out.repair_retries;
+                // A transient fault strikes once, so a rolled-back token is
+                // re-decoded *without* it; persistent faults re-corrupt (or
+                // stay resident in) re-decodes, and only a stored-state
+                // repair removes them.
                 let outcome = if out.recovery_failed {
                     Outcome::RecoveryFailed {
                         retries: out.rollbacks,
                     }
                 } else {
                     let judged = self.judge.classify(&self.references[input_id], &out.tokens);
-                    if out.rollbacks > 0 && judged.is_masked() {
+                    if judged.is_masked() && out.repairs() > 0 {
+                        Outcome::Repaired {
+                            repairs: out.repairs(),
+                        }
+                    } else if out.rollbacks > 0 && judged.is_masked() {
                         Outcome::Recovered {
                             retries: out.rollbacks,
                         }
@@ -463,6 +556,11 @@ impl<'a> Campaign<'a> {
                 0,
             ),
         };
+        let injected = match (&injector, &state_injector) {
+            (Some(inj), _) => inj.original.zip(inj.corrupted),
+            (_, Some(inj)) => inj.original.zip(inj.corrupted),
+            _ => None,
+        };
         TrialBody {
             record: TrialRecord {
                 input: input_id,
@@ -472,8 +570,12 @@ impl<'a> Campaign<'a> {
                 bit_class,
                 rollbacks,
                 storms,
+                scrubbed_tiles,
+                weight_repairs,
+                kv_repairs,
+                repair_retries,
             },
-            injected: injector.original.zip(injector.corrupted),
+            injected,
             tokens,
             steps,
         }
@@ -516,11 +618,13 @@ impl<'a> Campaign<'a> {
                 .join("+"),
         };
         format!(
-            "v2|seed={}|trials={}|gen={}|fault={:?}|steps={:?}|weight={:?}|layers={}|inputs={}|budget={:?}|deadline={:?}|recovery={}|scheme={}|refs={:016x}",
+            "v3|seed={}|trials={}|gen={}|fault={:?}|duration={:?}|target={}|steps={:?}|weight={:?}|layers={}|inputs={}|budget={:?}|deadline={:?}|recovery={}|repair={}|scheme={}|refs={:016x}",
             self.config.seed,
             self.config.trials_per_input,
             self.config.gen_tokens,
             self.config.fault_model,
+            self.config.fault_duration,
+            self.config.fault_target.name(),
             self.config.step_filter,
             self.config.step_weighting,
             layers,
@@ -528,6 +632,7 @@ impl<'a> Campaign<'a> {
             self.config.trial_token_budget,
             self.config.trial_deadline_ms,
             self.config.recovery_retries,
+            self.config.recovery_repair,
             scheme,
             h,
         )

@@ -10,15 +10,23 @@
 //! the uninterrupted run bit for bit.
 //!
 //! The format is a small hand-rolled JSON document (the workspace is
-//! dependency-free, so no serde): human-inspectable, versioned by the
-//! fingerprint, written atomically via a temp file + rename so a crash
-//! mid-write can never corrupt an existing checkpoint.
+//! dependency-free, so no serde): human-inspectable, written atomically via
+//! a temp file + rename so a crash mid-write can never corrupt an existing
+//! checkpoint. Documents carry a `"version"` key (current:
+//! [`CHECKPOINT_VERSION`]); version-2 documents (which predate the key, the
+//! fault-duration taxonomy, and the integrity counters) still load, with the
+//! new counters zeroed. Unknown or future versions are rejected with a
+//! clear error instead of being misparsed.
 
 use crate::campaign::{CampaignResult, TrialFailure};
 use crate::outcome::OutcomeCounts;
 use ft2_model::LayerKind;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Current checkpoint document version. Version 2 documents (no `"version"`
+/// key) remain loadable; versions above this are rejected.
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// A persisted campaign prefix: everything needed to resume.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +45,7 @@ impl CampaignCheckpoint {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {CHECKPOINT_VERSION},");
         let _ = writeln!(s, "  \"fingerprint\": {},", quote(&self.fingerprint));
         let _ = writeln!(s, "  \"completed_tasks\": {},", self.completed_tasks);
         let _ = writeln!(s, "  \"counts\": {},", counts_json(&self.result.counts));
@@ -76,7 +85,11 @@ impl CampaignCheckpoint {
         }
         s.push_str("],\n");
         let _ = writeln!(s, "  \"rollbacks\": {},", self.result.rollbacks);
-        let _ = writeln!(s, "  \"storms\": {}", self.result.storms);
+        let _ = writeln!(s, "  \"storms\": {},", self.result.storms);
+        let _ = writeln!(s, "  \"scrubbed_tiles\": {},", self.result.scrubbed_tiles);
+        let _ = writeln!(s, "  \"weight_repairs\": {},", self.result.weight_repairs);
+        let _ = writeln!(s, "  \"kv_repairs\": {},", self.result.kv_repairs);
+        let _ = writeln!(s, "  \"repair_retries\": {}", self.result.repair_retries);
         s.push_str("}\n");
         s
     }
@@ -85,6 +98,23 @@ impl CampaignCheckpoint {
     pub fn from_json(text: &str) -> Result<CampaignCheckpoint, String> {
         let v = Json::parse(text)?;
         let obj = v.as_obj("checkpoint")?;
+        // Version 2 documents predate the "version" key.
+        let version = match get_opt(obj, "version") {
+            Some(v) => v.as_u64("version")?,
+            None => 2,
+        };
+        if version > CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} is newer than this binary supports \
+                 (max {CHECKPOINT_VERSION}); upgrade ft2 or delete the checkpoint \
+                 to restart the campaign"
+            ));
+        }
+        if version < 2 {
+            return Err(format!(
+                "unknown checkpoint version {version} (supported: 2..={CHECKPOINT_VERSION})"
+            ));
+        }
         let mut result = CampaignResult {
             counts: parse_counts(get(obj, "counts")?)?,
             first_token_faults: parse_counts(get(obj, "first_token_faults")?)?,
@@ -121,6 +151,12 @@ impl CampaignCheckpoint {
         }
         result.rollbacks = get(obj, "rollbacks")?.as_u64("rollbacks")?;
         result.storms = get(obj, "storms")?.as_u64("storms")?;
+        // Integrity counters arrived in version 3; older documents load
+        // with them zeroed.
+        result.scrubbed_tiles = get_u64_or(obj, "scrubbed_tiles", 0)?;
+        result.weight_repairs = get_u64_or(obj, "weight_repairs", 0)?;
+        result.kv_repairs = get_u64_or(obj, "kv_repairs", 0)?;
+        result.repair_retries = get_u64_or(obj, "repair_retries", 0)?;
         Ok(CampaignCheckpoint {
             fingerprint: get(obj, "fingerprint")?.as_str("fingerprint")?.to_string(),
             completed_tasks: get(obj, "completed_tasks")?.as_u64("completed_tasks")? as usize,
@@ -151,21 +187,23 @@ impl CampaignCheckpoint {
 
 fn counts_json(c: &OutcomeCounts) -> String {
     format!(
-        "[{}, {}, {}, {}, {}, {}, {}]",
+        "[{}, {}, {}, {}, {}, {}, {}, {}]",
         c.masked_identical,
         c.masked_semantic,
         c.sdc,
         c.crash,
         c.hang,
         c.recovered,
-        c.recovery_failed
+        c.recovery_failed,
+        c.repaired
     )
 }
 
 fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
     let a = v.as_arr("counts")?;
-    if a.len() != 7 {
-        return Err(format!("counts must have 7 fields, got {}", a.len()));
+    // Version-2 documents carry 7-element count rows (no `repaired`).
+    if a.len() != 7 && a.len() != 8 {
+        return Err(format!("counts must have 7 or 8 fields, got {}", a.len()));
     }
     Ok(OutcomeCounts {
         masked_identical: a[0].as_u64("counts[0]")?,
@@ -175,6 +213,10 @@ fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
         hang: a[4].as_u64("counts[4]")?,
         recovered: a[5].as_u64("counts[5]")?,
         recovery_failed: a[6].as_u64("counts[6]")?,
+        repaired: match a.get(7) {
+            Some(v) => v.as_u64("counts[7]")?,
+            None => 0,
+        },
     })
 }
 
@@ -183,6 +225,17 @@ fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64_or(obj: &[(String, Json)], key: &str, default: u64) -> Result<u64, String> {
+    match get_opt(obj, key) {
+        Some(v) => v.as_u64(key),
+        None => Ok(default),
+    }
 }
 
 fn quote(s: &str) -> String {
@@ -402,9 +455,14 @@ mod tests {
                 hang: 1,
                 recovered: 6,
                 recovery_failed: 2,
+                repaired: 5,
             },
             rollbacks: 9,
             storms: 11,
+            scrubbed_tiles: 4096,
+            weight_repairs: 3,
+            kv_repairs: 2,
+            repair_retries: 1,
             ..CampaignResult::default()
         };
         result.per_layer.insert(
@@ -463,6 +521,52 @@ mod tests {
         assert_eq!(CampaignCheckpoint::load(&missing).unwrap(), None);
         assert!(CampaignCheckpoint::from_json("{nope").is_err());
         assert!(CampaignCheckpoint::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn future_and_unknown_versions_are_rejected_clearly() {
+        let cp = sample_checkpoint();
+        let future = cp.to_json().replace(
+            &format!("\"version\": {CHECKPOINT_VERSION}"),
+            &format!("\"version\": {}", CHECKPOINT_VERSION + 1),
+        );
+        let err = CampaignCheckpoint::from_json(&future).unwrap_err();
+        assert!(
+            err.contains("newer than this binary supports"),
+            "unhelpful error: {err}"
+        );
+        let ancient = cp.to_json().replace(
+            &format!("\"version\": {CHECKPOINT_VERSION}"),
+            "\"version\": 1",
+        );
+        let err = CampaignCheckpoint::from_json(&ancient).unwrap_err();
+        assert!(err.contains("unknown checkpoint version 1"), "{err}");
+    }
+
+    #[test]
+    fn version2_documents_still_load() {
+        // A v2 document: no "version" key, 7-element count rows, no
+        // integrity counters.
+        let v2 = r#"{
+  "fingerprint": "v2|seed=1",
+  "completed_tasks": 12,
+  "counts": [5, 1, 3, 1, 0, 2, 0],
+  "per_layer": {"FC1": [5, 1, 3, 1, 0, 2, 0]},
+  "per_bit_class": {"exponent": [5, 1, 3, 1, 0, 2, 0]},
+  "first_token_faults": [0, 0, 0, 0, 0, 0, 0],
+  "crashes": [],
+  "rollbacks": 2,
+  "storms": 3
+}"#;
+        let cp = CampaignCheckpoint::from_json(v2).unwrap();
+        assert_eq!(cp.completed_tasks, 12);
+        assert_eq!(cp.result.counts.total(), 12);
+        assert_eq!(cp.result.counts.repaired, 0);
+        assert_eq!(cp.result.scrubbed_tiles, 0);
+        assert_eq!(cp.result.weight_repairs, 0);
+        assert_eq!(cp.result.kv_repairs, 0);
+        assert_eq!(cp.result.repair_retries, 0);
+        assert_eq!(cp.result.rollbacks, 2);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!
 //! * [`model`] — the three fault models: single-bit flip (*1-bit*),
 //!   double-bit flip (*2-bit*), and single-bit flip restricted to exponent
-//!   bits (*EXP*, the most aggressive).
+//!   bits (*EXP*, the most aggressive); plus the fault-*duration* taxonomy
+//!   (transient / intermittent / persistent) and fault *targets*
+//!   (activations / weights / KV cache).
 //! * [`site`] — fault-site sampling: a site is `(generation step, block,
 //!   layer, element, bits)`, drawn uniformly over all neuron *computations*
 //!   of the linear layers in decoder blocks (prefill positions weight the
@@ -42,10 +44,10 @@ pub use campaign::{
     Campaign, CampaignConfig, CampaignResult, CampaignRun, CheckpointPolicy, ProtectionFactory,
     TrialFailure, TrialRecord, TrialTrace, Unprotected,
 };
-pub use checkpoint::CampaignCheckpoint;
+pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_VERSION};
 pub use dmr::{run_dmr_campaign, DmrReport};
-pub use inject::FaultInjector;
-pub use model::FaultModel;
+pub use inject::{FaultInjector, StateFaultInjector};
+pub use model::{FaultDuration, FaultModel, FaultTarget};
 pub use outcome::{ExactJudge, Outcome, OutcomeCounts, OutcomeJudge};
 pub use site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
 pub use trace::{TraceEvent, TraceTap};

@@ -1,4 +1,6 @@
-//! The three fault models of §2.2.
+//! The three fault models of §2.2, plus the fault-duration and fault-target
+//! dimensions that extend the paper's transient activation faults to
+//! persistent stored-state corruption (weights, KV-cache).
 
 use ft2_numeric::bits::FloatFormat;
 use ft2_numeric::Rng;
@@ -64,6 +66,124 @@ impl FaultModel {
     }
 }
 
+/// How long an injected fault endures.
+///
+/// The paper (and PR 2's rollback) assume [`FaultDuration::Transient`]: the
+/// corruption exists for exactly one step, so re-decoding the token after a
+/// KV-snapshot rollback re-computes clean state. Stored-state corruption
+/// (DRAM/SRAM stuck bits, uncorrected ECC escapes) instead *persists* across
+/// steps — re-decoding re-reads the same flipped bits, which is the regime
+/// the integrity scrubber and repair path exist for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultDuration {
+    /// The corruption exists for one step only (the paper's model).
+    Transient,
+    /// The corruption re-appears every `period` steps (e.g. a marginal cell
+    /// that flips under a recurring access pattern). `period == 1` corrupts
+    /// every step.
+    Intermittent {
+        /// Steps between recurrences of the corruption (>= 1).
+        period: usize,
+    },
+    /// The corruption endures from the strike step until explicitly
+    /// repaired — rollback alone cannot mask it.
+    Persistent,
+}
+
+impl FaultDuration {
+    /// The durations in reporting order (intermittent shown at period 4).
+    pub const ALL: [FaultDuration; 3] = [
+        FaultDuration::Transient,
+        FaultDuration::Intermittent { period: 4 },
+        FaultDuration::Persistent,
+    ];
+
+    /// Display name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultDuration::Transient => "transient",
+            FaultDuration::Intermittent { .. } => "intermittent",
+            FaultDuration::Persistent => "persistent",
+        }
+    }
+
+    /// Parse a CLI name: `transient`, `persistent`, `intermittent`
+    /// (period 4) or `intermittent:N`.
+    pub fn parse(s: &str) -> Option<FaultDuration> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "transient" => return Some(FaultDuration::Transient),
+            "persistent" => return Some(FaultDuration::Persistent),
+            "intermittent" => return Some(FaultDuration::Intermittent { period: 4 }),
+            _ => {}
+        }
+        if let Some(p) = lower.strip_prefix("intermittent:") {
+            let period: usize = p.parse().ok()?;
+            if period >= 1 {
+                return Some(FaultDuration::Intermittent { period });
+            }
+        }
+        None
+    }
+
+    /// Does a fault struck at `strike` corrupt state during `step`?
+    /// (`Transient` corrupts only the strike step; `Persistent` every step
+    /// from the strike on; `Intermittent` every `period`-th step from the
+    /// strike.)
+    pub fn active_at(self, strike: usize, step: usize) -> bool {
+        if step < strike {
+            return false;
+        }
+        match self {
+            FaultDuration::Transient => step == strike,
+            FaultDuration::Intermittent { period } => (step - strike).is_multiple_of(period.max(1)),
+            FaultDuration::Persistent => true,
+        }
+    }
+}
+
+/// Which stored tensor class a fault strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// A linear-layer output (the paper's model): computation-path state
+    /// that is rebuilt every forward pass.
+    Activation,
+    /// A weight-matrix element: read by every subsequent forward pass until
+    /// repaired from the golden copy.
+    Weight,
+    /// A cached K/V row element: re-read by attention at every subsequent
+    /// step until the poisoned page is invalidated and re-decoded.
+    KvCache,
+}
+
+impl FaultTarget {
+    /// The targets in reporting order.
+    pub const ALL: [FaultTarget; 3] = [
+        FaultTarget::Activation,
+        FaultTarget::Weight,
+        FaultTarget::KvCache,
+    ];
+
+    /// Display name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultTarget::Activation => "activation",
+            FaultTarget::Weight => "weight",
+            FaultTarget::KvCache => "kv-cache",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<FaultTarget> {
+        match s.to_ascii_lowercase().as_str() {
+            "activation" | "act" => Some(FaultTarget::Activation),
+            "weight" | "weights" => Some(FaultTarget::Weight),
+            "kv-cache" | "kvcache" | "kv" => Some(FaultTarget::KvCache),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +196,60 @@ mod tests {
         }
         assert_eq!(FaultModel::parse("EXP"), Some(FaultModel::ExponentBit));
         assert_eq!(FaultModel::parse("3-bit"), None);
+    }
+
+    #[test]
+    fn duration_parse_and_names() {
+        assert_eq!(
+            FaultDuration::parse("transient"),
+            Some(FaultDuration::Transient)
+        );
+        assert_eq!(
+            FaultDuration::parse("Persistent"),
+            Some(FaultDuration::Persistent)
+        );
+        assert_eq!(
+            FaultDuration::parse("intermittent"),
+            Some(FaultDuration::Intermittent { period: 4 })
+        );
+        assert_eq!(
+            FaultDuration::parse("intermittent:7"),
+            Some(FaultDuration::Intermittent { period: 7 })
+        );
+        assert_eq!(FaultDuration::parse("intermittent:0"), None);
+        assert_eq!(FaultDuration::parse("forever"), None);
+        for d in FaultDuration::ALL {
+            assert!(FaultDuration::parse(d.name()).is_some());
+        }
+    }
+
+    #[test]
+    fn duration_activity_schedule() {
+        let t = FaultDuration::Transient;
+        assert!(t.active_at(3, 3));
+        assert!(!t.active_at(3, 4));
+        assert!(!t.active_at(3, 2));
+
+        let p = FaultDuration::Persistent;
+        assert!(!p.active_at(3, 2));
+        assert!(p.active_at(3, 3));
+        assert!(p.active_at(3, 100));
+
+        let i = FaultDuration::Intermittent { period: 3 };
+        assert!(i.active_at(2, 2));
+        assert!(!i.active_at(2, 3));
+        assert!(!i.active_at(2, 4));
+        assert!(i.active_at(2, 5));
+        assert!(i.active_at(2, 8));
+    }
+
+    #[test]
+    fn target_parse_roundtrip() {
+        for t in FaultTarget::ALL {
+            assert_eq!(FaultTarget::parse(t.name()), Some(t));
+        }
+        assert_eq!(FaultTarget::parse("kv"), Some(FaultTarget::KvCache));
+        assert_eq!(FaultTarget::parse("dram"), None);
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub enum Outcome {
         /// Rollback re-decodes spent across the generation.
         retries: u32,
     },
+    /// The integrity layer repaired corrupted stored state (a weight tile
+    /// restored from the golden copy, or poisoned KV-cache rows invalidated
+    /// and re-decoded) and the final output was masked. Distinguished from
+    /// [`Outcome::Recovered`] because plain rollback cannot survive a
+    /// persistent fault — repair is what made the difference.
+    Repaired {
+        /// Stored-state repairs performed (weight tiles + KV rebuilds).
+        repairs: u64,
+    },
     /// Rollback recovery was attempted but the retry budget was exhausted
     /// with the step still storming (detected, unrecovered — a DUE).
     RecoveryFailed {
@@ -47,7 +56,10 @@ impl Outcome {
     pub fn is_masked(&self) -> bool {
         matches!(
             self,
-            Outcome::MaskedIdentical | Outcome::MaskedSemantic | Outcome::Recovered { .. }
+            Outcome::MaskedIdentical
+                | Outcome::MaskedSemantic
+                | Outcome::Recovered { .. }
+                | Outcome::Repaired { .. }
         )
     }
 
@@ -78,6 +90,9 @@ pub struct OutcomeCounts {
     pub recovered: u64,
     /// Trials whose rollback retry budget was exhausted (DUE).
     pub recovery_failed: u64,
+    /// Trials masked by stored-state repair (scrub/KV-guard + golden-copy
+    /// restore or cache rebuild).
+    pub repaired: u64,
 }
 
 impl OutcomeCounts {
@@ -91,6 +106,7 @@ impl OutcomeCounts {
             Outcome::Hang => self.hang += 1,
             Outcome::Recovered { .. } => self.recovered += 1,
             Outcome::RecoveryFailed { .. } => self.recovery_failed += 1,
+            Outcome::Repaired { .. } => self.repaired += 1,
         }
     }
 
@@ -103,6 +119,7 @@ impl OutcomeCounts {
         self.hang += other.hang;
         self.recovered += other.recovered;
         self.recovery_failed += other.recovery_failed;
+        self.repaired += other.repaired;
     }
 
     /// Total trials recorded.
@@ -114,6 +131,7 @@ impl OutcomeCounts {
             + self.hang
             + self.recovered
             + self.recovery_failed
+            + self.repaired
     }
 
     /// Detected unrecoverable errors (crashes + hangs + exhausted
@@ -202,6 +220,7 @@ mod tests {
             hang: 5,
             recovered: 6,
             recovery_failed: 7,
+            repaired: 8,
         };
         let b = OutcomeCounts {
             masked_identical: 10,
@@ -211,6 +230,7 @@ mod tests {
             hang: 50,
             recovered: 60,
             recovery_failed: 70,
+            repaired: 80,
         };
         a.merge(&b);
         assert_eq!(a.masked_identical, 11);
@@ -220,6 +240,20 @@ mod tests {
         assert_eq!(a.hang, 55);
         assert_eq!(a.recovered, 66);
         assert_eq!(a.recovery_failed, 77);
+        assert_eq!(a.repaired, 88);
+        assert_eq!(a.total(), 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88);
+    }
+
+    #[test]
+    fn repaired_outcome_is_masked_not_due() {
+        let r = Outcome::Repaired { repairs: 2 };
+        assert!(r.is_masked());
+        assert!(!r.is_due());
+        let mut c = OutcomeCounts::default();
+        c.record(&r);
+        assert_eq!(c.repaired, 1);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.sdc_rate(), 0.0);
     }
 
     #[test]

@@ -10,22 +10,31 @@
 //! so a uniformly random computation is proportionally more likely to fall
 //! in the prefill.
 
-use crate::model::FaultModel;
+use crate::model::{FaultDuration, FaultModel, FaultTarget};
 use ft2_model::{LayerKind, ModelConfig, TapPoint};
 use ft2_numeric::Rng;
 
 /// A fully resolved fault site: where and what to corrupt.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultSite {
-    /// Generation step (0 = prefill / first-token step).
+    /// Generation step the fault strikes at (0 = prefill / first-token
+    /// step). For durable faults this is the *first* corrupted step.
     pub step: usize,
     /// Block and layer to corrupt.
     pub point: TapPoint,
-    /// Flattened element index into that step's output matrix of the layer
-    /// (`rows_at_step × out_features` elements).
+    /// Flattened element index into the targeted tensor. For
+    /// [`FaultTarget::Activation`] this indexes that step's output matrix
+    /// (`rows_at_step × out_features` elements); for [`FaultTarget::Weight`]
+    /// the layer's weight matrix (`out × in` elements); for
+    /// [`FaultTarget::KvCache`] the cached K or V matrix of the block
+    /// (`cached_positions × width` elements, wrapped at injection time).
     pub element: usize,
     /// Bit positions to flip (1 for single/EXP, 2 for double).
     pub bits: Vec<u32>,
+    /// How long the corruption endures.
+    pub duration: FaultDuration,
+    /// Which stored tensor class is struck.
+    pub target: FaultTarget,
 }
 
 /// Restricts which generation steps a sampler may target.
@@ -73,7 +82,7 @@ impl Default for StepWeighting {
 /// Samples fault sites uniformly over neuron computations.
 #[derive(Clone, Debug)]
 pub struct SiteSampler {
-    layers: Vec<(TapPoint, usize)>, // (point, out_features)
+    layers: Vec<(TapPoint, usize, usize)>, // (point, out_features, in_features)
     prompt_len: usize,
     gen_tokens: usize,
     filter: StepFilter,
@@ -81,6 +90,8 @@ pub struct SiteSampler {
     /// Optional restriction of targetable layer kinds (e.g. inject only
     /// into critical layers for an ablation).
     layer_filter: Option<Vec<LayerKind>>,
+    duration: FaultDuration,
+    target: FaultTarget,
 }
 
 impl SiteSampler {
@@ -92,6 +103,7 @@ impl SiteSampler {
                 layers.push((
                     TapPoint { block: b, layer: k },
                     config.out_features(k),
+                    config.in_features(k),
                 ));
             }
         }
@@ -102,7 +114,22 @@ impl SiteSampler {
             filter: StepFilter::AllSteps,
             weighting: StepWeighting::default(),
             layer_filter: None,
+            duration: FaultDuration::Transient,
+            target: FaultTarget::Activation,
         }
+    }
+
+    /// Choose how long sampled faults endure (default transient).
+    pub fn with_duration(mut self, duration: FaultDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Choose which tensor class sampled faults strike (default
+    /// activations, the paper's model).
+    pub fn with_target(mut self, target: FaultTarget) -> Self {
+        self.target = target;
+        self
     }
 
     /// Choose how generation steps are weighted.
@@ -123,16 +150,22 @@ impl SiteSampler {
         self
     }
 
-    fn eligible_layers(&self) -> Vec<(TapPoint, usize)> {
-        match &self.layer_filter {
+    fn eligible_layers(&self) -> Vec<(TapPoint, usize, usize)> {
+        let mut layers: Vec<(TapPoint, usize, usize)> = match &self.layer_filter {
             None => self.layers.clone(),
             Some(kinds) => self
                 .layers
                 .iter()
-                .filter(|(p, _)| kinds.contains(&p.layer))
+                .filter(|(p, _, _)| kinds.contains(&p.layer))
                 .cloned()
                 .collect(),
+        };
+        // KV-cache faults can only strike cached K/V rows, which only the
+        // K/V projections produce.
+        if self.target == FaultTarget::KvCache {
+            layers.retain(|(p, _, _)| matches!(p.layer, LayerKind::KProj | LayerKind::VProj));
         }
+        layers
     }
 
     /// Number of rows a layer output has at a given step.
@@ -149,14 +182,29 @@ impl SiteSampler {
     pub fn sample(&self, rng: &mut impl Rng, fault_model: FaultModel, format: ft2_numeric::FloatFormat) -> FaultSite {
         let layers = self.eligible_layers();
         assert!(!layers.is_empty(), "no eligible layers to sample");
-        let per_layer_features: u64 = layers.iter().map(|(_, f)| *f as u64).sum();
+        // Per-layer sampling weight: activation and KV faults land
+        // proportionally to the layer's output width, weight faults
+        // proportionally to the layer's parameter count.
+        let layer_weight = |l: &(TapPoint, usize, usize)| -> u64 {
+            match self.target {
+                FaultTarget::Activation | FaultTarget::KvCache => l.1 as u64,
+                FaultTarget::Weight => (l.1 * l.2) as u64,
+            }
+        };
+        let per_layer_features: u64 = layers.iter().map(layer_weight).sum();
 
         // Total computations per step = rows(step) * sum(features).
-        let steps: Vec<usize> = match self.filter {
+        let mut steps: Vec<usize> = match self.filter {
             StepFilter::AllSteps => (0..self.gen_tokens).collect(),
             StepFilter::FirstTokenOnly => vec![0],
             StepFilter::FollowingTokensOnly => (1..self.gen_tokens).collect(),
         };
+        // The KV cache is empty before the prefill completes, so cache
+        // faults can only strike decode steps.
+        if self.target == FaultTarget::KvCache {
+            steps.retain(|&s| s >= 1);
+            assert!(!steps.is_empty(), "KV-cache faults need a decode step");
+        }
         // Weight steps by execution-time share (default) or computation
         // count; scale to integers for exact sampling.
         let weights: Vec<u64> = steps
@@ -186,19 +234,27 @@ impl SiteSampler {
             pick -= w;
         }
 
-        // Within the step, pick a layer weighted by its feature count, then
-        // an element uniformly within rows × features.
+        // Within the step, pick a layer weighted by its sampling weight,
+        // then an element uniformly within the targeted tensor.
         let rows = self.rows_at_step(step);
         let mut fpick = rng.below(per_layer_features);
         let mut chosen = layers[0];
         for l in &layers {
-            if fpick < l.1 as u64 {
+            let w = layer_weight(l);
+            if fpick < w {
                 chosen = *l;
                 break;
             }
-            fpick -= l.1 as u64;
+            fpick -= w;
         }
-        let element = rng.index(rows * chosen.1);
+        let elements = match self.target {
+            FaultTarget::Activation => rows * chosen.1,
+            FaultTarget::Weight => chosen.1 * chosen.2,
+            // Cached positions before the forward pass of `step` runs:
+            // prompt plus the step-1 decode appends (step >= 1 here).
+            FaultTarget::KvCache => (self.prompt_len + step - 1) * chosen.1,
+        };
+        let element = rng.index(elements);
         let bits = fault_model.sample_bits(rng, format);
 
         FaultSite {
@@ -206,6 +262,8 @@ impl SiteSampler {
             point: chosen.0,
             element,
             bits,
+            duration: self.duration,
+            target: self.target,
         }
     }
 }
@@ -320,5 +378,52 @@ mod tests {
         let sa = s.sample(&mut a, FaultModel::DoubleBit, FloatFormat::F16);
         let sb = s.sample(&mut b, FaultModel::DoubleBit, FloatFormat::F16);
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn weight_sites_index_the_parameter_matrix() {
+        use crate::model::{FaultDuration, FaultTarget};
+        let config = ft2_model::ModelConfig::tiny_opt();
+        let s = sampler()
+            .with_target(FaultTarget::Weight)
+            .with_duration(FaultDuration::Persistent);
+        let mut rng = Xoshiro256StarStar::new(21);
+        for _ in 0..2000 {
+            let site = s.sample(&mut rng, FaultModel::SingleBit, FloatFormat::F16);
+            assert_eq!(site.target, FaultTarget::Weight);
+            assert_eq!(site.duration, FaultDuration::Persistent);
+            let out = config.out_features(site.point.layer);
+            let inf = config.in_features(site.point.layer);
+            assert!(site.element < out * inf, "element {} out of bounds", site.element);
+        }
+    }
+
+    #[test]
+    fn kv_sites_strike_decode_steps_on_kv_projections() {
+        use crate::model::FaultTarget;
+        let config = ft2_model::ModelConfig::tiny_opt();
+        let s = sampler().with_target(FaultTarget::KvCache);
+        let mut rng = Xoshiro256StarStar::new(22);
+        for _ in 0..2000 {
+            let site = s.sample(&mut rng, FaultModel::SingleBit, FloatFormat::F16);
+            assert!(site.step >= 1, "cache is empty before the prefill");
+            assert!(matches!(site.point.layer, LayerKind::KProj | LayerKind::VProj));
+            // prompt_len 8, so at step s the cache holds 8 + s - 1 rows.
+            let cached = 8 + site.step - 1;
+            assert!(site.element < cached * config.out_features(site.point.layer));
+        }
+    }
+
+    #[test]
+    fn kv_target_respects_layer_filter_intersection() {
+        use crate::model::FaultTarget;
+        let s = sampler()
+            .with_target(FaultTarget::KvCache)
+            .with_layer_filter(vec![LayerKind::KProj, LayerKind::Fc1]);
+        let mut rng = Xoshiro256StarStar::new(23);
+        for _ in 0..200 {
+            let site = s.sample(&mut rng, FaultModel::SingleBit, FloatFormat::F16);
+            assert_eq!(site.point.layer, LayerKind::KProj);
+        }
     }
 }

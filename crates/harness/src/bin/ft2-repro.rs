@@ -3,10 +3,13 @@
 //! ```text
 //! ft2-repro [--resume] <experiment> [...]
 //!   experiments: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
-//!                fig11 fig12 fig13 fig14 fig15 fig16 ablations recovery all
+//!                fig11 fig12 fig13 fig14 fig15 fig16 ablations recovery
+//!                persistent all
 //!
 //! ft2-repro replay <seed>/<input>/<trial> \
-//!           [--model M] [--dataset D] [--scheme S] [--fault F]
+//!           [--model M] [--dataset D] [--scheme S] [--fault F] \
+//!           [--duration transient|intermittent[:N]|persistent] \
+//!           [--target activation|weight|kv-cache]
 //!   re-runs exactly one campaign trial with verbose tracing: the injected
 //!   site and corrupted value, the outcome, and per-layer NaN/Inf anomaly
 //!   events. Crashed trials are listed by campaigns as seed/input/trial
@@ -33,6 +36,7 @@ use std::time::Instant;
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations", "recovery",
+    "persistent",
 ];
 
 fn run_one(ctx: &ExperimentCtx, name: &str) -> bool {
@@ -93,6 +97,9 @@ fn run_one(ctx: &ExperimentCtx, name: &str) -> bool {
         "recovery" => {
             experiments::recovery::run(ctx);
         }
+        "persistent" => {
+            experiments::persistent::run(ctx);
+        }
         _ => return false,
     }
     eprintln!("### {name} done in {:.1?}\n", t0.elapsed());
@@ -119,13 +126,14 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("usage: ft2-repro [--resume] <experiment>... | all");
-        println!("       ft2-repro replay <seed>/<input>/<trial> [--model M] [--dataset D] [--scheme S] [--fault F]");
+        println!("       ft2-repro replay <seed>/<input>/<trial> [--model M] [--dataset D] [--scheme S] [--fault F] [--duration D] [--target T]");
         println!("experiments: {}", EXPERIMENTS.join(" "));
         println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
         println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
         println!("  FT2_CHECKPOINT_EVERY, FT2_CHECKPOINT_DIR control checkpointing;");
         println!("  FT2_TRIAL_DEADLINE_MS, FT2_TRIAL_TOKEN_BUDGET arm the trial watchdog;");
-        println!("  FT2_RECOVERY_RETRIES arms token-rollback recovery (FT2_STORM_THRESHOLD tunes it)");
+        println!("  FT2_RECOVERY_RETRIES arms token-rollback recovery (FT2_STORM_THRESHOLD tunes it);");
+        println!("  FT2_SCRUB_TILES_PER_STEP, FT2_KV_GUARD=1, FT2_RECOVERY_REPAIR=1 arm the integrity layer");
         return;
     }
 

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod fig02;
+pub mod persistent;
 pub mod recovery;
 pub mod replay;
 pub mod fig03;
@@ -268,6 +269,9 @@ pub(crate) mod tests {
                 trial_token_budget: None,
                 recovery_retries: 0,
                 storm_threshold: None,
+                scrub_tiles_per_step: 0,
+                kv_guard: false,
+                recovery_repair: false,
             },
             resilience: Resilience {
                 checkpoint_every: None,

@@ -1,0 +1,292 @@
+//! `ft2-repro persistent` — persistent-fault resilience: SDC/DUE under the
+//! fault-duration × fault-target sweep, across three defence modes:
+//!
+//! * `none` — FT2 clamping only, no recovery: persistent stored-state
+//!   corruption propagates silently, so SDC is high (the exposure this PR
+//!   closes).
+//! * `rollback` — PR 2's token rollback armed (2 retries): the storm
+//!   detector catches the corruption, but every re-decode re-reads the same
+//!   flipped bits, so trials end *detected-unrecoverable* (DUE) instead of
+//!   silently corrupted — rollback alone converts SDC into DUE, it cannot
+//!   mask persistent faults.
+//! * `repair` — the integrity layer on top: weight scrubbing against the
+//!   golden checksums, the KV-cache CRC guard, and the repair-and-retry
+//!   recovery rung. SDC *and* DUE return to near-transient levels.
+//!
+//! The scrub rate defaults to one full sweep of the weight tiles per
+//! generation (`FT2_SCRUB_TILES_PER_STEP` overrides it); the rightmost
+//! column prices that rate with the A100 roofline model
+//! ([`ft2_hw::CostModel::scrub_overhead`]).
+
+use super::{run_checkpointed, ExperimentCtx};
+use crate::report::{format_pct, Table};
+use ft2_core::{IntegrityConfig, Scheme, SchemeFactory, WeightChecksums, TILE_ELEMS};
+use ft2_fault::{Campaign, FaultDuration, FaultModel, FaultTarget, StepFilter};
+use ft2_hw::{CostModel, WorkloadShape, A100};
+use ft2_model::ZooModel;
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+use std::sync::Arc;
+
+/// Defence mode of one sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// FT2 clamping only — no rollback, no integrity layer.
+    None,
+    /// FT2 + token rollback (2 retries), no integrity layer.
+    Rollback,
+    /// FT2 + rollback + weight scrubbing + KV guard + repair-and-retry.
+    Repair,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::None => "none",
+            Mode::Rollback => "rollback",
+            Mode::Repair => "repair",
+        }
+    }
+}
+
+/// The swept (duration, target, mode) cells. The transient activation rows
+/// are the paper's regime and the baseline the persistent rows are judged
+/// against.
+pub const SWEEP: &[(FaultDuration, FaultTarget, Mode)] = &[
+    (FaultDuration::Transient, FaultTarget::Activation, Mode::None),
+    (
+        FaultDuration::Transient,
+        FaultTarget::Activation,
+        Mode::Rollback,
+    ),
+    (FaultDuration::Transient, FaultTarget::Weight, Mode::None),
+    (FaultDuration::Transient, FaultTarget::KvCache, Mode::None),
+    (
+        FaultDuration::Intermittent { period: 4 },
+        FaultTarget::Weight,
+        Mode::None,
+    ),
+    (FaultDuration::Persistent, FaultTarget::Weight, Mode::None),
+    (
+        FaultDuration::Persistent,
+        FaultTarget::Weight,
+        Mode::Rollback,
+    ),
+    (FaultDuration::Persistent, FaultTarget::Weight, Mode::Repair),
+    (
+        FaultDuration::Intermittent { period: 4 },
+        FaultTarget::Weight,
+        Mode::Repair,
+    ),
+    (FaultDuration::Persistent, FaultTarget::KvCache, Mode::None),
+    (
+        FaultDuration::Persistent,
+        FaultTarget::KvCache,
+        Mode::Rollback,
+    ),
+    (
+        FaultDuration::Persistent,
+        FaultTarget::KvCache,
+        Mode::Repair,
+    ),
+];
+
+/// Run the experiment and emit its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let s = &ctx.settings;
+    let spec = ZooModel::Qwen2_1_5B.spec();
+    let model = spec.build();
+    let dataset = DatasetId::Gsm8k;
+    let prompts = generate_prompts(dataset, s.inputs, s.seed ^ 0xEA71);
+    let task = s.task_spec(dataset);
+    let judge = task.judge();
+
+    // Golden-checkpoint checksums, built once at load time and shared
+    // read-only across every trial of every cell.
+    let checksums = Arc::new(WeightChecksums::build(model.config(), model.weights()));
+    // Default scrub rate: one full sweep of the weight tiles per generation.
+    let scrub_rate = if s.scrub_tiles_per_step > 0 {
+        s.scrub_tiles_per_step
+    } else {
+        checksums.num_tiles().div_ceil(task.gen_tokens.max(1))
+    };
+    let a100 = CostModel::new(A100);
+    let shape = WorkloadShape::from_spec(&spec);
+
+    let mut table = Table::new(
+        "Persistent faults — SDC/DUE vs duration/target/defence (FT2, EXP faults)",
+        &[
+            "duration",
+            "target",
+            "defence",
+            "sdc_rate",
+            "corrupted",
+            "due",
+            "recovered",
+            "repaired",
+            "rec_failed",
+            "rollbacks",
+            "w_repairs",
+            "kv_repairs",
+            "A100_scrub_ovh",
+        ],
+    );
+    for &(duration, target, mode) in SWEEP {
+        let mut cfg = s.campaign(dataset, FaultModel::ExponentBit);
+        cfg.fault_duration = duration;
+        cfg.fault_target = target;
+        // Rollback applies to decode steps; the prefill is the profiling
+        // pass and is guarded by the bound-integrity check instead.
+        cfg.step_filter = StepFilter::FollowingTokensOnly;
+        cfg.recovery_retries = match mode {
+            Mode::None => 0,
+            _ => cfg.recovery_retries.max(2),
+        };
+        cfg.recovery_repair = mode == Mode::Repair;
+
+        let integrity = if mode == Mode::Repair {
+            IntegrityConfig {
+                scrub_tiles_per_step: scrub_rate,
+                kv_guard: true,
+                checksums: Some(checksums.clone()),
+            }
+        } else {
+            IntegrityConfig::disabled()
+        };
+        let scheme = if mode == Mode::None {
+            Scheme::NoProtection
+        } else {
+            Scheme::Ft2
+        };
+        let ft2 = SchemeFactory::new(scheme, model.config(), None)
+            .with_storm_threshold(s.storm_threshold)
+            .with_integrity(integrity);
+
+        let campaign = Campaign::new(&model, &prompts, &judge, cfg, &ctx.pool);
+        let result = run_checkpointed(ctx, &campaign, dataset, &ft2);
+
+        let scrub_ovh = if mode == Mode::Repair {
+            a100.scrub_overhead(&shape, 150, 60, scrub_rate, TILE_ELEMS)
+        } else {
+            0.0
+        };
+        table.row(vec![
+            format!("{duration:?}"),
+            target.name().to_string(),
+            mode.name().to_string(),
+            format_pct(result.counts.sdc_rate()),
+            (result.counts.masked_semantic + result.counts.sdc).to_string(),
+            result.counts.due().to_string(),
+            result.counts.recovered.to_string(),
+            result.counts.repaired.to_string(),
+            result.counts.recovery_failed.to_string(),
+            result.rollbacks.to_string(),
+            result.weight_repairs.to_string(),
+            result.kv_repairs.to_string(),
+            format_pct(scrub_ovh),
+        ]);
+    }
+    ctx.emit("persistent_faults", &table);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Column accessors for the 13-column table.
+    fn num(row: &[String], col: usize) -> u64 {
+        row[col].parse().unwrap()
+    }
+    fn due(row: &[String]) -> u64 {
+        num(row, 5)
+    }
+    fn repaired(row: &[String]) -> u64 {
+        num(row, 7)
+    }
+    fn rec_failed(row: &[String]) -> u64 {
+        num(row, 8)
+    }
+    fn rollbacks(row: &[String]) -> u64 {
+        num(row, 9)
+    }
+    fn w_repairs(row: &[String]) -> u64 {
+        num(row, 10)
+    }
+    fn kv_repairs(row: &[String]) -> u64 {
+        num(row, 11)
+    }
+
+    /// At the tiny test sizing the SDC columns are all zero (too few
+    /// trials), so the structural invariants of the defence ladder are
+    /// asserted on the recovery/repair counters, which fire reliably.
+    /// The SDC-level acceptance claims (persistent-none above transient,
+    /// repair within 2x transient) hold at the default `ft2-repro
+    /// persistent` sizing and are documented in DESIGN.md.
+    #[test]
+    fn persistent_sweep_shows_repair_closing_the_gap() {
+        let ctx = crate::experiments::tests::tiny_ctx();
+        let table = run(&ctx);
+        assert_eq!(table.len(), SWEEP.len());
+        let rows = table.rows();
+        let t_roll = &rows[1]; // transient / activation / rollback
+        let pw_none = &rows[5]; // persistent / weight / none
+        let pw_roll = &rows[6]; // persistent / weight / rollback
+        let pw_rep = &rows[7]; // persistent / weight / repair
+        let kv_none = &rows[9]; // persistent / kv / none
+        let kv_rep = &rows[11]; // persistent / kv / repair
+
+        // Unprotected rows have no recovery machinery at all: no
+        // rollbacks, no repairs, and any corruption lands silently.
+        for row in [pw_none, kv_none] {
+            assert_eq!(rollbacks(row), 0, "none row rolled back: {row:?}");
+            assert_eq!(
+                w_repairs(row) + kv_repairs(row),
+                0,
+                "none row repaired: {row:?}"
+            );
+        }
+
+        // Rollback alone detects persistent faults but cannot mask them:
+        // re-decoding re-reads the same flipped bits, so retries are
+        // burned (far more rollbacks than the transient baseline) and the
+        // trial ends detected-unrecoverable rather than silently wrong.
+        assert!(
+            due(pw_roll) + rec_failed(pw_roll) >= 1,
+            "rollback-only persistent-weight row never exhausted retries: {pw_roll:?}"
+        );
+        assert!(
+            rollbacks(pw_roll) > rollbacks(t_roll),
+            "persistent faults must burn more rollbacks ({}) than transient ({})",
+            rollbacks(pw_roll),
+            rollbacks(t_roll)
+        );
+
+        // The integrity layer actually repairs the corruption: weight
+        // scrubbing restores flipped tiles, the KV guard rebuilds poisoned
+        // rows, and trials classify as Repaired instead of DUE.
+        assert!(
+            w_repairs(pw_rep) > 0,
+            "no weight repairs in repair row {pw_rep:?}"
+        );
+        assert!(
+            repaired(pw_rep) > 0,
+            "no trials classified Repaired in {pw_rep:?}"
+        );
+        assert!(
+            kv_repairs(kv_rep) > 0,
+            "no kv repairs in repair row {kv_rep:?}"
+        );
+        assert!(
+            repaired(kv_rep) > 0,
+            "no trials classified Repaired in {kv_rep:?}"
+        );
+        // Repair closes the DUE gap rollback-alone leaves open.
+        assert!(
+            due(pw_rep) <= due(pw_roll),
+            "repair row DUE {} exceeds rollback-only DUE {}",
+            due(pw_rep),
+            due(pw_roll)
+        );
+    }
+}

@@ -11,7 +11,7 @@
 use crate::experiments::ExperimentCtx;
 use ft2_core::profile::offline_profile;
 use ft2_core::{Scheme, SchemeFactory};
-use ft2_fault::{Campaign, FaultModel, Outcome};
+use ft2_fault::{Campaign, FaultDuration, FaultModel, FaultTarget, Outcome};
 use ft2_model::ZooModel;
 use ft2_tasks::datasets::generate_prompts;
 use ft2_tasks::DatasetId;
@@ -34,6 +34,10 @@ pub struct ReplaySpec {
     pub scheme: Scheme,
     /// Fault model of the campaign.
     pub fault: FaultModel,
+    /// Fault duration of the campaign (transient / intermittent / persistent).
+    pub duration: FaultDuration,
+    /// Fault target of the campaign (activation / weight / kv-cache).
+    pub target: FaultTarget,
 }
 
 impl ReplaySpec {
@@ -60,10 +64,13 @@ impl ReplaySpec {
             dataset: DatasetId::Squad,
             scheme: Scheme::NoProtection,
             fault: FaultModel::SingleBit,
+            duration: FaultDuration::Transient,
+            target: FaultTarget::Activation,
         })
     }
 
-    /// Apply a `--model/--dataset/--scheme/--fault` override.
+    /// Apply a `--model/--dataset/--scheme/--fault/--duration/--target`
+    /// override.
     pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
         match key {
             "--model" => {
@@ -80,6 +87,14 @@ impl ReplaySpec {
             "--fault" => {
                 self.fault = FaultModel::parse(value)
                     .ok_or_else(|| format!("unknown fault model {value:?}"))?;
+            }
+            "--duration" => {
+                self.duration = FaultDuration::parse(value)
+                    .ok_or_else(|| format!("unknown fault duration {value:?}"))?;
+            }
+            "--target" => {
+                self.target = FaultTarget::parse(value)
+                    .ok_or_else(|| format!("unknown fault target {value:?}"))?;
             }
             other => return Err(format!("unknown replay option {other:?}")),
         }
@@ -130,6 +145,8 @@ pub fn run(ctx: &ExperimentCtx, spec: &ReplaySpec) -> Result<(), String> {
     let judge = task.judge();
     let mut cfg = s.campaign(spec.dataset, spec.fault);
     cfg.seed = spec.seed;
+    cfg.fault_duration = spec.duration;
+    cfg.fault_target = spec.target;
 
     let offline = if spec.scheme.needs_offline_bounds() {
         let profile_prompts =
@@ -149,7 +166,7 @@ pub fn run(ctx: &ExperimentCtx, spec: &ReplaySpec) -> Result<(), String> {
     let (record, trace) = campaign.trial_record_traced(&factory, spec.input, spec.trial);
 
     println!(
-        "replay {:#x}/{}/{}  model={} dataset={} scheme={} fault={}",
+        "replay {:#x}/{}/{}  model={} dataset={} scheme={} fault={} duration={:?} target={}",
         spec.seed,
         spec.input,
         spec.trial,
@@ -157,16 +174,20 @@ pub fn run(ctx: &ExperimentCtx, spec: &ReplaySpec) -> Result<(), String> {
         spec.dataset.name(),
         spec.scheme.name(),
         spec.fault.name(),
+        spec.duration,
+        spec.target.name(),
     );
     let site = &record.site;
     println!(
-        "fault site: step {} | block {} {} | element {} | bits {:?} ({})",
+        "fault site: step {} | block {} {} | element {} | bits {:?} ({}) | {} {}",
         site.step,
         site.point.block,
         site.point.layer.name(),
         site.element,
         site.bits,
-        record.bit_class
+        record.bit_class,
+        site.duration.name(),
+        site.target.name(),
     );
     match trace.injected {
         Some((original, corrupted)) => {
@@ -228,8 +249,13 @@ pub fn run(ctx: &ExperimentCtx, spec: &ReplaySpec) -> Result<(), String> {
     // decode step exactly once.
     if !trace.steps.is_empty() {
         println!(
-            "verdicts:   {} rollback(s), {} storm(s) across the trial",
-            record.rollbacks, record.storms
+            "verdicts:   {} rollback(s), {} storm(s), {} weight repair(s), \
+             {} kv repair(s), {} repair retry(ies) across the trial",
+            record.rollbacks,
+            record.storms,
+            record.weight_repairs,
+            record.kv_repairs,
+            record.repair_retries
         );
         println!("  step | clamps | NaNs | verdict   | re-decodes");
         for s in &trace.steps {
@@ -258,7 +284,13 @@ mod tests {
         assert_eq!(spec.dataset, DatasetId::Gsm8k);
         spec.set("--scheme", "ft2").unwrap();
         assert_eq!(spec.scheme, Scheme::Ft2);
+        spec.set("--duration", "intermittent:3").unwrap();
+        assert_eq!(spec.duration, FaultDuration::Intermittent { period: 3 });
+        spec.set("--target", "weight").unwrap();
+        assert_eq!(spec.target, FaultTarget::Weight);
         assert!(spec.set("--scheme", "nonsense").is_err());
+        assert!(spec.set("--duration", "forever").is_err());
+        assert!(spec.set("--target", "dram").is_err());
         assert!(ReplaySpec::parse("1/2").is_err());
         assert!(ReplaySpec::parse("x/2/3").is_err());
     }

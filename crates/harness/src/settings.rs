@@ -1,6 +1,6 @@
 //! Experiment sizing and the model × dataset evaluation grid.
 
-use ft2_fault::{CampaignConfig, FaultModel, StepFilter, StepWeighting};
+use ft2_fault::{CampaignConfig, FaultDuration, FaultModel, FaultTarget, StepFilter, StepWeighting};
 use ft2_model::{ModelSpec, ZooModel};
 use ft2_tasks::{DatasetId, TaskSpec, TaskType};
 
@@ -15,7 +15,12 @@ use ft2_tasks::{DatasetId, TaskSpec, TaskType};
 /// * `FT2_RECOVERY_RETRIES`    — token-rollback retry budget per decode
 ///   step (default 0 = recovery disabled);
 /// * `FT2_STORM_THRESHOLD`    — corrections per decode step that escalate
-///   an anomaly verdict to a storm (default: library default).
+///   an anomaly verdict to a storm (default: library default);
+/// * `FT2_SCRUB_TILES_PER_STEP` — weight tiles the integrity scrubber
+///   re-verifies per decode step (default 0 = scrubbing off);
+/// * `FT2_KV_GUARD=1`          — enable the KV-cache CRC guard;
+/// * `FT2_RECOVERY_REPAIR=1`   — take a repair-and-retry rung after the
+///   rollback retry budget is exhausted.
 ///
 /// A knob that is set but malformed (empty, negative, non-numeric) is
 /// ignored with a warning on stderr — it never panics and never silently
@@ -55,6 +60,13 @@ pub struct Settings {
     /// Override for the anomaly-storm clamp threshold (None = the
     /// `ft2-core` default).
     pub storm_threshold: Option<u64>,
+    /// Weight tiles the integrity scrubber re-verifies per decode step
+    /// (0 = scrubbing off).
+    pub scrub_tiles_per_step: usize,
+    /// Enable the KV-cache CRC guard.
+    pub kv_guard: bool,
+    /// Take a repair-and-retry rung after rollback exhaustion.
+    pub recovery_repair: bool,
 }
 
 /// Parse one knob value. A malformed value (empty, negative, non-numeric)
@@ -105,6 +117,9 @@ impl Settings {
             trial_token_budget: env_usize("FT2_TRIAL_TOKEN_BUDGET"),
             recovery_retries: env_knob("FT2_RECOVERY_RETRIES").unwrap_or(0),
             storm_threshold: env_knob("FT2_STORM_THRESHOLD"),
+            scrub_tiles_per_step: env_usize("FT2_SCRUB_TILES_PER_STEP").unwrap_or(0),
+            kv_guard: std::env::var("FT2_KV_GUARD").is_ok_and(|v| v == "1"),
+            recovery_repair: std::env::var("FT2_RECOVERY_REPAIR").is_ok_and(|v| v == "1"),
         }
     }
 
@@ -129,12 +144,15 @@ impl Settings {
             trials_per_input: self.trials,
             gen_tokens: self.gen_tokens(dataset.task_type()),
             fault_model,
+            fault_duration: FaultDuration::Transient,
+            fault_target: FaultTarget::Activation,
             step_filter: StepFilter::AllSteps,
             step_weighting: StepWeighting::default(),
             layer_filter: None,
             trial_deadline_ms: self.trial_deadline_ms,
             trial_token_budget: self.trial_token_budget,
             recovery_retries: self.recovery_retries,
+            recovery_repair: self.recovery_repair,
         }
     }
 }
@@ -258,6 +276,9 @@ mod tests {
             trial_token_budget: None,
             recovery_retries: 0,
             storm_threshold: None,
+            scrub_tiles_per_step: 0,
+            kv_guard: false,
+            recovery_repair: false,
         };
         assert_eq!(s.gen_tokens(TaskType::Qa), 16);
         assert_eq!(s.gen_tokens(TaskType::Math), 36);
@@ -278,9 +299,15 @@ mod tests {
             trial_token_budget: None,
             recovery_retries: 3,
             storm_threshold: Some(8),
+            scrub_tiles_per_step: 8,
+            kv_guard: true,
+            recovery_repair: true,
         };
         let cfg = s.campaign(DatasetId::Squad, FaultModel::ExponentBit);
         assert_eq!(cfg.recovery_retries, 3);
+        assert!(cfg.recovery_repair);
+        assert_eq!(cfg.fault_duration, FaultDuration::Transient);
+        assert_eq!(cfg.fault_target, FaultTarget::Activation);
     }
 
     #[test]

@@ -214,6 +214,34 @@ impl CostModel {
         extra / base
     }
 
+    /// Time per decode step spent by the background integrity scrubber
+    /// re-reading and checksumming `tiles` weight tiles of `tile_elems`
+    /// elements each. The scrub is a streaming read (CRC table lookups are
+    /// negligible next to the memory traffic) plus one kernel launch per
+    /// step to drive it.
+    pub fn scrub_time(&self, shape: &WorkloadShape, tiles: usize, tile_elems: usize) -> f64 {
+        if tiles == 0 {
+            return 0.0;
+        }
+        let bytes = (tiles * tile_elems * shape.bytes_per_element) as f64;
+        self.profile.kernel_overhead + bytes / self.profile.mem_bw
+    }
+
+    /// Integrity-scrub overhead as a fraction of unprotected generation
+    /// time, at `tiles` tiles verified per decode step.
+    pub fn scrub_overhead(
+        &self,
+        shape: &WorkloadShape,
+        prompt: usize,
+        gen_tokens: usize,
+        tiles: usize,
+        tile_elems: usize,
+    ) -> f64 {
+        let base = self.generation_time(shape, prompt, gen_tokens).total_s();
+        let extra = self.scrub_time(shape, tiles, tile_elems) * gen_tokens as f64;
+        extra / base
+    }
+
     /// Offline bound-profiling time for `n_inputs` full generations
     /// (the Fig. 4 quantity), in seconds.
     pub fn profiling_time(
@@ -350,6 +378,22 @@ mod tests {
         // One rollback in a 60-token generation costs roughly one extra
         // step: ~2% of the inference.
         assert!(one > 0.005 && one < 0.05, "overhead {one}");
+    }
+
+    #[test]
+    fn scrub_time_scales_with_tiles_and_stays_cheap() {
+        let model = CostModel::new(A100);
+        let s = opt_shape();
+        assert_eq!(model.scrub_time(&s, 0, 256), 0.0);
+        let one = model.scrub_time(&s, 8, 256);
+        let four = model.scrub_time(&s, 32, 256);
+        assert!(one > 0.0);
+        assert!(four > one);
+        // A modest scrub rate must be a sub-percent tax on generation.
+        let o = model.scrub_overhead(&s, 150, 60, 8, 256);
+        assert!(o > 0.0 && o < 0.01, "scrub overhead {o}");
+        // Scrub stays far below one decode step: it reads KBs, not GBs.
+        assert!(four < 0.1 * model.decode_step_time(&s, 210));
     }
 
     #[test]

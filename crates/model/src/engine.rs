@@ -5,6 +5,7 @@ use crate::attention::KvCacheBlock;
 use crate::block::{block_forward, normed};
 use crate::config::ModelConfig;
 use crate::hooks::{AnomalyVerdict, StepReport, TapList};
+use crate::state::{StateCtx, StateTapList};
 use crate::weights::ModelWeights;
 use ft2_tensor::{argmax, Matrix};
 use std::time::Instant;
@@ -22,23 +23,58 @@ pub struct RecoveryPolicy {
     /// [`GenerationOutput::recovery_failed`]. `0` disables rollback: storm
     /// verdicts are recorded but the token is accepted as-is.
     pub max_retries: u32,
+    /// After the retry budget is exhausted, take one
+    /// [`RecoveryAction::RepairAndRetry`] rung: run the registered state
+    /// taps' full repair sweep (weights restored from the golden copy,
+    /// poisoned KV pages invalidated and re-decoded) and grant one extra
+    /// re-decode. Meaningless without state taps.
+    pub repair: bool,
 }
 
 impl RecoveryPolicy {
     /// No rollback — the pre-recovery engine behaviour.
     pub fn disabled() -> RecoveryPolicy {
-        RecoveryPolicy { max_retries: 0 }
+        RecoveryPolicy {
+            max_retries: 0,
+            repair: false,
+        }
     }
 
     /// Roll back and re-decode a storming token up to `n` times.
     pub fn retries(n: u32) -> RecoveryPolicy {
-        RecoveryPolicy { max_retries: n }
+        RecoveryPolicy {
+            max_retries: n,
+            repair: false,
+        }
+    }
+
+    /// Enable the repair-and-retry rung above the retry budget.
+    pub fn with_repair(mut self) -> RecoveryPolicy {
+        self.repair = true;
+        self
     }
 
     /// Is rollback recovery active?
     pub fn enabled(&self) -> bool {
         self.max_retries > 0
     }
+}
+
+/// The rung of the recovery ladder the engine takes after a storming
+/// decode step (reported for tracing; the ladder escalates top to bottom).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Accept the step: verdict was clean/corrected, or rollback disabled.
+    Accept,
+    /// Roll back the token and re-decode with escalated protection — the
+    /// transient-fault rung: a once-only fault is gone on re-decode.
+    EscalateAndRetry,
+    /// Retry budget exhausted and still storming: repair stored state
+    /// (weights from golden, poisoned KV invalidated) and re-decode once
+    /// more — the persistent-fault rung, above escalate-and-retry.
+    RepairAndRetry,
+    /// Nothing left to try: the generation is marked recovery-failed.
+    Fail,
 }
 
 /// What happened at one generation step (the finally-accepted execution).
@@ -50,6 +86,9 @@ pub struct StepRecord {
     pub report: StepReport,
     /// Rollback re-decodes taken before the step was accepted.
     pub redecodes: u32,
+    /// Stored-state repairs applied during this step (weight tiles restored
+    /// plus KV positions rebuilt).
+    pub repairs: u32,
 }
 
 /// Result of a generation run.
@@ -70,6 +109,23 @@ pub struct GenerationOutput {
     /// A step exhausted its retry budget while still storming (only
     /// possible with an enabled [`RecoveryPolicy`]).
     pub recovery_failed: bool,
+    /// Weight tiles re-verified by state taps (integrity scrubbing).
+    pub scrubbed_tiles: u64,
+    /// Weight tiles found corrupted and restored from the golden copy.
+    pub weight_repairs: u64,
+    /// KV-cache positions invalidated and rebuilt after a guard flagged
+    /// them corrupted.
+    pub kv_repairs: u64,
+    /// [`RecoveryAction::RepairAndRetry`] rungs taken.
+    pub repair_retries: u32,
+}
+
+impl GenerationOutput {
+    /// Total stored-state repair events (weight tiles restored plus KV
+    /// positions rebuilt).
+    pub fn repairs(&self) -> u64 {
+        self.weight_repairs + self.kv_repairs
+    }
 }
 
 impl GenerationOutput {
@@ -116,6 +172,22 @@ impl KvCache {
             b.truncate(len);
         }
     }
+
+    /// Number of blocks in the cache.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The cached K/V of block `i` (state taps address cache contents
+    /// directly; the forward pass uses internal access).
+    pub fn block(&self, i: usize) -> &KvCacheBlock {
+        &self.blocks[i]
+    }
+
+    /// Mutable access to the cached K/V of block `i`.
+    pub fn block_mut(&mut self, i: usize) -> &mut KvCacheBlock {
+        &mut self.blocks[i]
+    }
 }
 
 impl Model {
@@ -136,15 +208,16 @@ impl Model {
         &self.weights
     }
 
-    /// Embed token ids at absolute positions `start_pos..`.
-    fn embed(&self, tokens: &[u32], start_pos: usize) -> Matrix {
+    /// Embed token ids at absolute positions `start_pos..` using the given
+    /// weight set.
+    fn embed_with(&self, weights: &ModelWeights, tokens: &[u32], start_pos: usize) -> Matrix {
         let hidden = self.config.hidden;
         let mut x = Matrix::zeros(tokens.len(), hidden);
         for (i, &t) in tokens.iter().enumerate() {
             let t = (t as usize) % self.config.vocab;
-            let row = self.weights.embed.row(t);
+            let row = weights.embed.row(t);
             x.row_mut(i).copy_from_slice(row);
-            if let Some(pos) = &self.weights.pos_embed {
+            if let Some(pos) = &weights.pos_embed {
                 let p = (start_pos + i).min(pos.rows() - 1);
                 for (v, &pe) in x.row_mut(i).iter_mut().zip(pos.row(p)) {
                     *v += pe;
@@ -153,6 +226,30 @@ impl Model {
         }
         x.quantize(self.config.dtype);
         x
+    }
+
+    /// Run the decoder stack with an explicit weight set (the checkpoint
+    /// weights normally; a trial-owned working copy when state taps are
+    /// registered and stored-state corruption is possible).
+    fn forward_with(
+        &self,
+        weights: &ModelWeights,
+        tokens: &[u32],
+        start_pos: usize,
+        step: usize,
+        cache: &mut KvCache,
+        taps: &mut TapList<'_>,
+    ) -> Matrix {
+        let mut x = self.embed_with(weights, tokens, start_pos);
+        for (b, (bw, cb)) in weights
+            .blocks
+            .iter()
+            .zip(cache.blocks.iter_mut())
+            .enumerate()
+        {
+            block_forward(&self.config, bw, b, &mut x, start_pos, step, cb, taps);
+        }
+        normed(&self.config, &weights.final_norm, &x)
     }
 
     /// Run the decoder stack for `tokens` at positions `start_pos..`,
@@ -165,26 +262,51 @@ impl Model {
         cache: &mut KvCache,
         taps: &mut TapList<'_>,
     ) -> Matrix {
-        let mut x = self.embed(tokens, start_pos);
-        for (b, (bw, cb)) in self
-            .weights
-            .blocks
-            .iter()
-            .zip(cache.blocks.iter_mut())
-            .enumerate()
-        {
-            block_forward(&self.config, bw, b, &mut x, start_pos, step, cb, taps);
-        }
-        normed(&self.config, &self.weights.final_norm, &x)
+        self.forward_with(&self.weights, tokens, start_pos, step, cache, taps)
+    }
+
+    /// Logits for a single hidden-state row, with an explicit weight set.
+    fn logits_with(&self, weights: &ModelWeights, hidden_row: &Matrix) -> Vec<f32> {
+        let l = weights.lm_head.forward(hidden_row, self.config.dtype);
+        l.row(0).to_vec()
     }
 
     /// Logits for a single hidden-state row.
     pub fn logits(&self, hidden_row: &Matrix) -> Vec<f32> {
-        let l = self
-            .weights
-            .lm_head
-            .forward(hidden_row, self.config.dtype);
-        l.row(0).to_vec()
+        self.logits_with(&self.weights, hidden_row)
+    }
+
+    /// Rebuild cache positions `from..target` from the known token sequence
+    /// (prompt plus already-accepted generated tokens): truncate the
+    /// poisoned suffix and re-run the forward pass over it with no taps.
+    /// Returns the number of positions rebuilt.
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild_cache_range(
+        &self,
+        weights: &ModelWeights,
+        prompt: &[u32],
+        generated: &[u32],
+        from: usize,
+        target: usize,
+        step: usize,
+        cache: &mut KvCache,
+        state: &mut StateTapList<'_>,
+    ) -> u64 {
+        debug_assert!(from < target);
+        cache.truncate(from);
+        state.notify_truncate(from);
+        let seq: Vec<u32> = (from..target)
+            .map(|i| {
+                if i < prompt.len() {
+                    prompt[i]
+                } else {
+                    generated[i - prompt.len()]
+                }
+            })
+            .collect();
+        let mut no_taps = TapList::new();
+        let _ = self.forward_with(weights, &seq, from, step, cache, &mut no_taps);
+        (target - from) as u64
     }
 
     /// Greedy generation: prefill on `prompt`, then decode `gen_tokens`
@@ -219,6 +341,31 @@ impl Model {
         taps: &mut TapList<'_>,
         policy: RecoveryPolicy,
     ) -> GenerationOutput {
+        let mut state = StateTapList::new();
+        self.generate_resilient(prompt, gen_tokens, taps, &mut state, policy)
+    }
+
+    /// [`Model::generate_with_recovery`] plus stored-state taps: before and
+    /// after every forward pass the registered [`crate::state::StateTap`]s
+    /// run over a trial-owned working copy of the weights and the live KV
+    /// cache (injectors corrupt, scrubbers/guards verify and repair). When a
+    /// guard flags poisoned cache positions, the engine invalidates them and
+    /// re-decodes the affected token range from the known token sequence —
+    /// the same rollback machinery as storm recovery. When the retry budget
+    /// is exhausted and `policy.repair` is set, the engine takes one
+    /// [`RecoveryAction::RepairAndRetry`] rung: a full state-repair sweep
+    /// followed by one extra re-decode.
+    ///
+    /// With an empty `state` list this is byte-identical to
+    /// [`Model::generate_with_recovery`]: no weight clone, no state passes.
+    pub fn generate_resilient(
+        &self,
+        prompt: &[u32],
+        gen_tokens: usize,
+        taps: &mut TapList<'_>,
+        state: &mut StateTapList<'_>,
+        policy: RecoveryPolicy,
+    ) -> GenerationOutput {
         assert!(!prompt.is_empty(), "empty prompt");
         assert!(
             prompt.len() + gen_tokens <= self.config.max_seq,
@@ -227,17 +374,58 @@ impl Model {
             gen_tokens,
             self.config.max_seq
         );
+        // Stored-state corruption needs a mutable working copy of the
+        // weights; without state taps the checkpoint is read directly and
+        // the clone is skipped entirely.
+        let has_state = !state.is_empty();
+        let mut owned: Option<ModelWeights> = if has_state {
+            Some(self.weights.clone())
+        } else {
+            None
+        };
         let mut cache = KvCache::new(&self.config);
-        let mut tokens = Vec::with_capacity(gen_tokens);
+        let mut tokens: Vec<u32> = Vec::with_capacity(gen_tokens);
         let mut steps = Vec::with_capacity(gen_tokens);
         let mut rollbacks = 0u32;
         let mut storms = 0u32;
         let mut recovery_failed = false;
+        let mut scrubbed_tiles = 0u64;
+        let mut weight_repairs = 0u64;
+        let mut kv_repairs = 0u64;
+        let mut repair_retries = 0u32;
 
         // Prefill == first-token generation (step 0).
         let t0 = Instant::now();
-        let h = self.forward_step(prompt, 0, 0, &mut cache, taps);
+        let mut prefill_repairs = 0u32;
+        if let Some(w) = owned.as_mut() {
+            let rep = state.on_step_state(&mut StateCtx {
+                step: 0,
+                prompt_len: prompt.len(),
+                weights: w,
+                cache: &mut cache,
+                golden: &self.weights,
+                dtype: self.config.dtype,
+            });
+            scrubbed_tiles += rep.scrubbed_tiles;
+            weight_repairs += rep.weight_repairs;
+            prefill_repairs += rep.weight_repairs as u32;
+            // The cache is empty before the prefill, so there is nothing a
+            // guard could have flagged yet.
+            debug_assert!(rep.kv_invalid_from.is_none());
+        }
+        let wref = owned.as_ref().unwrap_or(&self.weights);
+        let h = self.forward_with(wref, prompt, 0, 0, &mut cache, taps);
         let report0 = taps.end_step(0);
+        if let Some(w) = owned.as_mut() {
+            state.on_step_end(&mut StateCtx {
+                step: 0,
+                prompt_len: prompt.len(),
+                weights: w,
+                cache: &mut cache,
+                golden: &self.weights,
+                dtype: self.config.dtype,
+            });
+        }
         if report0.verdict == AnomalyVerdict::Storm {
             storms += 1;
         }
@@ -245,9 +433,11 @@ impl Model {
             step: 0,
             report: report0,
             redecodes: 0,
+            repairs: prefill_repairs,
         });
         let last = h.slice_rows(h.rows() - 1, h.rows());
-        let logits = self.logits(&last);
+        let wref = owned.as_ref().unwrap_or(&self.weights);
+        let logits = self.logits_with(wref, &last);
         let mut next = argmax(&logits) as u32;
         let prefill_ns = t0.elapsed().as_nanos() as u64;
         tokens.push(next);
@@ -258,14 +448,92 @@ impl Model {
             let pos = prompt.len() + step - 1;
             let snapshot = cache.len();
             let mut redecodes = 0u32;
+            let mut step_repairs = 0u32;
+            let mut repaired_this_step = false;
             loop {
-                let h = self.forward_step(&[next], pos, step, &mut cache, taps);
+                // Pre-forward state pass: injectors strike, scrubbers and
+                // guards verify — corruption is caught before this step's
+                // forward pass reads it.
+                if let Some(w) = owned.as_mut() {
+                    let rep = state.on_step_state(&mut StateCtx {
+                        step,
+                        prompt_len: prompt.len(),
+                        weights: w,
+                        cache: &mut cache,
+                        golden: &self.weights,
+                        dtype: self.config.dtype,
+                    });
+                    scrubbed_tiles += rep.scrubbed_tiles;
+                    weight_repairs += rep.weight_repairs;
+                    step_repairs += rep.weight_repairs as u32;
+                    if let Some(p) = rep.kv_invalid_from {
+                        let rebuilt = self.rebuild_cache_range(
+                            w, prompt, &tokens, p, snapshot, step, &mut cache, state,
+                        );
+                        kv_repairs += rebuilt;
+                        step_repairs += rebuilt as u32;
+                    }
+                }
+                let wref = owned.as_ref().unwrap_or(&self.weights);
+                let h = self.forward_with(wref, &[next], pos, step, &mut cache, taps);
                 let report = taps.end_step(step);
+                if let Some(w) = owned.as_mut() {
+                    state.on_step_end(&mut StateCtx {
+                        step,
+                        prompt_len: prompt.len(),
+                        weights: w,
+                        cache: &mut cache,
+                        golden: &self.weights,
+                        dtype: self.config.dtype,
+                    });
+                }
                 if report.verdict == AnomalyVerdict::Storm {
                     storms += 1;
                     if redecodes < policy.max_retries {
+                        // RecoveryAction::EscalateAndRetry.
                         cache.truncate(snapshot);
+                        state.notify_truncate(snapshot);
                         taps.notify_rollback(step, redecodes);
+                        state.notify_rollback(step, redecodes);
+                        rollbacks += 1;
+                        redecodes += 1;
+                        continue;
+                    }
+                    if policy.enabled() && policy.repair && has_state && !repaired_this_step {
+                        // RecoveryAction::RepairAndRetry: a still-storming
+                        // step after escalated re-decodes points at
+                        // persistent stored-state corruption — sweep and
+                        // repair everything, then re-decode once more.
+                        cache.truncate(snapshot);
+                        state.notify_truncate(snapshot);
+                        taps.notify_rollback(step, redecodes);
+                        state.notify_rollback(step, redecodes);
+                        if let Some(w) = owned.as_mut() {
+                            let rep = state.on_repair(&mut StateCtx {
+                                step,
+                                prompt_len: prompt.len(),
+                                weights: w,
+                                cache: &mut cache,
+                                golden: &self.weights,
+                                dtype: self.config.dtype,
+                            });
+                            scrubbed_tiles += rep.scrubbed_tiles;
+                            weight_repairs += rep.weight_repairs;
+                            step_repairs += rep.weight_repairs as u32;
+                            if let Some(p) = rep.kv_invalid_from {
+                                let p = p.min(snapshot);
+                                if p < snapshot {
+                                    let rebuilt = self.rebuild_cache_range(
+                                        w, prompt, &tokens, p, snapshot, step, &mut cache,
+                                        state,
+                                    );
+                                    kv_repairs += rebuilt;
+                                    step_repairs += rebuilt as u32;
+                                }
+                            }
+                        }
+                        repair_retries += 1;
+                        repaired_this_step = true;
                         rollbacks += 1;
                         redecodes += 1;
                         continue;
@@ -275,12 +543,14 @@ impl Model {
                         recovery_failed = true;
                     }
                 }
-                let logits = self.logits(&h);
+                let wref = owned.as_ref().unwrap_or(&self.weights);
+                let logits = self.logits_with(wref, &h);
                 next = argmax(&logits) as u32;
                 steps.push(StepRecord {
                     step,
                     report,
                     redecodes,
+                    repairs: step_repairs,
                 });
                 break;
             }
@@ -296,6 +566,10 @@ impl Model {
             rollbacks,
             storms,
             recovery_failed,
+            scrubbed_tiles,
+            weight_repairs,
+            kv_repairs,
+            repair_retries,
         }
     }
 }

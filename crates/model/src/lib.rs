@@ -37,14 +37,18 @@ pub mod engine;
 pub mod graph;
 pub mod hooks;
 pub mod mlp;
+pub mod state;
 pub mod weights;
 pub mod zoo;
 
 pub use config::{Activation, ArchStyle, LayerKind, ModelConfig, NormKind};
-pub use engine::{GenerationOutput, KvCache, Model, RecoveryPolicy, StepRecord};
+pub use engine::{
+    GenerationOutput, KvCache, Model, RecoveryAction, RecoveryPolicy, StepRecord,
+};
 pub use graph::{ArchGraph, OpClass};
 pub use hooks::{
     AnomalyVerdict, HookKind, LayerTap, NoTaps, RecordingTap, StepReport, TapCtx, TapList,
     TapPoint,
 };
+pub use state::{StateCtx, StateReport, StateTap, StateTapList};
 pub use zoo::{model_zoo, ModelSpec, ZooModel};

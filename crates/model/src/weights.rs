@@ -127,6 +127,22 @@ impl BlockWeights {
             LayerKind::DownProj => self.gated.as_ref().map(|(_, _, d)| d),
         }
     }
+
+    /// Mutable access to the linear layer of the given kind (used by
+    /// stored-state fault injection and by integrity repair).
+    pub fn layer_mut(&mut self, kind: LayerKind) -> Option<&mut Linear> {
+        match kind {
+            LayerKind::KProj => Some(&mut self.k_proj),
+            LayerKind::QProj => Some(&mut self.q_proj),
+            LayerKind::VProj => Some(&mut self.v_proj),
+            LayerKind::OutProj => Some(&mut self.out_proj),
+            LayerKind::Fc1 => self.fc.as_mut().map(|(a, _)| a),
+            LayerKind::Fc2 => self.fc.as_mut().map(|(_, b)| b),
+            LayerKind::GateProj => self.gated.as_mut().map(|(g, _, _)| g),
+            LayerKind::UpProj => self.gated.as_mut().map(|(_, u, _)| u),
+            LayerKind::DownProj => self.gated.as_mut().map(|(_, _, d)| d),
+        }
+    }
 }
 
 /// All weights of a model.

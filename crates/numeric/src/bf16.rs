@@ -41,8 +41,13 @@ impl Bf16 {
     pub fn from_f32(value: f32) -> Self {
         let x = value.to_bits();
         if value.is_nan() {
-            // Keep NaN quiet and preserve sign.
-            return Bf16(((x >> 16) as u16) | 0x0040);
+            // Truncate, preserving the payload bits so bf16<->f32 NaN
+            // round-trips exactly (required for the fault-injection bit-flip
+            // involution); only force a quiet bit when truncation would lose
+            // NaN-ness.
+            let hi = (x >> 16) as u16;
+            let hi = if hi & 0x007F == 0 { hi | 0x0040 } else { hi };
+            return Bf16(hi);
         }
         let round_bit = 0x0000_8000u32;
         let mut hi = (x >> 16) as u16;
@@ -141,6 +146,22 @@ mod tests {
         let big = Bf16::from_f32(1e38);
         assert!(big.is_finite());
         assert!(big.to_f32() > 9.9e37);
+    }
+
+    #[test]
+    fn nan_payload_roundtrips_exactly() {
+        // Any bf16 NaN pattern must survive widening to f32 and truncating
+        // back bit-for-bit.
+        for bits in 0..=u16::MAX {
+            let b = Bf16::from_bits(bits);
+            if b.is_nan() {
+                assert_eq!(
+                    Bf16::from_f32(b.to_f32()).to_bits(),
+                    bits,
+                    "NaN payload lost for {bits:#06x}"
+                );
+            }
+        }
     }
 
     #[test]

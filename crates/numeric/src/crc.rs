@@ -1,0 +1,108 @@
+//! CRC-64 integrity checksums (ECMA-182 polynomial).
+//!
+//! The integrity layer checksums weight tiles and KV-cache rows with
+//! CRC-64/ECMA (polynomial `0x42F0E1EBA9EA3693`). Because the polynomial's
+//! constant term is 1, a CRC-64 detects **every** error burst of at most 64
+//! bits — and a fault model that corrupts bits within one stored `f32`
+//! element is a burst of at most 32 bits, so any single-element corruption
+//! (single-bit, double-bit, or exponent flips, in any storage format) is
+//! *guaranteed* to change the checksum. That is the soundness property the
+//! scrubber and the KV guard rely on.
+//!
+//! Implemented with a 16-entry nibble table: tiny, allocation-free, and fast
+//! enough for per-decode-step scrub budgets.
+
+/// The CRC-64/ECMA-182 generator polynomial (normal representation).
+pub const CRC64_ECMA_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// Nibble lookup table for `CRC64_ECMA_POLY`, built at compile time.
+const fn build_table() -> [u64; 16] {
+    let mut table = [0u64; 16];
+    let mut n = 0;
+    while n < 16 {
+        let mut crc = (n as u64) << 60;
+        let mut bit = 0;
+        while bit < 4 {
+            crc = if crc & (1 << 63) != 0 {
+                (crc << 1) ^ CRC64_ECMA_POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[n] = crc;
+        n += 1;
+    }
+    table
+}
+
+const TABLE: [u64; 16] = build_table();
+
+/// CRC-64/ECMA of a byte slice (init 0, no reflection, no final xor).
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = 0u64;
+    for &b in bytes {
+        crc = (crc << 4) ^ TABLE[((crc >> 60) ^ (b >> 4) as u64) as usize & 0xF];
+        crc = (crc << 4) ^ TABLE[((crc >> 60) ^ (b & 0xF) as u64) as usize & 0xF];
+    }
+    crc
+}
+
+/// CRC-64/ECMA over the bit patterns of a slice of `f32` values
+/// (little-endian byte order). Values are hashed by *representation*, so
+/// `0.0` and `-0.0` — and distinct NaN payloads — checksum differently,
+/// exactly what stored-state integrity needs.
+pub fn crc64_f32s(values: &[f32]) -> u64 {
+    let mut crc = 0u64;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            crc = (crc << 4) ^ TABLE[((crc >> 60) ^ (b >> 4) as u64) as usize & 0xF];
+            crc = (crc << 4) ^ TABLE[((crc >> 60) ^ (b & 0xF) as u64) as usize & 0xF];
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero_and_deterministic() {
+        assert_eq!(crc64(&[]), 0);
+        let a = crc64(b"hello, world");
+        let b = crc64(b"hello, world");
+        assert_eq!(a, b);
+        assert_ne!(a, crc64(b"hello, worle"));
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_crc() {
+        let base = b"integrity scrubbing over weight tiles".to_vec();
+        let c0 = crc64(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                assert_ne!(crc64(&m), c0, "undetected flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_variant_matches_byte_variant() {
+        let vals = [1.5f32, -0.25, 0.0, f32::INFINITY, 3.15625];
+        let mut bytes = Vec::new();
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(crc64_f32s(&vals), crc64(&bytes));
+    }
+
+    #[test]
+    fn representation_sensitive() {
+        // 0.0 and -0.0 compare equal as floats but have different bits; the
+        // integrity layer must distinguish them.
+        assert_ne!(crc64_f32s(&[0.0]), crc64_f32s(&[-0.0]));
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`bits`] — bit-flip fault primitives shared by every fault model:
 //!   single-bit, double-bit, and exponent-bit flips on 16/32-bit floats, plus
 //!   the *NaN-vulnerable interval* analysis of §4.1.1.
+//! * [`crc`] — CRC-64/ECMA integrity checksums; the guarantee that any
+//!   corruption confined to one stored element changes the checksum is what
+//!   the weight scrubber and KV guard build on.
 //! * [`rng`] — deterministic, counter-splittable random number generation
 //!   (SplitMix64 + xoshiro256**). Campaign reproducibility across thread
 //!   counts requires per-trial derivable streams, which stateful generators
@@ -22,6 +25,7 @@
 
 pub mod bf16;
 pub mod bits;
+pub mod crc;
 pub mod f16;
 pub mod philox;
 pub mod rng;
@@ -29,6 +33,7 @@ pub mod stats;
 
 pub use bf16::Bf16;
 pub use bits::{flip_bit_f32, flip_bits_f32, BitLocation, FloatFormat, NAN_VULNERABLE_INTERVALS};
+pub use crc::{crc64, crc64_f32s};
 pub use f16::F16;
 pub use philox::{philox4x32_10, Philox};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

@@ -132,6 +132,19 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Element at flattened row-major index `i` (used by stored-state fault
+    /// injection and integrity scrubbing, which address tensors linearly).
+    #[inline]
+    pub fn get_flat(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Set the element at flattened row-major index `i`.
+    #[inline]
+    pub fn set_flat(&mut self, i: usize, v: f32) {
+        self.data[i] = v;
+    }
+
     /// The whole backing slice, row-major.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
@@ -262,6 +275,18 @@ mod tests {
         let before = m2.get(0, 0);
         m2.quantize(DType::F32);
         assert_eq!(m2.get(0, 0), before);
+    }
+
+    #[test]
+    fn flat_indexing_matches_row_major_layout() {
+        let mut m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(m.get_flat(r * 4 + c), m.get(r, c));
+            }
+        }
+        m.set_flat(5, 99.0);
+        assert_eq!(m.get(1, 1), 99.0);
     }
 
     #[test]

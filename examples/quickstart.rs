@@ -9,7 +9,7 @@
 //! first unprotected, then under FT2's online protection.
 
 use ft2::core::{Scheme, SchemeFactory};
-use ft2::fault::{FaultInjector, FaultSite, ProtectionFactory};
+use ft2::fault::{FaultDuration, FaultInjector, FaultSite, FaultTarget, ProtectionFactory};
 use ft2::model::{TapList, TapPoint, ZooModel};
 use ft2::tasks::render_tokens;
 
@@ -36,6 +36,8 @@ fn main() {
         },
         element: 17,
         bits: vec![14],
+        duration: FaultDuration::Transient,
+        target: FaultTarget::Activation,
     };
     let mut injector = FaultInjector::new(site.clone());
     let mut taps = TapList::new();

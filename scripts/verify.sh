@@ -15,4 +15,10 @@ cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 echo "== cargo test (offline, locked) =="
 cargo test -q --workspace --offline --locked
 
+echo "== persistent-fault smoke campaign =="
+# A tiny duration x target x defence sweep through the release binary:
+# exercises the weight scrubber, KV guard, and repair-and-retry rung
+# end-to-end exactly as a user would invoke them.
+FT2_INPUTS=2 FT2_TRIALS=3 ./target/release/ft2-repro persistent
+
 echo "verify: OK"

@@ -55,12 +55,7 @@ fn main() {
             trials_per_input: trials,
             gen_tokens,
             fault_model: fm,
-            step_filter: ft2::fault::StepFilter::AllSteps,
-            step_weighting: ft2::fault::StepWeighting::default(),
-            layer_filter: None,
-            trial_deadline_ms: None,
-            trial_token_budget: None,
-            recovery_retries: 0,
+            ..CampaignConfig::quick(fm)
         };
         let campaign = Campaign::new(&model, &prompts, &judge, cfg, &pool);
         print!("{:>6}:", fm.name());

@@ -2,11 +2,22 @@
 
 use ft2::core::bounds::{BoundsStore, LayerBounds};
 use ft2::core::protect::{Correction, Coverage, NanPolicy, Protector};
-use ft2::fault::{FaultInjector, FaultModel, FaultSite, SiteSampler};
+use ft2::fault::{FaultDuration, FaultInjector, FaultModel, FaultSite, FaultTarget, SiteSampler};
 use ft2::model::{HookKind, LayerKind, LayerTap, ModelConfig, TapCtx, TapPoint};
-use ft2::numeric::{FloatFormat, Xoshiro256StarStar};
+use ft2::numeric::bits::flip_bit_in_format;
+use ft2::numeric::{crc64_f32s, Bf16, FloatFormat, Xoshiro256StarStar, F16};
 use ft2::tensor::{DType, Matrix};
 use proptest::prelude::*;
+
+/// Round a value to the nearest representable one in `format`, so that
+/// bit flips operate on an exactly-stored pattern.
+fn quantise(v: f32, format: FloatFormat) -> f32 {
+    match format {
+        FloatFormat::F32 => v,
+        FloatFormat::F16 => F16::from_f32(v).to_f32(),
+        FloatFormat::Bf16 => Bf16::from_f32(v).to_f32(),
+    }
+}
 
 fn ctx(layer: LayerKind, step: usize) -> TapCtx {
     TapCtx {
@@ -84,6 +95,8 @@ proptest! {
             point: TapPoint { block: 0, layer: LayerKind::KProj },
             element,
             bits: vec![bit],
+            duration: FaultDuration::Transient,
+            target: FaultTarget::Activation,
         };
         let mut inj = FaultInjector::new(site);
         let values: Vec<f32> = (0..cols).map(|i| 0.25 + i as f32 * 0.01).collect();
@@ -141,6 +154,69 @@ proptest! {
         prop_assert!(c.hi >= a.hi - 1e-6);
         // Original interval always contained.
         prop_assert!(a.lo <= lo && a.hi >= hi);
+    }
+
+    /// Bit flips are involutions: applying the same fault-model bit pattern
+    /// twice restores the stored value bit-exactly, for every fault model
+    /// and every storage format (including NaN-producing exponent flips,
+    /// whose payloads the narrow formats must preserve).
+    #[test]
+    fn bit_flips_are_involutions(
+        raw in -1000.0f32..1000.0,
+        seed in any::<u64>(),
+    ) {
+        for format in [FloatFormat::F16, FloatFormat::F32, FloatFormat::Bf16] {
+            let stored = quantise(raw, format);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            for fm in FaultModel::ALL {
+                let bits = fm.sample_bits(&mut rng, format);
+                let mut v = stored;
+                for &b in &bits {
+                    v = flip_bit_in_format(v, format, b);
+                }
+                prop_assert_ne!(
+                    v.to_bits(), stored.to_bits(),
+                    "a xor must change the stored pattern ({:?}, {:?}, bits {:?})",
+                    fm, format, bits.clone()
+                );
+                for &b in &bits {
+                    v = flip_bit_in_format(v, format, b);
+                }
+                prop_assert_eq!(
+                    v.to_bits(), stored.to_bits(),
+                    "double flip must restore exactly ({:?}, {:?}, bits {:?})",
+                    fm, format, bits
+                );
+            }
+        }
+    }
+
+    /// Checksum soundness: corrupting any one element of a tile with any
+    /// fault model's bit flips changes the tile's CRC-64 checksum. (The
+    /// corruption is confined to one 32-bit word — a burst well within the
+    /// 64-bit window CRC-64 detects unconditionally.)
+    #[test]
+    fn any_bit_flip_changes_tile_checksum(
+        tile in prop::collection::vec(-4.0f32..4.0, 1..64),
+        element in 0usize..256,
+        seed in any::<u64>(),
+    ) {
+        let stored: Vec<f32> = tile.iter().map(|&v| quantise(v, FloatFormat::F16)).collect();
+        let clean = crc64_f32s(&stored);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for fm in FaultModel::ALL {
+            let bits = fm.sample_bits(&mut rng, FloatFormat::F16);
+            let mut corrupted = stored.clone();
+            let idx = element % corrupted.len();
+            for &b in &bits {
+                corrupted[idx] = flip_bit_in_format(corrupted[idx], FloatFormat::F16, b);
+            }
+            prop_assert_ne!(
+                crc64_f32s(&corrupted), clean,
+                "flip of bits {:?} at element {} left the checksum unchanged",
+                bits, idx
+            );
+        }
     }
 
     /// Online FT2 protector: after the prefill, every value it passes
