@@ -15,6 +15,12 @@
 //!   events. Crashed trials are listed by campaigns as seed/input/trial
 //!   pointers for exactly this command.
 //!
+//! ft2-repro bench [--json] [--out PATH]
+//!   measures prefill tok/s, decode tok/s and unprotected campaign trials/s
+//!   on the ft2-bench fixtures; --json writes the schema-stable
+//!   BENCH_decode.json baseline CI gates perf regressions against.
+//!   Sizing: FT2_BENCH_REPS, FT2_BENCH_GEN, FT2_BENCH_TRIALS, FT2_QUICK=1.
+//!
 //! Sizing (env): FT2_INPUTS (12), FT2_TRIALS (30), FT2_SEED, FT2_QUICK=1
 //!
 //! Resilience (env):
@@ -31,6 +37,8 @@
 
 use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
+use ft2_harness::{bench, BENCH_BASELINE_PATH};
+use std::path::PathBuf;
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
@@ -122,11 +130,43 @@ fn run_replay(args: &[String]) -> Result<(), String> {
     experiments::replay::run(&ctx, &spec)
 }
 
+fn run_bench(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut out = PathBuf::from(BENCH_BASELINE_PATH);
+    let mut rest = args.iter();
+    while let Some(key) = rest.next() {
+        match key.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                out = PathBuf::from(
+                    rest.next().ok_or("option --out needs a value")?,
+                );
+            }
+            other => return Err(format!("unknown bench option {other}")),
+        }
+    }
+    let pool = ft2_parallel::WorkStealingPool::with_default_threads();
+    let t0 = Instant::now();
+    let report = bench::run(&pool);
+    eprintln!("### bench done in {:.1?}", t0.elapsed());
+    println!("{}", report.summary());
+    if json {
+        bench::write_json(&report, &out)?;
+        println!("wrote {}", out.display());
+    }
+    Ok(())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("usage: ft2-repro [--resume] <experiment>... | all");
         println!("       ft2-repro replay <seed>/<input>/<trial> [--model M] [--dataset D] [--scheme S] [--fault F] [--duration D] [--target T]");
+        println!("       ft2-repro bench [--json] [--out PATH]");
+        println!("         measures prefill/decode tok/s and campaign trials/s on the");
+        println!("         ft2-bench fixtures; --json writes a schema-stable baseline");
+        println!("         ({BENCH_BASELINE_PATH} by default) for perf-regression gating;");
+        println!("         sizing via FT2_BENCH_REPS, FT2_BENCH_GEN, FT2_BENCH_TRIALS, FT2_QUICK=1");
         println!("experiments: {}", EXPERIMENTS.join(" "));
         println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
         println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
@@ -140,6 +180,14 @@ fn main() {
     if args[0] == "replay" {
         if let Err(e) = run_replay(&args[1..]) {
             eprintln!("replay failed: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    if args[0] == "bench" {
+        if let Err(e) = run_bench(&args[1..]) {
+            eprintln!("bench failed: {e}");
             std::process::exit(2);
         }
         return;

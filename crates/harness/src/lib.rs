@@ -11,9 +11,11 @@
 //! `FT2_INPUTS` / `FT2_TRIALS` (see [`Settings`]). All campaigns are
 //! deterministic in `FT2_SEED`.
 
+pub mod bench;
 pub mod experiments;
 pub mod report;
 pub mod settings;
 
+pub use bench::{BenchReport, BENCH_BASELINE_PATH, BENCH_SCHEMA_VERSION};
 pub use report::{format_pct, Csv, Table};
 pub use settings::{EvalPair, Resilience, Settings};

@@ -69,30 +69,50 @@ pub struct Settings {
     pub recovery_repair: bool,
 }
 
-/// Parse one knob value. A malformed value (empty, negative, non-numeric)
-/// warns on stderr and returns `None` — the knob falls back to its default
-/// instead of panicking or being silently misread.
+/// Human-readable "expected …" description for a knob's target type. The
+/// warning below used to claim "a non-negative integer" for *every* knob,
+/// which was wrong the moment a float- or string-valued knob reused
+/// `parse_knob`.
+fn expected_kind<T>() -> &'static str {
+    let ty = std::any::type_name::<T>();
+    match ty {
+        "u8" | "u16" | "u32" | "u64" | "u128" | "usize" => "a non-negative integer",
+        "i8" | "i16" | "i32" | "i64" | "i128" | "isize" => "an integer",
+        "f32" | "f64" => "a number",
+        "bool" => "true or false",
+        _ => ty,
+    }
+}
+
+/// Parse one knob value. A malformed value (empty, out-of-range,
+/// non-numeric) warns on stderr and returns `None` — the knob falls back to
+/// its default instead of panicking or being silently misread.
 fn parse_knob<T: std::str::FromStr>(name: &str, raw: &str) -> Option<T> {
     match raw.trim().parse::<T>() {
         Ok(v) => Some(v),
         Err(_) => {
             eprintln!(
-                "warning: ignoring malformed {name}={raw:?} (expected a non-negative integer); \
-                 using the default"
+                "warning: ignoring malformed {name}={raw:?} (expected {}); using the default",
+                expected_kind::<T>()
             );
             None
         }
     }
 }
 
-fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+pub(crate) fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name)
         .ok()
         .and_then(|v| parse_knob(name, &v))
 }
 
-fn env_usize(name: &str) -> Option<usize> {
+pub(crate) fn env_usize(name: &str) -> Option<usize> {
     env_knob(name)
+}
+
+/// Whether `FT2_QUICK=1` smoke-test sizing is in effect.
+pub(crate) fn quick_mode() -> bool {
+    std::env::var("FT2_QUICK").is_ok_and(|v| v == "1")
 }
 
 impl Default for Settings {
@@ -104,8 +124,7 @@ impl Default for Settings {
 impl Settings {
     /// Defaults with environment overrides applied.
     pub fn from_env() -> Settings {
-        let quick = std::env::var("FT2_QUICK").is_ok_and(|v| v == "1");
-        let (inputs, trials) = if quick { (6, 10) } else { (12, 30) };
+        let (inputs, trials) = if quick_mode() { (6, 10) } else { (12, 30) };
         Settings {
             inputs: env_usize("FT2_INPUTS").unwrap_or(inputs),
             trials: env_usize("FT2_TRIALS").unwrap_or(trials),
@@ -324,6 +343,20 @@ mod tests {
             assert_eq!(parse_knob::<usize>("FT2_TRIAL_TOKEN_BUDGET", raw), None);
             assert_eq!(parse_knob::<u32>("FT2_RECOVERY_RETRIES", raw), None);
         }
+    }
+
+    #[test]
+    fn knob_warnings_name_the_expected_type() {
+        // The warning text must match the knob's type, not hardcode
+        // "non-negative integer" for everything.
+        assert_eq!(expected_kind::<u64>(), "a non-negative integer");
+        assert_eq!(expected_kind::<usize>(), "a non-negative integer");
+        assert_eq!(expected_kind::<i32>(), "an integer");
+        assert_eq!(expected_kind::<f64>(), "a number");
+        assert_eq!(expected_kind::<f32>(), "a number");
+        assert_eq!(expected_kind::<bool>(), "true or false");
+        // Unknown types fall back to the type name rather than lying.
+        assert!(expected_kind::<String>().contains("String"));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Multi-head causal self-attention with a KV cache.
 
-use crate::config::{ArchStyle, ModelConfig};
+use crate::config::{ArchStyle, ModelConfig, RopeTable};
 use crate::hooks::{HookKind, TapCtx, TapList, TapPoint};
+use crate::scratch::AttnScratch;
 use crate::weights::BlockWeights;
-use ft2_tensor::{softmax_rows, Matrix};
+use ft2_tensor::{dot, softmax_rows, KernelPolicy, Matrix};
 
 /// Cached keys and values of one block (one row per past position).
 #[derive(Clone, Debug)]
@@ -46,8 +47,17 @@ impl KvCacheBlock {
 /// as `heads × head_dim`, for absolute positions `start_pos..start_pos + n`.
 /// RoPE is a per-pair rotation: it preserves magnitudes exactly, which is
 /// why it plays no role in the criticality analysis.
+///
+/// Rotation pairs are `(2i, 2i+1)`, so an odd `head_dim` has no valid
+/// pairing for its last lane — that is a configuration error
+/// (`ModelConfig::validate` rejects it), and this asserts rather than
+/// silently leaving the lane unrotated as it used to.
 pub fn apply_rope(x: &mut Matrix, start_pos: usize, heads: usize, head_dim: usize) {
     debug_assert_eq!(x.cols(), heads * head_dim);
+    assert!(
+        head_dim.is_multiple_of(2),
+        "rotary embeddings need an even head_dim, got {head_dim}"
+    );
     let half = head_dim / 2;
     for r in 0..x.rows() {
         let pos = (start_pos + r) as f32;
@@ -66,9 +76,33 @@ pub fn apply_rope(x: &mut Matrix, start_pos: usize, heads: usize, head_dim: usiz
     }
 }
 
+/// Table-driven [`apply_rope`]: identical rotation (the table stores the
+/// bit-exact same sin/cos values) without the per-element `powf`/`sin_cos`.
+pub fn apply_rope_with(x: &mut Matrix, start_pos: usize, heads: usize, table: &RopeTable) {
+    let half = table.half();
+    let head_dim = 2 * half;
+    debug_assert_eq!(x.cols(), heads * head_dim);
+    for r in 0..x.rows() {
+        let (sin, cos) = table.at(start_pos + r);
+        let row = x.row_mut(r);
+        for h in 0..heads {
+            let base = h * head_dim;
+            for i in 0..half {
+                let a = row[base + 2 * i];
+                let b = row[base + 2 * i + 1];
+                row[base + 2 * i] = a * cos[i] - b * sin[i];
+                row[base + 2 * i + 1] = a * sin[i] + b * cos[i];
+            }
+        }
+    }
+}
+
 /// Run causal multi-head attention for the rows of `x` (absolute positions
 /// `start_pos..start_pos + n`), appending this step's K/V to the cache.
 /// Returns the attention output `[n, hidden]` (after `OUT_PROJ`).
+///
+/// Compatibility wrapper over [`attention_forward_into`]: strict kernel
+/// policy, on-the-fly RoPE, fresh scratch.
 #[allow(clippy::too_many_arguments)]
 pub fn attention_forward(
     config: &ModelConfig,
@@ -80,6 +114,55 @@ pub fn attention_forward(
     cache: &mut KvCacheBlock,
     taps: &mut TapList<'_>,
 ) -> Matrix {
+    let mut scratch = AttnScratch::default();
+    attention_forward_into(
+        config,
+        weights,
+        block_idx,
+        x,
+        start_pos,
+        step,
+        cache,
+        taps,
+        KernelPolicy::Strict,
+        None,
+        &mut scratch,
+    );
+    scratch.out
+}
+
+/// [`attention_forward`] with explicit [`KernelPolicy`], optional
+/// precomputed [`RopeTable`], and caller-owned scratch buffers; the result
+/// lands in `scratch.out`.
+///
+/// The computation is head-major: for each head, contiguous per-head Q and
+/// cached-K slices feed the unrolled [`ft2_tensor::dot`], the reused
+/// `scratch.scores` buffer is softmaxed, and the weighted value sum is
+/// accumulated into the head's slice of `scratch.ctx`.
+///
+/// # Kernel-policy semantics
+///
+/// The value sum visits exactly the *unmasked* positions `0..=start_pos+i`
+/// — like a fused attention kernel, which never reads K/V rows of
+/// causally-masked future positions. Within the unmasked range, Strict mode
+/// accumulates every term so a NaN in a cached V row poisons the output
+/// even when its softmax weight underflowed to exactly `0.0` (IEEE:
+/// `0 × NaN = NaN`); Fast mode may skip those zero-weight terms, which is
+/// unobservable on finite caches only.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_forward_into(
+    config: &ModelConfig,
+    weights: &BlockWeights,
+    block_idx: usize,
+    x: &Matrix,
+    start_pos: usize,
+    step: usize,
+    cache: &mut KvCacheBlock,
+    taps: &mut TapList<'_>,
+    policy: KernelPolicy,
+    rope: Option<&RopeTable>,
+    scratch: &mut AttnScratch,
+) {
     use crate::config::LayerKind::*;
     let n = x.rows();
     let heads = config.heads;
@@ -96,61 +179,72 @@ pub fn attention_forward(
         dtype,
     };
 
-    let mut k = weights.k_proj.forward(x, dtype);
-    taps.fire(&ctx(KProj), &mut k);
-    let mut q = weights.q_proj.forward(x, dtype);
-    taps.fire(&ctx(QProj), &mut q);
-    let mut v = weights.v_proj.forward(x, dtype);
-    taps.fire(&ctx(VProj), &mut v);
+    weights.k_proj.forward_into(x, dtype, &mut scratch.k);
+    taps.fire(&ctx(KProj), &mut scratch.k);
+    weights.q_proj.forward_into(x, dtype, &mut scratch.q);
+    taps.fire(&ctx(QProj), &mut scratch.q);
+    weights.v_proj.forward_into(x, dtype, &mut scratch.v);
+    taps.fire(&ctx(VProj), &mut scratch.v);
 
     if config.style == ArchStyle::LlamaStyle {
-        apply_rope(&mut q, start_pos, heads, head_dim);
-        apply_rope(&mut k, start_pos, heads, head_dim);
+        match rope {
+            Some(table) => {
+                apply_rope_with(&mut scratch.q, start_pos, heads, table);
+                apply_rope_with(&mut scratch.k, start_pos, heads, table);
+            }
+            None => {
+                apply_rope(&mut scratch.q, start_pos, heads, head_dim);
+                apply_rope(&mut scratch.k, start_pos, heads, head_dim);
+            }
+        }
     }
 
     debug_assert_eq!(cache.len(), start_pos, "cache out of sync with position");
-    cache.k.append_rows(&k);
-    cache.v.append_rows(&v);
+    cache.k.append_rows(&scratch.k);
+    cache.v.append_rows(&scratch.v);
     let total = cache.len();
 
-    // Scores per head with causal masking, then weighted sum of values.
     let scale = 1.0 / (head_dim as f32).sqrt();
-    let mut attn_out = Matrix::zeros(n, config.hidden);
+    scratch.ctx.reset(n, config.hidden);
     for h in 0..heads {
         let base = h * head_dim;
-        // scores[i][j] = q_i · k_j * scale for j <= start_pos + i.
-        let mut scores = Matrix::from_fn(n, total, |i, j| {
-            if j <= start_pos + i {
-                let qrow = &q.row(i)[base..base + head_dim];
-                let krow = &cache.k.row(j)[base..base + head_dim];
-                let mut acc = 0.0f32;
-                for (a, b) in qrow.iter().zip(krow) {
-                    acc += a * b;
-                }
-                acc * scale
-            } else {
-                f32::NEG_INFINITY
-            }
-        });
-        softmax_rows(&mut scores);
+        // scores[i][j] = q_i · k_j · scale for unmasked j, else -inf.
+        scratch.scores.reset(n, total);
         for i in 0..n {
-            let out_row = attn_out.row_mut(i);
+            let limit = start_pos + i;
+            let qrow = &scratch.q.row(i)[base..base + head_dim];
+            let srow = scratch.scores.row_mut(i);
+            for (j, s) in srow.iter_mut().enumerate() {
+                *s = if j <= limit {
+                    dot(qrow, &cache.k.row(j)[base..base + head_dim]) * scale
+                } else {
+                    f32::NEG_INFINITY
+                };
+            }
+        }
+        softmax_rows(&mut scratch.scores);
+        for i in 0..n {
+            let out_row = &mut scratch.ctx.row_mut(i)[base..base + head_dim];
             for j in 0..=(start_pos + i) {
-                let w = scores.get(i, j);
-                if w == 0.0 {
+                let w = scratch.scores.get(i, j);
+                // Fault-free-only shortcut: on a finite cache a zero weight
+                // contributes nothing, but it would mask a NaN/Inf in the
+                // cached V row (0 × NaN = NaN on real hardware).
+                if policy == KernelPolicy::Fast && w == 0.0 {
                     continue;
                 }
                 let vrow = &cache.v.row(j)[base..base + head_dim];
-                for (o, &vv) in out_row[base..base + head_dim].iter_mut().zip(vrow) {
+                for (o, &vv) in out_row.iter_mut().zip(vrow) {
                     *o += w * vv;
                 }
             }
         }
     }
 
-    let mut out = weights.out_proj.forward(&attn_out, dtype);
-    taps.fire(&ctx(OutProj), &mut out);
-    out
+    weights
+        .out_proj
+        .forward_into(&scratch.ctx, dtype, &mut scratch.out);
+    taps.fire(&ctx(OutProj), &mut scratch.out);
 }
 
 #[cfg(test)]
@@ -257,6 +351,101 @@ mod tests {
         assert_eq!(cache.k, k_before);
         let out_b = attention_forward(&config, block, 0, &x, 3, 1, &mut cache, &mut taps);
         assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "even head_dim")]
+    fn rope_rejects_odd_head_dim() {
+        let mut x = Matrix::zeros(1, 9);
+        apply_rope(&mut x, 0, 1, 9);
+    }
+
+    #[test]
+    fn table_rope_is_bit_identical_to_on_the_fly() {
+        let config = ModelConfig::tiny_llama();
+        let table = RopeTable::build(&config);
+        let heads = config.heads;
+        let head_dim = config.head_dim();
+        let orig = Matrix::from_fn(4, config.hidden, |r, c| {
+            ((r * 17 + c * 3) % 23) as f32 * 0.13 - 1.1
+        });
+        for start_pos in [0usize, 1, 9, config.max_seq - 4] {
+            let mut a = orig.clone();
+            let mut b = orig.clone();
+            apply_rope(&mut a, start_pos, heads, head_dim);
+            apply_rope_with(&mut b, start_pos, heads, &table);
+            assert_eq!(a, b, "bitwise divergence at start_pos={start_pos}");
+        }
+    }
+
+    /// The satellite regression: a NaN planted in a cached V row must
+    /// poison the strict-mode attention output even when that position's
+    /// softmax weight underflowed to exactly 0.0 — the old `w == 0.0` skip
+    /// masked it.
+    #[test]
+    fn strict_attention_propagates_nan_from_cached_v() {
+        let config = ModelConfig::tiny_opt();
+        let weights = ModelWeights::build(&config);
+        let block = &weights.blocks[0];
+        let mut taps = TapList::new();
+
+        // Prefill 3 positions, corrupt position 0's V row, and make its
+        // softmax weight underflow deterministically: a tap forces the
+        // decode step's Q to all-ones while position 2's cached K is set to
+        // all-100s, so every head scores ≈283 there and ≈0 elsewhere — the
+        // other positions' weights are exp(≈−283) = exactly 0.0 in f32.
+        struct ForceQ;
+        impl crate::hooks::LayerTap for ForceQ {
+            fn on_output(&mut self, ctx: &crate::hooks::TapCtx, data: &mut Matrix) {
+                if ctx.point.layer == crate::config::LayerKind::QProj && ctx.step == 1 {
+                    for v in data.as_mut_slice() {
+                        *v = 1.0;
+                    }
+                }
+            }
+        }
+        let mut run = |corrupt: bool, policy: KernelPolicy| -> Matrix {
+            let mut cache = KvCacheBlock::new(config.hidden);
+            let prefill =
+                Matrix::from_fn(3, config.hidden, |r, c| ((r * 7 + c) % 5) as f32 * 0.1);
+            let mut scratch = crate::scratch::AttnScratch::default();
+            attention_forward_into(
+                &config, block, 0, &prefill, 0, 0, &mut cache, &mut taps,
+                KernelPolicy::Strict, None, &mut scratch,
+            );
+            for ccol in 0..config.hidden {
+                cache.k.set(2, ccol, 100.0);
+            }
+            if corrupt {
+                cache.v.set(0, 1, f32::NAN);
+            }
+            let x = Matrix::from_fn(1, config.hidden, |_, c| (c % 3) as f32 * 0.2 + 0.5);
+            let mut force = ForceQ;
+            let mut step_taps = TapList::new();
+            step_taps.push(&mut force);
+            let mut s2 = crate::scratch::AttnScratch::default();
+            attention_forward_into(
+                &config, block, 0, &x, 3, 1, &mut cache, &mut step_taps, policy, None,
+                &mut s2,
+            );
+            s2.out
+        };
+
+        // Sanity: the weight for position 0 really is exactly zero — the
+        // fast path produces a finite, NaN-free output despite the NaN.
+        let fast = run(true, KernelPolicy::Fast);
+        assert!(
+            !fast.has_nan(),
+            "setup broken: position 0's weight did not underflow to 0.0"
+        );
+        // Clean caches are unaffected by policy.
+        assert!(!run(false, KernelPolicy::Strict).has_nan());
+        // Strict mode must let the NaN poison the output (0 × NaN = NaN).
+        let strict = run(true, KernelPolicy::Strict);
+        assert!(
+            strict.has_nan(),
+            "strict attention masked a NaN in a zero-weight cached V row"
+        );
     }
 
     #[test]

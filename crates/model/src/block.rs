@@ -1,11 +1,12 @@
 //! The pre-norm decoder block (both architecture styles).
 
-use crate::attention::{attention_forward, KvCacheBlock};
-use crate::config::{ModelConfig, NormKind};
+use crate::attention::{attention_forward_into, KvCacheBlock};
+use crate::config::{ModelConfig, NormKind, RopeTable};
 use crate::hooks::TapList;
-use crate::mlp::mlp_forward;
+use crate::mlp::mlp_forward_into;
+use crate::scratch::BlockScratch;
 use crate::weights::{BlockWeights, NormParams};
-use ft2_tensor::{add_inplace, layer_norm, rms_norm, Matrix};
+use ft2_tensor::{add_inplace, layer_norm, rms_norm, KernelPolicy, Matrix};
 
 /// Per-position activation growth rate. Pre-norm LLMs exhibit a systematic
 /// increase of activation magnitudes along the sequence (residual-stream
@@ -25,33 +26,51 @@ pub fn normed_at(
     x: &Matrix,
     start_pos: usize,
 ) -> Matrix {
-    let mut y = x.clone();
-    match config.norm {
-        NormKind::LayerNorm => layer_norm(&mut y, &params.gamma, &params.beta, 1e-5),
-        NormKind::RmsNorm => rms_norm(&mut y, &params.gamma, 1e-6),
-    }
+    let mut y = Matrix::zeros(0, 0);
+    normed_at_into(config, params, x, start_pos, &mut y);
+    y
+}
+
+/// [`normed_at`] writing into a caller-owned buffer.
+pub fn normed_at_into(
+    config: &ModelConfig,
+    params: &NormParams,
+    x: &Matrix,
+    start_pos: usize,
+    y: &mut Matrix,
+) {
+    normed_into(config, params, x, y);
     for r in 0..y.rows() {
         let gain = 1.0 + POSITION_GAIN * (start_pos + r) as f32;
         for v in y.row_mut(r) {
             *v *= gain;
         }
     }
-    y
 }
 
 /// Normalisation without the positional gain (used for the final norm
 /// before the LM head, where the paper's protected layers have all run).
 pub fn normed(config: &ModelConfig, params: &NormParams, x: &Matrix) -> Matrix {
-    let mut y = x.clone();
-    match config.norm {
-        NormKind::LayerNorm => layer_norm(&mut y, &params.gamma, &params.beta, 1e-5),
-        NormKind::RmsNorm => rms_norm(&mut y, &params.gamma, 1e-6),
-    }
+    let mut y = Matrix::zeros(0, 0);
+    normed_into(config, params, x, &mut y);
     y
+}
+
+/// [`normed`] writing into a caller-owned buffer.
+pub fn normed_into(config: &ModelConfig, params: &NormParams, x: &Matrix, y: &mut Matrix) {
+    y.reset(x.rows(), x.cols());
+    y.as_mut_slice().copy_from_slice(x.as_slice());
+    match config.norm {
+        NormKind::LayerNorm => layer_norm(y, &params.gamma, &params.beta, 1e-5),
+        NormKind::RmsNorm => rms_norm(y, &params.gamma, 1e-6),
+    }
 }
 
 /// Run one decoder block: pre-norm attention with residual, then pre-norm
 /// MLP with residual. `x` is updated in place.
+///
+/// Compatibility wrapper over [`block_forward_into`]: strict kernel
+/// policy, on-the-fly RoPE, fresh scratch.
 #[allow(clippy::too_many_arguments)]
 pub fn block_forward(
     config: &ModelConfig,
@@ -63,17 +82,68 @@ pub fn block_forward(
     cache: &mut KvCacheBlock,
     taps: &mut TapList<'_>,
 ) {
-    // Attention sub-block: x = x + Attn(Norm(x)).
-    let normed_in = normed_at(config, &weights.attn_norm, x, start_pos);
-    let attn = attention_forward(
-        config, weights, block_idx, &normed_in, start_pos, step, cache, taps,
+    let mut scratch = BlockScratch::default();
+    block_forward_into(
+        config,
+        weights,
+        block_idx,
+        x,
+        start_pos,
+        step,
+        cache,
+        taps,
+        KernelPolicy::Strict,
+        None,
+        &mut scratch,
     );
-    add_inplace(x, &attn);
+}
+
+/// [`block_forward`] with explicit [`KernelPolicy`], optional precomputed
+/// [`RopeTable`], and caller-owned scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn block_forward_into(
+    config: &ModelConfig,
+    weights: &BlockWeights,
+    block_idx: usize,
+    x: &mut Matrix,
+    start_pos: usize,
+    step: usize,
+    cache: &mut KvCacheBlock,
+    taps: &mut TapList<'_>,
+    policy: KernelPolicy,
+    rope: Option<&RopeTable>,
+    scratch: &mut BlockScratch,
+) {
+    // Attention sub-block: x = x + Attn(Norm(x)).
+    normed_at_into(config, &weights.attn_norm, x, start_pos, &mut scratch.normed);
+    attention_forward_into(
+        config,
+        weights,
+        block_idx,
+        &scratch.normed,
+        start_pos,
+        step,
+        cache,
+        taps,
+        policy,
+        rope,
+        &mut scratch.attn,
+    );
+    add_inplace(x, &scratch.attn.out);
 
     // MLP sub-block: x = x + MLP(Norm(x)).
-    let normed_mid = normed_at(config, &weights.mlp_norm, x, start_pos);
-    let mlp = mlp_forward(config, weights, block_idx, &normed_mid, start_pos, step, taps);
-    add_inplace(x, &mlp);
+    normed_at_into(config, &weights.mlp_norm, x, start_pos, &mut scratch.normed);
+    mlp_forward_into(
+        config,
+        weights,
+        block_idx,
+        &scratch.normed,
+        start_pos,
+        step,
+        taps,
+        &mut scratch.mlp,
+    );
+    add_inplace(x, &scratch.mlp.out);
 }
 
 #[cfg(test)]

@@ -150,6 +150,36 @@ impl ModelConfig {
         self.hidden / self.heads
     }
 
+    /// Check the structural invariants the engine relies on. Called by
+    /// `Model::new`, so a misconfigured zoo entry fails loudly at
+    /// construction instead of silently misbehaving (e.g. `apply_rope`
+    /// used to drop the last lane of an odd `head_dim` without a word).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden == 0 || self.blocks == 0 || self.ffn == 0 || self.vocab == 0 {
+            return Err(format!(
+                "{}: all dimensions must be nonzero (hidden={}, blocks={}, ffn={}, vocab={})",
+                self.name, self.hidden, self.blocks, self.ffn, self.vocab
+            ));
+        }
+        if self.heads == 0 || !self.hidden.is_multiple_of(self.heads) {
+            return Err(format!(
+                "{}: hidden ({}) must be divisible by heads ({})",
+                self.name, self.hidden, self.heads
+            ));
+        }
+        if self.max_seq == 0 {
+            return Err(format!("{}: max_seq must be nonzero", self.name));
+        }
+        if self.style == ArchStyle::LlamaStyle && !self.head_dim().is_multiple_of(2) {
+            return Err(format!(
+                "{}: rotary embeddings need an even head_dim, got {}",
+                self.name,
+                self.head_dim()
+            ));
+        }
+        Ok(())
+    }
+
     /// The linear layer kinds a block of this model contains.
     pub fn block_layers(&self) -> &'static [LayerKind] {
         LayerKind::for_style(self.style)
@@ -243,6 +273,58 @@ impl ModelConfig {
     }
 }
 
+/// Precomputed rotary-embedding angles for every `(position, pair)` of a
+/// model: `sin`/`cos` of `pos · 10000^(−2i/head_dim)` for positions
+/// `0..max_seq` and pairs `0..head_dim/2`.
+///
+/// The table entries are produced by the *identical* float expression the
+/// on-the-fly [`crate::attention::apply_rope`] evaluates, so table-driven
+/// RoPE is bit-for-bit equal to the recomputing path — it just removes a
+/// `powf` + `sin_cos` per element from every decode step.
+#[derive(Clone, Debug)]
+pub struct RopeTable {
+    half: usize,
+    sin: Vec<f32>,
+    cos: Vec<f32>,
+}
+
+impl RopeTable {
+    /// Build the table for a model (positions `0..config.max_seq`).
+    pub fn build(config: &ModelConfig) -> RopeTable {
+        let head_dim = config.head_dim();
+        assert!(head_dim.is_multiple_of(2), "rotary embeddings need an even head_dim");
+        let half = head_dim / 2;
+        let positions = config.max_seq;
+        let mut sin = Vec::with_capacity(positions * half);
+        let mut cos = Vec::with_capacity(positions * half);
+        for pos in 0..positions {
+            for i in 0..half {
+                // Must match apply_rope's expression exactly for the
+                // bit-identity contract above.
+                let theta =
+                    pos as f32 * 10_000f32.powf(-2.0 * i as f32 / head_dim as f32);
+                let (s, c) = theta.sin_cos();
+                sin.push(s);
+                cos.push(c);
+            }
+        }
+        RopeTable { half, sin, cos }
+    }
+
+    /// Number of rotation pairs per head (`head_dim / 2`).
+    pub fn half(&self) -> usize {
+        self.half
+    }
+
+    /// The `(sin, cos)` slices for one absolute position, `half` entries
+    /// each. Panics past `max_seq` (the engine rejects such sequences).
+    pub fn at(&self, pos: usize) -> (&[f32], &[f32]) {
+        let lo = pos * self.half;
+        let hi = lo + self.half;
+        (&self.sin[lo..hi], &self.cos[lo..hi])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +365,53 @@ mod tests {
         let per_block = 4 * (32 * 32 + 32) + (32 * 128 + 128) + (128 * 32 + 32);
         let expect = 96 * 32 + 64 * 32 + 96 * 32 + 2 * per_block;
         assert_eq!(c.sim_params(), expect);
+    }
+
+    #[test]
+    fn validate_accepts_the_test_configs() {
+        assert!(ModelConfig::tiny_opt().validate().is_ok());
+        assert!(ModelConfig::tiny_llama().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_odd_head_dim_for_rotary() {
+        let mut c = ModelConfig::tiny_llama();
+        c.hidden = 36; // 36 / 4 heads = head_dim 9
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("even head_dim"), "got: {err}");
+        // The same shape is fine for OPT-style (learned positions).
+        let mut o = ModelConfig::tiny_opt();
+        o.hidden = 36;
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_indivisible_heads_and_zero_dims() {
+        let mut c = ModelConfig::tiny_opt();
+        c.heads = 5;
+        assert!(c.validate().is_err());
+        let mut z = ModelConfig::tiny_opt();
+        z.vocab = 0;
+        assert!(z.validate().is_err());
+    }
+
+    #[test]
+    fn rope_table_matches_on_the_fly_bitwise() {
+        let config = ModelConfig::tiny_llama();
+        let table = RopeTable::build(&config);
+        let head_dim = config.head_dim();
+        let half = head_dim / 2;
+        assert_eq!(table.half(), half);
+        for pos in [0usize, 1, 7, config.max_seq - 1] {
+            let (sin, cos) = table.at(pos);
+            for i in 0..half {
+                let theta =
+                    pos as f32 * 10_000f32.powf(-2.0 * i as f32 / head_dim as f32);
+                let (s, c) = theta.sin_cos();
+                assert_eq!(sin[i].to_bits(), s.to_bits(), "sin pos={pos} i={i}");
+                assert_eq!(cos[i].to_bits(), c.to_bits(), "cos pos={pos} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -2,18 +2,21 @@
 //! autoregressive generation with a KV cache.
 
 use crate::attention::KvCacheBlock;
-use crate::block::{block_forward, normed};
-use crate::config::ModelConfig;
+use crate::block::{block_forward_into, normed_into};
+use crate::config::{ArchStyle, ModelConfig, RopeTable};
 use crate::hooks::{AnomalyVerdict, StepReport, TapList};
+use crate::scratch::DecodeScratch;
 use crate::state::{StateCtx, StateTapList};
 use crate::weights::ModelWeights;
-use ft2_tensor::{argmax, Matrix};
+use ft2_tensor::{argmax, KernelPolicy, Matrix};
 use std::time::Instant;
 
 /// A model instance: configuration plus its synthetic checkpoint.
 pub struct Model {
     config: ModelConfig,
     weights: ModelWeights,
+    /// Precomputed RoPE angles (Llama-style models only).
+    rope: Option<RopeTable>,
 }
 
 /// How the engine reacts to a [`AnomalyVerdict::Storm`] during decode.
@@ -192,10 +195,19 @@ impl KvCache {
 
 impl Model {
     /// Build a model from a configuration (constructs the synthetic
-    /// checkpoint deterministically from `config.seed`).
+    /// checkpoint deterministically from `config.seed`). Panics on a
+    /// structurally invalid configuration — see [`ModelConfig::validate`].
     pub fn new(config: ModelConfig) -> Model {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid model config: {e}"));
         let weights = ModelWeights::build(&config);
-        Model { config, weights }
+        let rope = (config.style == ArchStyle::LlamaStyle).then(|| RopeTable::build(&config));
+        Model {
+            config,
+            weights,
+            rope,
+        }
     }
 
     /// The model's configuration.
@@ -209,10 +221,15 @@ impl Model {
     }
 
     /// Embed token ids at absolute positions `start_pos..` using the given
-    /// weight set.
-    fn embed_with(&self, weights: &ModelWeights, tokens: &[u32], start_pos: usize) -> Matrix {
-        let hidden = self.config.hidden;
-        let mut x = Matrix::zeros(tokens.len(), hidden);
+    /// weight set, writing into a reusable buffer.
+    fn embed_into(
+        &self,
+        weights: &ModelWeights,
+        tokens: &[u32],
+        start_pos: usize,
+        x: &mut Matrix,
+    ) {
+        x.reset(tokens.len(), self.config.hidden);
         for (i, &t) in tokens.iter().enumerate() {
             let t = (t as usize) % self.config.vocab;
             let row = weights.embed.row(t);
@@ -225,12 +242,13 @@ impl Model {
             }
         }
         x.quantize(self.config.dtype);
-        x
     }
 
     /// Run the decoder stack with an explicit weight set (the checkpoint
     /// weights normally; a trial-owned working copy when state taps are
-    /// registered and stored-state corruption is possible).
+    /// registered and stored-state corruption is possible). The final
+    /// hidden states land in `scratch.hidden`.
+    #[allow(clippy::too_many_arguments)]
     fn forward_with(
         &self,
         weights: &ModelWeights,
@@ -239,17 +257,36 @@ impl Model {
         step: usize,
         cache: &mut KvCache,
         taps: &mut TapList<'_>,
-    ) -> Matrix {
-        let mut x = self.embed_with(weights, tokens, start_pos);
+        kernel: KernelPolicy,
+        scratch: &mut DecodeScratch,
+    ) {
+        self.embed_into(weights, tokens, start_pos, &mut scratch.x);
         for (b, (bw, cb)) in weights
             .blocks
             .iter()
             .zip(cache.blocks.iter_mut())
             .enumerate()
         {
-            block_forward(&self.config, bw, b, &mut x, start_pos, step, cb, taps);
+            block_forward_into(
+                &self.config,
+                bw,
+                b,
+                &mut scratch.x,
+                start_pos,
+                step,
+                cb,
+                taps,
+                kernel,
+                self.rope.as_ref(),
+                &mut scratch.block,
+            );
         }
-        normed(&self.config, &weights.final_norm, &x)
+        normed_into(
+            &self.config,
+            &weights.final_norm,
+            &scratch.x,
+            &mut scratch.hidden,
+        );
     }
 
     /// Run the decoder stack for `tokens` at positions `start_pos..`,
@@ -262,18 +299,31 @@ impl Model {
         cache: &mut KvCache,
         taps: &mut TapList<'_>,
     ) -> Matrix {
-        self.forward_with(&self.weights, tokens, start_pos, step, cache, taps)
+        let mut scratch = DecodeScratch::new();
+        self.forward_with(
+            &self.weights,
+            tokens,
+            start_pos,
+            step,
+            cache,
+            taps,
+            KernelPolicy::Strict,
+            &mut scratch,
+        );
+        scratch.hidden
     }
 
-    /// Logits for a single hidden-state row, with an explicit weight set.
-    fn logits_with(&self, weights: &ModelWeights, hidden_row: &Matrix) -> Vec<f32> {
-        let l = weights.lm_head.forward(hidden_row, self.config.dtype);
-        l.row(0).to_vec()
+    /// Logits for a single hidden-state row, with an explicit weight set,
+    /// into a reusable buffer.
+    fn logits_into(&self, weights: &ModelWeights, hidden_row: &Matrix, out: &mut Matrix) {
+        weights.lm_head.forward_into(hidden_row, self.config.dtype, out);
     }
 
     /// Logits for a single hidden-state row.
     pub fn logits(&self, hidden_row: &Matrix) -> Vec<f32> {
-        self.logits_with(&self.weights, hidden_row)
+        let mut l = Matrix::zeros(0, 0);
+        self.logits_into(&self.weights, hidden_row, &mut l);
+        l.row(0).to_vec()
     }
 
     /// Rebuild cache positions `from..target` from the known token sequence
@@ -305,7 +355,19 @@ impl Model {
             })
             .collect();
         let mut no_taps = TapList::new();
-        let _ = self.forward_with(weights, &seq, from, step, cache, &mut no_taps);
+        // Cold path (runs only on fault recovery): fresh scratch is fine,
+        // and repairs always run strict.
+        let mut scratch = DecodeScratch::new();
+        self.forward_with(
+            weights,
+            &seq,
+            from,
+            step,
+            cache,
+            &mut no_taps,
+            KernelPolicy::Strict,
+            &mut scratch,
+        );
         (target - from) as u64
     }
 
@@ -322,6 +384,32 @@ impl Model {
         taps: &mut TapList<'_>,
     ) -> GenerationOutput {
         self.generate_with_recovery(prompt, gen_tokens, taps, RecoveryPolicy::disabled())
+    }
+
+    /// [`Model::generate`] with an explicit [`KernelPolicy`].
+    ///
+    /// [`KernelPolicy::Fast`] enables the zero-skip shortcuts, which are
+    /// bit-identical to strict on finite tensors but mask NaN/Inf behind
+    /// exact zeros — valid **only** for generations known fault-free, such
+    /// as the reference outputs a campaign compares its trials against.
+    /// Every fault-injection trial must run strict (the default
+    /// everywhere else).
+    pub fn generate_with_policy(
+        &self,
+        prompt: &[u32],
+        gen_tokens: usize,
+        taps: &mut TapList<'_>,
+        kernel: KernelPolicy,
+    ) -> GenerationOutput {
+        let mut state = StateTapList::new();
+        self.generate_internal(
+            prompt,
+            gen_tokens,
+            taps,
+            &mut state,
+            RecoveryPolicy::disabled(),
+            kernel,
+        )
     }
 
     /// [`Model::generate`] with KV-snapshot token rollback: when the merged
@@ -366,6 +454,21 @@ impl Model {
         state: &mut StateTapList<'_>,
         policy: RecoveryPolicy,
     ) -> GenerationOutput {
+        // Fault campaigns run through this path: the kernel policy is
+        // pinned strict so injected NaN/Inf propagate with IEEE fidelity.
+        self.generate_internal(prompt, gen_tokens, taps, state, policy, KernelPolicy::Strict)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_internal(
+        &self,
+        prompt: &[u32],
+        gen_tokens: usize,
+        taps: &mut TapList<'_>,
+        state: &mut StateTapList<'_>,
+        policy: RecoveryPolicy,
+        kernel: KernelPolicy,
+    ) -> GenerationOutput {
         assert!(!prompt.is_empty(), "empty prompt");
         assert!(
             prompt.len() + gen_tokens <= self.config.max_seq,
@@ -384,6 +487,7 @@ impl Model {
             None
         };
         let mut cache = KvCache::new(&self.config);
+        let mut scratch = DecodeScratch::new();
         let mut tokens: Vec<u32> = Vec::with_capacity(gen_tokens);
         let mut steps = Vec::with_capacity(gen_tokens);
         let mut rollbacks = 0u32;
@@ -414,7 +518,7 @@ impl Model {
             debug_assert!(rep.kv_invalid_from.is_none());
         }
         let wref = owned.as_ref().unwrap_or(&self.weights);
-        let h = self.forward_with(wref, prompt, 0, 0, &mut cache, taps);
+        self.forward_with(wref, prompt, 0, 0, &mut cache, taps, kernel, &mut scratch);
         let report0 = taps.end_step(0);
         if let Some(w) = owned.as_mut() {
             state.on_step_end(&mut StateCtx {
@@ -435,10 +539,12 @@ impl Model {
             redecodes: 0,
             repairs: prefill_repairs,
         });
-        let last = h.slice_rows(h.rows() - 1, h.rows());
+        let last = scratch
+            .hidden
+            .slice_rows(scratch.hidden.rows() - 1, scratch.hidden.rows());
         let wref = owned.as_ref().unwrap_or(&self.weights);
-        let logits = self.logits_with(wref, &last);
-        let mut next = argmax(&logits) as u32;
+        self.logits_into(wref, &last, &mut scratch.logits);
+        let mut next = argmax(scratch.logits.row(0)) as u32;
         let prefill_ns = t0.elapsed().as_nanos() as u64;
         tokens.push(next);
 
@@ -475,7 +581,9 @@ impl Model {
                     }
                 }
                 let wref = owned.as_ref().unwrap_or(&self.weights);
-                let h = self.forward_with(wref, &[next], pos, step, &mut cache, taps);
+                self.forward_with(
+                    wref, &[next], pos, step, &mut cache, taps, kernel, &mut scratch,
+                );
                 let report = taps.end_step(step);
                 if let Some(w) = owned.as_mut() {
                     state.on_step_end(&mut StateCtx {
@@ -544,8 +652,8 @@ impl Model {
                     }
                 }
                 let wref = owned.as_ref().unwrap_or(&self.weights);
-                let logits = self.logits_with(wref, &h);
-                next = argmax(&logits) as u32;
+                self.logits_into(wref, &scratch.hidden, &mut scratch.logits);
+                next = argmax(scratch.logits.row(0)) as u32;
                 steps.push(StepRecord {
                     step,
                     report,

@@ -37,11 +37,14 @@ pub mod engine;
 pub mod graph;
 pub mod hooks;
 pub mod mlp;
+pub mod scratch;
 pub mod state;
 pub mod weights;
 pub mod zoo;
 
-pub use config::{Activation, ArchStyle, LayerKind, ModelConfig, NormKind};
+pub use config::{Activation, ArchStyle, LayerKind, ModelConfig, NormKind, RopeTable};
+pub use ft2_tensor::KernelPolicy;
+pub use scratch::{AttnScratch, BlockScratch, DecodeScratch, MlpScratch};
 pub use engine::{
     GenerationOutput, KvCache, Model, RecoveryAction, RecoveryPolicy, StepRecord,
 };

@@ -2,6 +2,7 @@
 
 use crate::config::{Activation, ArchStyle, LayerKind, ModelConfig};
 use crate::hooks::{HookKind, TapCtx, TapList, TapPoint};
+use crate::scratch::MlpScratch;
 use crate::weights::BlockWeights;
 use ft2_tensor::{gelu_inplace, ops::mul_inplace, relu_inplace, silu_inplace, Matrix};
 
@@ -15,6 +16,8 @@ fn activate(act: Activation, m: &mut Matrix) {
 
 /// Run the block's MLP on `x` (`[n, hidden] -> [n, hidden]`), firing taps
 /// after every linear layer.
+///
+/// Compatibility wrapper over [`mlp_forward_into`] with fresh scratch.
 pub fn mlp_forward(
     config: &ModelConfig,
     weights: &BlockWeights,
@@ -24,6 +27,24 @@ pub fn mlp_forward(
     step: usize,
     taps: &mut TapList<'_>,
 ) -> Matrix {
+    let mut scratch = MlpScratch::default();
+    mlp_forward_into(config, weights, block_idx, x, start_pos, step, taps, &mut scratch);
+    scratch.out
+}
+
+/// [`mlp_forward`] writing all intermediates into caller-owned scratch;
+/// the result lands in `scratch.out`.
+#[allow(clippy::too_many_arguments)]
+pub fn mlp_forward_into(
+    config: &ModelConfig,
+    weights: &BlockWeights,
+    block_idx: usize,
+    x: &Matrix,
+    start_pos: usize,
+    step: usize,
+    taps: &mut TapList<'_>,
+    scratch: &mut MlpScratch,
+) {
     let dtype = config.dtype;
     let ctx = |layer: LayerKind| TapCtx {
         point: TapPoint {
@@ -49,29 +70,27 @@ pub fn mlp_forward(
     match config.style {
         ArchStyle::OptStyle => {
             let (fc1, fc2) = weights.fc.as_ref().expect("OPT-style block without FC");
-            let mut h = fc1.forward(x, dtype);
-            taps.fire(&ctx(LayerKind::Fc1), &mut h);
-            activate(config.activation, &mut h);
-            taps.fire(&act_ctx(LayerKind::Fc1), &mut h);
-            let mut y = fc2.forward(&h, dtype);
-            taps.fire(&ctx(LayerKind::Fc2), &mut y);
-            y
+            fc1.forward_into(x, dtype, &mut scratch.h);
+            taps.fire(&ctx(LayerKind::Fc1), &mut scratch.h);
+            activate(config.activation, &mut scratch.h);
+            taps.fire(&act_ctx(LayerKind::Fc1), &mut scratch.h);
+            fc2.forward_into(&scratch.h, dtype, &mut scratch.out);
+            taps.fire(&ctx(LayerKind::Fc2), &mut scratch.out);
         }
         ArchStyle::LlamaStyle => {
             let (gate, up, down) = weights
                 .gated
                 .as_ref()
                 .expect("Llama-style block without gated MLP");
-            let mut g = gate.forward(x, dtype);
-            taps.fire(&ctx(LayerKind::GateProj), &mut g);
-            let mut u = up.forward(x, dtype);
-            taps.fire(&ctx(LayerKind::UpProj), &mut u);
-            activate(config.activation, &mut g);
-            taps.fire(&act_ctx(LayerKind::GateProj), &mut g);
-            mul_inplace(&mut g, &u);
-            let mut y = down.forward(&g, dtype);
-            taps.fire(&ctx(LayerKind::DownProj), &mut y);
-            y
+            gate.forward_into(x, dtype, &mut scratch.h);
+            taps.fire(&ctx(LayerKind::GateProj), &mut scratch.h);
+            up.forward_into(x, dtype, &mut scratch.up);
+            taps.fire(&ctx(LayerKind::UpProj), &mut scratch.up);
+            activate(config.activation, &mut scratch.h);
+            taps.fire(&act_ctx(LayerKind::GateProj), &mut scratch.h);
+            mul_inplace(&mut scratch.h, &scratch.up);
+            down.forward_into(&scratch.h, dtype, &mut scratch.out);
+            taps.fire(&ctx(LayerKind::DownProj), &mut scratch.out);
         }
     }
 }

@@ -68,12 +68,19 @@ impl Linear {
     /// Apply to an input `[n, in] -> [n, out]` and quantise the stored
     /// output to `dtype`.
     pub fn forward(&self, x: &Matrix, dtype: DType) -> Matrix {
-        let mut y = ft2_tensor::matmul_transb(x, &self.weight);
-        if let Some(b) = &self.bias {
-            ft2_tensor::add_bias_inplace(&mut y, b);
-        }
-        y.quantize(dtype);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, dtype, &mut y);
         y
+    }
+
+    /// [`Linear::forward`] writing into a caller-owned output matrix so the
+    /// decode hot path reuses one allocation per layer slot per step.
+    pub fn forward_into(&self, x: &Matrix, dtype: DType, out: &mut Matrix) {
+        ft2_tensor::matmul_transb_into(x, &self.weight, out);
+        if let Some(b) = &self.bias {
+            ft2_tensor::add_bias_inplace(out, b);
+        }
+        out.quantize(dtype);
     }
 
     /// Output feature count.

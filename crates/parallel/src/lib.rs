@@ -34,5 +34,5 @@ pub use panics::{catch_quiet, CaughtPanic};
 pub use pool::{TaskPanic, WorkStealingPool};
 pub use scope::{
     num_threads, parallel_chunks_mut, parallel_for, parallel_for_dynamic, parallel_map,
-    parallel_reduce,
+    parallel_ranges, parallel_reduce,
 };

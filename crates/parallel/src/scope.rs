@@ -109,6 +109,34 @@ where
     });
 }
 
+/// Run `f(worker, lo..hi)` over contiguous near-equal ranges of `0..n`,
+/// one range per worker, range 0 on the calling thread. This is the
+/// scratch-friendly variant of [`parallel_for`]: each worker receives its
+/// whole contiguous range in one call, so it can reuse thread-local
+/// buffers across iterations instead of re-deriving state per index, and
+/// the GEMM kernels can hand each worker a disjoint block of output rows.
+pub fn parallel_ranges<F>(n: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if threads == 1 || n <= 1 {
+        if n > 0 {
+            f(0, 0..n);
+        }
+        return;
+    }
+    let ranges = split_ranges(n, threads);
+    std::thread::scope(|s| {
+        for (w, &(lo, hi)) in ranges.iter().enumerate().skip(1) {
+            let f = &f;
+            s.spawn(move || f(w, lo..hi));
+        }
+        let (lo, hi) = ranges[0];
+        f(0, lo..hi);
+    });
+}
+
 /// Map `f` over `items` in parallel, returning results in input order.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -287,6 +315,22 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
         assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn parallel_ranges_partitions_exactly() {
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        parallel_ranges(1001, |_, range| {
+            for i in range {
+                hits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1001);
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 1001 / 2);
+        // n = 0 never calls f.
+        parallel_ranges(0, |_, _| panic!("must not be called"));
     }
 
     #[test]

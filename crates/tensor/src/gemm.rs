@@ -10,17 +10,63 @@
 //!   accumulate `A[i][k] * B[k][:]` into the output row. Streaming both B
 //!   rows and C rows sequentially autovectorises well and avoids the
 //!   column-stride pathology of the naive ijk order.
-//! * [`matmul_transb`] — `A × Bᵀ` where B is given as `[n, k]`. This is the
-//!   natural layout for weight matrices (`[out_features, in_features]`) and
-//!   for attention scores (`Q × Kᵀ` with K cached row-per-token).
+//! * [`matmul_transb`] — `A × Bᵀ` with B given as `[n, k]` (the natural
+//!   layout for weight matrices), built on a B-panel-blocked micro-kernel:
+//!   four rows of Bᵀ are streamed against one row of A at a time so each
+//!   A load feeds four accumulator chains. On x86-64 with AVX2+FMA the
+//!   panel kernel runs on 256-bit fused multiply-adds (runtime-detected);
+//!   everywhere else an 8-lane portable kernel autovectorises.
+//!
+//! # Kernel policy: IEEE fidelity vs fault-free speed
+//!
+//! The repo's premise is that injected faults propagate exactly as they
+//! would through a GPU kernel: `0 × NaN = NaN`, `0 × Inf = NaN`, and a
+//! non-finite term anywhere in a dot product poisons the sum. A zero-skip
+//! ("`if a == 0.0 { continue; }`") breaks that contract — it masks a
+//! NaN/Inf sitting in the other operand, silently deflating SDC/DUE rates.
+//!
+//! [`KernelPolicy`] makes the trade-off explicit and per-call:
+//!
+//! * [`KernelPolicy::Strict`] (the **default**) accumulates every term.
+//!   Non-finite values land in the output exactly where the
+//!   [`matmul_naive`] oracle puts them.
+//! * [`KernelPolicy::Fast`] may skip terms whose multiplier is exactly
+//!   `0.0`. On finite data this is unobservable (adding `±0.0` to a sum
+//!   started at `+0.0` changes nothing), so Fast and Strict agree
+//!   bit-for-bit on any fault-free tensor — which is why fault-free
+//!   *reference* generations may use Fast while every fault-injection
+//!   trial must run Strict.
+//!
+//! [`matmul_transb`] never had a zero-skip: both policies are the same
+//! IEEE-faithful kernel there, and the policy parameter exists for API
+//! symmetry only.
 
 use crate::matrix::Matrix;
-use ft2_parallel::parallel_for;
+use ft2_parallel::parallel_ranges;
 
-/// Minimum number of output elements before a kernel goes parallel. Tuned
-/// so single-token decode steps on the simulator's small models stay on one
-/// thread (the parallelism there is across campaign trials instead).
-const PARALLEL_THRESHOLD: usize = 64 * 1024;
+/// Minimum `m × n × k` multiply-accumulate count before a kernel goes
+/// parallel. Two considerations set it this high: (a) single-token decode
+/// steps on the simulator's small models must stay on one thread — the
+/// parallelism there is across campaign trials; (b) `ft2-parallel` spawns
+/// scoped threads per call (no persistent pool at this layer), which costs
+/// tens of microseconds — about the time the SIMD panel kernel needs for
+/// four million MACs single-threaded.
+const PARALLEL_THRESHOLD: usize = 4 * 1024 * 1024;
+
+/// Per-call choice between IEEE-faithful accumulation and fault-free-only
+/// shortcuts. See the module docs for the contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelPolicy {
+    /// Accumulate every term: non-finite inputs propagate exactly as in
+    /// [`matmul_naive`] (`0 × NaN = NaN`). The default, and mandatory
+    /// inside fault-injection trials.
+    #[default]
+    Strict,
+    /// Zero-multiplier terms may be skipped. Bit-identical to `Strict` on
+    /// finite data; masks NaN/Inf behind exact zeros. Only valid for
+    /// tensors known fault-free (e.g. reference generations).
+    Fast,
+}
 
 /// Reference triple-loop GEMM: `A[m,k] × B[k,n] -> C[m,n]`.
 pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
@@ -40,9 +86,12 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 #[inline]
-fn row_accumulate(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
+fn row_accumulate(out_row: &mut [f32], a_row: &[f32], b: &Matrix, policy: KernelPolicy) {
     for (p, &aval) in a_row.iter().enumerate() {
-        if aval == 0.0 {
+        // Fault-free-only shortcut: `0.0 * b` contributes `±0.0` to a sum
+        // started at `+0.0` — unobservable on finite data, but it would
+        // mask a NaN/Inf in B. Strict mode therefore never skips.
+        if policy == KernelPolicy::Fast && aval == 0.0 {
             continue;
         }
         let b_row = b.row(p);
@@ -53,18 +102,26 @@ fn row_accumulate(out_row: &mut [f32], a_row: &[f32], b: &Matrix) {
 }
 
 /// Cache-friendly GEMM: `A[m,k] × B[k,n] -> C[m,n]`, parallel over rows of A
-/// when the output is large enough.
+/// when the output is large enough. Strict policy — see [`matmul_with`].
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_with(a, b, KernelPolicy::Strict)
+}
+
+/// [`matmul`] with an explicit [`KernelPolicy`].
+pub fn matmul_with(a: &Matrix, b: &Matrix, policy: KernelPolicy) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
     let (m, n) = (a.rows(), b.cols());
     let mut c = Matrix::zeros(m, n);
     if m * n * a.cols() >= PARALLEL_THRESHOLD && m > 1 {
         let c_ptr = SendMutPtr(c.as_mut_slice().as_mut_ptr());
-        parallel_for(m, |i| {
-            // SAFETY: each task touches only row i of C, rows are disjoint.
-            let out_row =
-                unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i * n), n) };
-            row_accumulate(out_row, a.row(i), b);
+        parallel_ranges(m, |_, rows| {
+            for i in rows {
+                // SAFETY: ranges are disjoint; each task touches only its
+                // own rows of C.
+                let out_row =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i * n), n) };
+                row_accumulate(out_row, a.row(i), b, policy);
+            }
         });
     } else {
         for i in 0..m {
@@ -72,16 +129,18 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
                 // SAFETY: sequential unique access.
                 std::slice::from_raw_parts_mut(c.as_mut_slice().as_mut_ptr().add(i * n), n)
             };
-            row_accumulate(row, a.row(i), b);
+            row_accumulate(row, a.row(i), b, policy);
         }
     }
     c
 }
 
+/// Dot product with 4-way unrolled accumulation; LLVM vectorises this
+/// reliably. Every term participates (no zero-skip), so non-finite values
+/// poison the result exactly as in a sequential sum.
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // 4-way unrolled accumulation; LLVM vectorises this reliably.
     let chunks = a.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0, 0.0, 0.0);
     for i in 0..chunks {
@@ -98,33 +157,186 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Portable 4-row panel kernel: dot products of one A row against four
+/// rows of Bᵀ, with 8 independent accumulator lanes per row so the
+/// autovectoriser can keep the FMA pipes busy. Reduction order is fixed
+/// (pairwise over the 8 lanes), independent of target features.
+fn dot4_portable(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    const L: usize = 8;
+    let k = a.len();
+    let mut acc = [[0.0f32; L]; 4];
+    let mut j = 0;
+    while j + L <= k {
+        for l in 0..L {
+            let av = a[j + l];
+            acc[0][l] += av * b0[j + l];
+            acc[1][l] += av * b1[j + l];
+            acc[2][l] += av * b2[j + l];
+            acc[3][l] += av * b3[j + l];
+        }
+        j += L;
+    }
+    let mut out = [0.0f32; 4];
+    for (o, lanes) in out.iter_mut().zip(&acc) {
+        *o = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    }
+    while j < k {
+        out[0] += a[j] * b0[j];
+        out[1] += a[j] * b1[j];
+        out[2] += a[j] * b2[j];
+        out[3] += a[j] * b3[j];
+        j += 1;
+    }
+    out
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Runtime-dispatched AVX2+FMA panel kernel. Rust's default x86-64
+    //! target baseline is SSE2, so without this the decode GEMV runs at a
+    //! fraction of the machine's FLOP rate. The kernel keeps every term
+    //! (no zero-skip): NaN/Inf propagation matches the oracle, only the
+    //! *rounding* of finite sums differs from the scalar path (FMA skips
+    //! the intermediate product rounding) — within the tolerance every
+    //! equivalence test pins.
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Is the AVX2+FMA path available (and not disabled via `FT2_NO_SIMD`)?
+    pub fn enabled() -> bool {
+        static HAVE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *HAVE.get_or_init(|| {
+            std::env::var_os("FT2_NO_SIMD").is_none()
+                && is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// Horizontal sum of a 256-bit register (fixed reduction order).
+    #[inline]
+    #[target_feature(enable = "avx")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(s);
+        let sums = _mm_add_ps(s, shuf);
+        let shuf2 = _mm_movehl_ps(shuf, sums);
+        _mm_cvtss_f32(_mm_add_ss(sums, shuf2))
+    }
+
+    /// Four dot products sharing each A load, two 256-bit FMA chains per
+    /// row (hides the FMA latency at k ≥ 16).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support (see [`enabled`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        let k = a.len();
+        let ap = a.as_ptr();
+        let bp = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+        let mut acc0 = [_mm256_setzero_ps(); 4];
+        let mut acc1 = [_mm256_setzero_ps(); 4];
+        let mut j = 0usize;
+        while j + 16 <= k {
+            let av0 = _mm256_loadu_ps(ap.add(j));
+            let av1 = _mm256_loadu_ps(ap.add(j + 8));
+            for r in 0..4 {
+                acc0[r] = _mm256_fmadd_ps(av0, _mm256_loadu_ps(bp[r].add(j)), acc0[r]);
+                acc1[r] = _mm256_fmadd_ps(av1, _mm256_loadu_ps(bp[r].add(j + 8)), acc1[r]);
+            }
+            j += 16;
+        }
+        if j + 8 <= k {
+            let av0 = _mm256_loadu_ps(ap.add(j));
+            for r in 0..4 {
+                acc0[r] = _mm256_fmadd_ps(av0, _mm256_loadu_ps(bp[r].add(j)), acc0[r]);
+            }
+            j += 8;
+        }
+        let mut out = [0.0f32; 4];
+        for r in 0..4 {
+            out[r] = hsum256(_mm256_add_ps(acc0[r], acc1[r]));
+        }
+        while j < k {
+            out[0] += a[j] * b0[j];
+            out[1] += a[j] * b1[j];
+            out[2] += a[j] * b2[j];
+            out[3] += a[j] * b3[j];
+            j += 1;
+        }
+        out
+    }
+}
+
+/// Best-available 4-row panel dot product.
+#[inline]
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    #[cfg(target_arch = "x86_64")]
+    if x86::enabled() {
+        // SAFETY: feature support verified at runtime by `x86::enabled`.
+        return unsafe { x86::dot4(a, b0, b1, b2, b3) };
+    }
+    dot4_portable(a, b0, b1, b2, b3)
+}
+
+/// One output row of `A × Bᵀ`: `out_row[j] = dot(a_row, b_t.row(j))`,
+/// computed in panels of four B rows.
+#[inline]
+fn transb_row(a_row: &[f32], b_t: &Matrix, out_row: &mut [f32]) {
+    let n = b_t.rows();
+    debug_assert_eq!(out_row.len(), n);
+    let mut j = 0;
+    while j + 4 <= n {
+        let r = dot4(a_row, b_t.row(j), b_t.row(j + 1), b_t.row(j + 2), b_t.row(j + 3));
+        out_row[j..j + 4].copy_from_slice(&r);
+        j += 4;
+    }
+    while j < n {
+        out_row[j] = dot(a_row, b_t.row(j));
+        j += 1;
+    }
+}
+
 /// `A[m,k] × Bᵀ` with `B` stored as `[n, k]` (row per output feature):
 /// `C[i][j] = dot(A.row(i), B.row(j))`. Parallel over rows of A.
+///
+/// This kernel has no zero-skip: every term of every dot product
+/// participates under both policies, so NaN/Inf placement always matches
+/// [`matmul_naive`].
 pub fn matmul_transb(a: &Matrix, b_t: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(0, 0);
+    matmul_transb_into(a, b_t, &mut c);
+    c
+}
+
+/// [`matmul_transb`] writing into a caller-owned output matrix, reusing
+/// its allocation (the decode hot path calls this once per linear layer
+/// per token; reuse removes the per-step allocation storm).
+pub fn matmul_transb_into(a: &Matrix, b_t: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b_t.cols(), "matmul_transb shape mismatch");
     let (m, n) = (a.rows(), b_t.rows());
-    let mut c = Matrix::zeros(m, n);
+    c.reset(m, n);
     if m * n * a.cols() >= PARALLEL_THRESHOLD && m > 1 {
         let c_ptr = SendMutPtr(c.as_mut_slice().as_mut_ptr());
-        parallel_for(m, |i| {
-            let a_row = a.row(i);
-            // SAFETY: row-disjoint writes.
-            let out_row =
-                unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i * n), n) };
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = dot(a_row, b_t.row(j));
+        parallel_ranges(m, |_, rows| {
+            for i in rows {
+                // SAFETY: ranges are disjoint; row-disjoint writes.
+                let out_row =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i * n), n) };
+                transb_row(a.row(i), b_t, out_row);
             }
         });
     } else {
         for i in 0..m {
-            let a_row = a.row(i);
-            for j in 0..n {
-                let v = dot(a_row, b_t.row(j));
-                c.set(i, j, v);
-            }
+            let row = unsafe {
+                // SAFETY: sequential unique access.
+                std::slice::from_raw_parts_mut(c.as_mut_slice().as_mut_ptr().add(i * n), n)
+            };
+            transb_row(a.row(i), b_t, row);
         }
     }
-    c
 }
 
 struct SendMutPtr(*mut f32);
@@ -160,9 +372,11 @@ mod tests {
         for &(m, k, n) in &[(1usize, 8usize, 5usize), (7, 16, 9), (33, 64, 17)] {
             let a = random_matrix(&mut rng, m, k);
             let b = random_matrix(&mut rng, k, n);
-            let fast = matmul(&a, &b);
             let slow = matmul_naive(&a, &b);
-            assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch {m}x{k}x{n}");
+            for policy in [KernelPolicy::Strict, KernelPolicy::Fast] {
+                let fast = matmul_with(&a, &b, policy);
+                assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch {m}x{k}x{n}");
+            }
         }
     }
 
@@ -170,8 +384,8 @@ mod tests {
     fn matmul_parallel_path_matches_naive() {
         let mut rng = Xoshiro256StarStar::new(18);
         // Big enough to cross PARALLEL_THRESHOLD.
-        let a = random_matrix(&mut rng, 96, 128);
-        let b = random_matrix(&mut rng, 128, 96);
+        let a = random_matrix(&mut rng, 192, 160, );
+        let b = random_matrix(&mut rng, 160, 160);
         let fast = matmul(&a, &b);
         let slow = matmul_naive(&a, &b);
         assert!(fast.max_abs_diff(&slow) < 1e-3);
@@ -180,12 +394,39 @@ mod tests {
     #[test]
     fn transb_matches_explicit_transpose() {
         let mut rng = Xoshiro256StarStar::new(19);
-        for &(m, k, n) in &[(3usize, 10usize, 4usize), (64, 96, 64)] {
+        for &(m, k, n) in &[(3usize, 10usize, 4usize), (64, 96, 64), (1, 64, 512), (5, 13, 7)] {
             let a = random_matrix(&mut rng, m, k);
             let bt = random_matrix(&mut rng, n, k);
             let direct = matmul_transb(&a, &bt);
             let via_transpose = matmul_naive(&a, &bt.transpose());
-            assert!(direct.max_abs_diff(&via_transpose) < 1e-3);
+            assert!(
+                direct.max_abs_diff(&via_transpose) < 1e-3,
+                "mismatch {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn transb_parallel_path_matches_naive() {
+        let mut rng = Xoshiro256StarStar::new(21);
+        let a = random_matrix(&mut rng, 192, 160);
+        let bt = random_matrix(&mut rng, 160, 160);
+        let direct = matmul_transb(&a, &bt);
+        let via_transpose = matmul_naive(&a, &bt.transpose());
+        assert!(direct.max_abs_diff(&via_transpose) < 1e-3);
+    }
+
+    #[test]
+    fn transb_into_reuses_buffer_and_matches() {
+        let mut rng = Xoshiro256StarStar::new(22);
+        let mut out = Matrix::zeros(9, 9); // wrong shape on purpose
+        for _ in 0..3 {
+            let a = random_matrix(&mut rng, 4, 24);
+            let bt = random_matrix(&mut rng, 11, 24);
+            matmul_transb_into(&a, &bt, &mut out);
+            assert_eq!(out.rows(), 4);
+            assert_eq!(out.cols(), 11);
+            assert!(out.max_abs_diff(&matmul_transb(&a, &bt)) == 0.0);
         }
     }
 
@@ -204,6 +445,121 @@ mod tests {
         let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32).collect();
         let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn panel_kernel_matches_dot() {
+        let mut rng = Xoshiro256StarStar::new(23);
+        for k in [1usize, 3, 7, 8, 15, 16, 17, 31, 32, 64, 100] {
+            let a: Vec<f32> = (0..k).map(|_| rng.normal() as f32).collect();
+            let bs: Vec<Vec<f32>> = (0..4)
+                .map(|_| (0..k).map(|_| rng.normal() as f32).collect())
+                .collect();
+            let got = dot4_portable(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for r in 0..4 {
+                let want = dot(&a, &bs[r]);
+                assert!(
+                    (got[r] - want).abs() < 1e-3 * want.abs().max(1.0),
+                    "portable k={k} row {r}: {} vs {}",
+                    got[r],
+                    want
+                );
+            }
+            #[cfg(target_arch = "x86_64")]
+            if x86::enabled() {
+                // SAFETY: feature support verified.
+                let simd = unsafe { x86::dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]) };
+                for r in 0..4 {
+                    let want = dot(&a, &bs[r]);
+                    assert!(
+                        (simd[r] - want).abs() < 1e-3 * want.abs().max(1.0),
+                        "simd k={k} row {r}: {} vs {}",
+                        simd[r],
+                        want
+                    );
+                }
+            }
+        }
+    }
+
+    /// The satellite regression: non-finite values in B must propagate
+    /// through `matmul` exactly as through the naive oracle — on the
+    /// serial path, the parallel path, and through `matmul_transb`.
+    #[test]
+    fn strict_matmul_propagates_nonfinite_like_naive() {
+        let mut rng = Xoshiro256StarStar::new(41);
+        // Serial (small) and parallel (crosses PARALLEL_THRESHOLD) shapes.
+        for &(m, k, n) in &[(4usize, 16usize, 8usize), (192, 160, 160)] {
+            // A with planted zeros so the old zero-skip would trigger.
+            let a = Matrix::from_fn(m, k, |_, c| {
+                if c % 3 == 0 {
+                    0.0
+                } else {
+                    rng.normal() as f32
+                }
+            });
+            let mut b = random_matrix(&mut rng, k, n);
+            // Non-finite B entries *only* in rows multiplied by zero.
+            b.set(0, 1, f32::NAN);
+            b.set(0, n - 1, f32::INFINITY);
+            b.set(3 % k, 0, f32::NEG_INFINITY);
+            let strict = matmul_with(&a, &b, KernelPolicy::Strict);
+            let oracle = matmul_naive(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    let (s, o) = (strict.get(i, j), oracle.get(i, j));
+                    assert_eq!(
+                        s.is_nan(),
+                        o.is_nan(),
+                        "NaN placement diverges at ({i},{j}): strict={s} oracle={o} ({m}x{k}x{n})"
+                    );
+                    assert_eq!(s.is_finite(), o.is_finite(), "finiteness diverges at ({i},{j})");
+                }
+            }
+            // The fast path masks them — the documented divergence.
+            let fast = matmul_with(&a, &b, KernelPolicy::Fast);
+            assert!(
+                !fast.row(0).iter().any(|v| v.is_nan()),
+                "fast path unexpectedly propagated a zero-multiplied NaN"
+            );
+        }
+    }
+
+    #[test]
+    fn transb_propagates_nonfinite_like_naive() {
+        let mut rng = Xoshiro256StarStar::new(42);
+        for &(m, k, n) in &[(1usize, 64usize, 12usize), (3, 24, 7)] {
+            let a = random_matrix(&mut rng, m, k);
+            let mut bt = random_matrix(&mut rng, n, k);
+            bt.set(1, 2, f32::NAN);
+            bt.set(n - 1, 0, f32::INFINITY);
+            let got = matmul_transb(&a, &bt);
+            let oracle = matmul_naive(&a, &bt.transpose());
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(got.get(i, j).is_nan(), oracle.get(i, j).is_nan());
+                    assert_eq!(got.get(i, j).is_finite(), oracle.get(i, j).is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_equals_strict_on_finite_data() {
+        // The contract that lets references run Fast: on fault-free
+        // tensors the two policies are bit-identical.
+        let mut rng = Xoshiro256StarStar::new(43);
+        let a = Matrix::from_fn(6, 24, |_, c| {
+            if c % 4 == 0 {
+                0.0
+            } else {
+                rng.normal() as f32
+            }
+        });
+        let b = random_matrix(&mut rng, 24, 10);
+        let strict = matmul_with(&a, &b, KernelPolicy::Strict);
+        let fast = matmul_with(&a, &b, KernelPolicy::Fast);
+        assert_eq!(strict, fast);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod matrix;
 pub mod ops;
 
 pub use abft::{checked_matmul_transb, AbftOutcome, CheckedProduct};
-pub use gemm::{matmul, matmul_naive, matmul_transb};
+pub use gemm::{
+    dot, matmul, matmul_naive, matmul_transb, matmul_transb_into, matmul_with, KernelPolicy,
+};
 pub use matrix::{DType, Matrix};
 pub use ops::{
     add_bias_inplace, add_inplace, argmax, gelu_inplace, layer_norm, relu_inplace, rms_norm,

@@ -53,6 +53,13 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (the natural seed for `reset`-style reuse).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -183,6 +190,18 @@ impl Matrix {
         self.rows = rows;
     }
 
+    /// Reshape to `rows × cols` with every element zeroed, reusing the
+    /// existing allocation when it is large enough. This is the scratch
+    /// primitive for the decode hot path: per-token buffers are `reset`
+    /// instead of reallocated each step.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// The transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -287,6 +306,20 @@ mod tests {
         }
         m.set_flat(5, 99.0);
         assert_eq!(m.get(1, 1), 99.0);
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c + 1) as f32);
+        m.reset(2, 5);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 5);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        // Growing works too.
+        m.set(1, 4, 3.0);
+        m.reset(4, 6);
+        assert_eq!(m.len(), 24);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

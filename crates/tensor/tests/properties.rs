@@ -2,10 +2,60 @@
 
 use ft2_tensor::ops::mul_inplace;
 use ft2_tensor::{
-    add_inplace, argmax, layer_norm, matmul, matmul_naive, matmul_transb, rms_norm, scale_inplace,
-    softmax_rows, DType, Matrix,
+    add_inplace, argmax, layer_norm, matmul, matmul_naive, matmul_transb, matmul_with, rms_norm,
+    scale_inplace, softmax_rows, DType, KernelPolicy, Matrix,
 };
 use proptest::prelude::*;
+
+/// The IEEE special values the strict kernels must propagate exactly like
+/// the naive oracle: NaN, both infinities, subnormals of both signs, and
+/// exact zero (the value the old fast-path skip keyed on).
+const SPECIALS: [f32; 6] = [
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    1.0e-40,
+    -1.0e-40,
+    0.0,
+];
+
+/// Plant `plants` special values at LCG-derived positions of `a` and `b`.
+fn plant_specials(a: &mut Matrix, b: &mut Matrix, seed: u64, plants: usize) {
+    let mut s = seed | 1;
+    let mut next = |n: usize| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) % n.max(1) as u64) as usize
+    };
+    for _ in 0..plants {
+        let v = SPECIALS[next(SPECIALS.len())];
+        if next(2) == 0 {
+            let (r, c) = (next(a.rows()), next(a.cols()));
+            a.set(r, c, v);
+        } else {
+            let (r, c) = (next(b.rows()), next(b.cols()));
+            b.set(r, c, v);
+        }
+    }
+}
+
+/// Assert `got` and `oracle` agree on NaN/Inf placement everywhere and agree
+/// within `tol` on finite entries.
+fn assert_nonfinite_placement(got: &Matrix, oracle: &Matrix, tol: f32) {
+    assert_eq!((got.rows(), got.cols()), (oracle.rows(), oracle.cols()));
+    for r in 0..oracle.rows() {
+        for c in 0..oracle.cols() {
+            let (g, o) = (got.get(r, c), oracle.get(r, c));
+            if o.is_nan() {
+                assert!(g.is_nan(), "[{r},{c}] oracle NaN, got {g}");
+            } else if o.is_infinite() {
+                assert_eq!(g, o, "[{r},{c}] oracle {o}, got {g}");
+            } else {
+                assert!(g.is_finite(), "[{r},{c}] oracle {o} finite, got {g}");
+                assert!((g - o).abs() < tol, "[{r},{c}] oracle {o}, got {g}");
+            }
+        }
+    }
+}
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -148,6 +198,46 @@ proptest! {
         scale_inplace(&mut rb, s);
         add_inplace(&mut ra, &rb);
         prop_assert!(lhs.max_abs_diff(&ra) < 1e-4);
+    }
+
+    /// Strict `matmul` propagates planted NaN/Inf/subnormals exactly where
+    /// the naive oracle does, on arbitrary shapes — the invariant the old
+    /// zero-skip fast path silently broke (0 × NaN was skipped as 0).
+    #[test]
+    fn strict_matmul_propagates_specials_like_naive(
+        m in 1usize..10, k in 1usize..14, n in 1usize..10,
+        seed in any::<u64>(), plants in 0usize..10,
+    ) {
+        let mut a = Matrix::from_fn(m, k, |r, c| {
+            ((r * 31 + c * 17 + seed as usize) % 23) as f32 * 0.1 - 1.0
+        });
+        let mut b = Matrix::from_fn(k, n, |r, c| {
+            ((r * 13 + c * 7 + seed as usize) % 19) as f32 * 0.1 - 0.9
+        });
+        plant_specials(&mut a, &mut b, seed, plants);
+        let strict = matmul_with(&a, &b, KernelPolicy::Strict);
+        let oracle = matmul_naive(&a, &b);
+        assert_nonfinite_placement(&strict, &oracle, 1e-3);
+    }
+
+    /// `matmul_transb` (always strict — the model's GEMM) propagates planted
+    /// specials exactly where the oracle does, across the SIMD panel kernel,
+    /// its scalar tail, and the portable fallback.
+    #[test]
+    fn transb_propagates_specials_like_naive(
+        m in 1usize..10, k in 1usize..40, n in 1usize..10,
+        seed in any::<u64>(), plants in 0usize..10,
+    ) {
+        let mut a = Matrix::from_fn(m, k, |r, c| {
+            ((r + c * 3 + seed as usize) % 11) as f32 * 0.2 - 1.0
+        });
+        let mut bt = Matrix::from_fn(n, k, |r, c| {
+            ((r * 5 + c + seed as usize) % 13) as f32 * 0.2 - 1.2
+        });
+        plant_specials(&mut a, &mut bt, seed ^ 0xD07, plants);
+        let direct = matmul_transb(&a, &bt);
+        let oracle = matmul_naive(&a, &bt.transpose());
+        assert_nonfinite_placement(&direct, &oracle, 1e-3);
     }
 
     /// Hadamard product commutes.

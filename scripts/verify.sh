@@ -21,4 +21,17 @@ echo "== persistent-fault smoke campaign =="
 # end-to-end exactly as a user would invoke them.
 FT2_INPUTS=2 FT2_TRIALS=3 ./target/release/ft2-repro persistent
 
+echo "== bench smoke (schema-stable JSON baseline) =="
+# Quick-sized run of the perf baseline emitter: the subcommand must work
+# end-to-end and the JSON schema the perf gate greps must not drift.
+BENCH_TMP="$(mktemp -d)/BENCH_decode.json"
+FT2_QUICK=1 ./target/release/ft2-repro bench --json --out "$BENCH_TMP"
+for key in '"schema": 1' '"prefill_tok_s"' '"decode_tok_s"' '"campaign_trials_s"'; do
+    grep -q "$key" "$BENCH_TMP" || {
+        echo "verify: bench JSON is missing $key" >&2
+        exit 1
+    }
+done
+rm -f "$BENCH_TMP"
+
 echo "verify: OK"
