@@ -1,0 +1,509 @@
+//! The protection-coverage proof: static cross-checks over the seven zoo
+//! models, the outcome taxonomy, and the checkpoint format — none of which
+//! execute a model forward pass.
+//!
+//! **Critical-layer coverage.** For each zoo config the Fig. 1a/1b
+//! classifier ([`CriticalityReport`]) derives the critical set from the
+//! architecture graph; the check then instantiates the FT2
+//! [`SchemeFactory`] tap set for that config and *probes* it: benign
+//! outputs at step 0 (bound profiling), then a huge out-of-range value at
+//! step 1 through every `(block, layer)` linear hook point. A critical
+//! layer whose probe value survives unclamped has no registered clamp tap
+//! (an unprotected gap); a non-critical layer whose probe is clamped marks
+//! over-protection (selective protection is FT2's overhead claim). The
+//! probe drives the real tap objects through the real `LayerTap`
+//! interface, so a wiring regression anywhere between `Scheme::coverage`
+//! and `Protector::on_output` is caught — without generating a single
+//! token.
+//!
+//! **Outcome pricing.** Every [`Outcome`] variant must map to a finite,
+//! positive cost expression in the [`CostModel`]. The mapping below is an
+//! exhaustive `match` with no wildcard arm: adding an outcome variant
+//! breaks this crate's build until a pricing rule is chosen.
+//!
+//! **Checkpoint versions.** Every version in `2..=CHECKPOINT_VERSION` must
+//! parse (v2 both explicitly and as a version-less legacy document), and
+//! v1 / future versions must be rejected, probed through the real
+//! serializer round-trip.
+
+use ft2_core::{CriticalityReport, Scheme, SchemeFactory, TILE_ELEMS};
+use ft2_fault::{
+    CampaignCheckpoint, CampaignResult, Outcome, ProtectionFactory, CHECKPOINT_VERSION,
+};
+use ft2_hw::{CostModel, WorkloadShape, A100};
+use ft2_model::{model_zoo, HookKind, ModelSpec, TapCtx, TapPoint};
+use ft2_tensor::Matrix;
+use std::fmt::Write as _;
+
+/// Prompt length used for representative pricing.
+const PRICE_PROMPT: usize = 64;
+/// Generated tokens used for representative pricing (the paper's QA 60).
+const PRICE_GEN: usize = 60;
+/// The out-of-range probe value (far beyond any 2×-scaled step-0 bound).
+const PROBE_VALUE: f32 = 1.0e9;
+
+/// Coverage result for one zoo model.
+#[derive(Clone, Debug)]
+pub struct ModelCoverage {
+    /// Model display name.
+    pub model: String,
+    /// Architecture family (`OptStyle` / `LlamaStyle`).
+    pub style: String,
+    /// Decoder blocks probed.
+    pub blocks: usize,
+    /// Critical layer kinds per the structural classifier.
+    pub critical: Vec<&'static str>,
+    /// Does the classifier agree with the paper's Table 1?
+    pub matches_table1: bool,
+    /// `(block, layer)` hook points probed.
+    pub probes: usize,
+    /// Critical hook points whose probe value was NOT clamped.
+    pub unprotected: Vec<String>,
+    /// Non-critical hook points whose probe value WAS clamped.
+    pub over_protected: Vec<String>,
+}
+
+impl ModelCoverage {
+    /// Exact coverage: Table 1 agreement, no gaps, no over-protection.
+    pub fn ok(&self) -> bool {
+        self.matches_table1
+            && !self.critical.is_empty()
+            && self.unprotected.is_empty()
+            && self.over_protected.is_empty()
+    }
+}
+
+/// One outcome variant's pricing rule and representative cost.
+#[derive(Clone, Debug)]
+pub struct OutcomePricing {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Pricing-rule name (stable, documented in DESIGN.md §3f).
+    pub rule: &'static str,
+    /// Representative seconds on the A100 model at OPT-6.7B paper scale.
+    pub seconds: f64,
+    /// Finite and positive on every zoo shape?
+    pub priced: bool,
+}
+
+/// Checkpoint-format version probes.
+#[derive(Clone, Debug)]
+pub struct CheckpointReport {
+    /// The version this tree writes.
+    pub current: u64,
+    /// Versions accepted by the parser (probed `0..=current+1`).
+    pub accepted: Vec<u64>,
+    /// A version-less legacy (v2) document still parses.
+    pub implicit_v2: bool,
+    /// Pre-v2 documents are rejected.
+    pub rejects_v1: bool,
+    /// Documents newer than this binary are rejected, not misread.
+    pub rejects_future: bool,
+}
+
+impl CheckpointReport {
+    /// All version probes behaved as specified.
+    pub fn ok(&self) -> bool {
+        self.accepted == (2..=self.current).collect::<Vec<u64>>()
+            && self.implicit_v2
+            && self.rejects_v1
+            && self.rejects_future
+    }
+}
+
+/// The full coverage report (`"coverage"` in the JSON document).
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// Per-model coverage probes, zoo order.
+    pub models: Vec<ModelCoverage>,
+    /// Per-outcome pricing, taxonomy order.
+    pub outcomes: Vec<OutcomePricing>,
+    /// Checkpoint version probes.
+    pub checkpoint: CheckpointReport,
+}
+
+impl CoverageReport {
+    /// Total unprotected critical hook points across all models.
+    pub fn unprotected_critical_layers(&self) -> usize {
+        self.models.iter().map(|m| m.unprotected.len()).sum()
+    }
+
+    /// Total over-protected hook points across all models.
+    pub fn over_protected_layers(&self) -> usize {
+        self.models.iter().map(|m| m.over_protected.len()).sum()
+    }
+
+    /// Outcome variants without a valid price on some shape.
+    pub fn unpriced_outcomes(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.priced).count()
+    }
+
+    /// Did every cross-check pass?
+    pub fn ok(&self) -> bool {
+        self.models.iter().all(ModelCoverage::ok)
+            && self.unpriced_outcomes() == 0
+            && self.checkpoint.ok()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "protection coverage ({} models, {} probes):",
+            self.models.len(),
+            self.models.iter().map(|m| m.probes).sum::<usize>()
+        );
+        for m in &self.models {
+            let _ = writeln!(
+                s,
+                "  {:<12} {:<10} {} blocks  critical [{}]  table1 {}  gaps {}  over {}",
+                m.model,
+                m.style,
+                m.blocks,
+                m.critical.join(" "),
+                if m.matches_table1 { "ok" } else { "MISMATCH" },
+                m.unprotected.len(),
+                m.over_protected.len()
+            );
+            for gap in &m.unprotected {
+                let _ = writeln!(s, "    UNPROTECTED critical layer: {gap}");
+            }
+            for over in &m.over_protected {
+                let _ = writeln!(s, "    over-protected layer: {over}");
+            }
+        }
+        let _ = writeln!(s, "outcome pricing ({} variants):", self.outcomes.len());
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "  {:<16} {:<28} {:>12.6}s {}",
+                o.variant,
+                o.rule,
+                o.seconds,
+                if o.priced { "" } else { "UNPRICED" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "checkpoint versions: current {} accepted {:?} implicit-v2 {} \
+             rejects-v1 {} rejects-future {}",
+            self.checkpoint.current,
+            self.checkpoint.accepted,
+            self.checkpoint.implicit_v2,
+            self.checkpoint.rejects_v1,
+            self.checkpoint.rejects_future
+        );
+        s
+    }
+
+    /// JSON object (nested under `"coverage"`).
+    pub fn to_json(&self) -> String {
+        use crate::report::json_quote;
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"models\": [");
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let critical: Vec<String> = m.critical.iter().map(|c| json_quote(c)).collect();
+            let unprot: Vec<String> = m.unprotected.iter().map(|u| json_quote(u)).collect();
+            let over: Vec<String> = m.over_protected.iter().map(|o| json_quote(o)).collect();
+            let _ = write!(
+                s,
+                "\n    {{\"model\": {}, \"style\": {}, \"blocks\": {}, \"critical\": [{}], \
+                 \"matches_table1\": {}, \"probes\": {}, \"unprotected\": [{}], \
+                 \"over_protected\": [{}]}}",
+                json_quote(&m.model),
+                json_quote(&m.style),
+                m.blocks,
+                critical.join(", "),
+                m.matches_table1,
+                m.probes,
+                unprot.join(", "),
+                over.join(", ")
+            );
+        }
+        s.push_str("\n  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"unprotected_critical_layers\": {},",
+            self.unprotected_critical_layers()
+        );
+        let _ = writeln!(s, "  \"over_protected_layers\": {},", self.over_protected_layers());
+        s.push_str("  \"outcomes\": [");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"variant\": {}, \"rule\": {}, \"seconds\": {:.6}, \"priced\": {}}}",
+                json_quote(o.variant),
+                json_quote(o.rule),
+                o.seconds,
+                o.priced
+            );
+        }
+        s.push_str("\n  ],\n");
+        let _ = writeln!(s, "  \"outcome_variants\": {},", self.outcomes.len());
+        let _ = writeln!(s, "  \"unpriced_outcomes\": {},", self.unpriced_outcomes());
+        let _ = writeln!(
+            s,
+            "  \"checkpoint\": {{\"current\": {}, \"accepted\": [{}], \"implicit_v2\": {}, \
+             \"rejects_v1\": {}, \"rejects_future\": {}}},",
+            self.checkpoint.current,
+            self.checkpoint
+                .accepted
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.checkpoint.implicit_v2,
+            self.checkpoint.rejects_v1,
+            self.checkpoint.rejects_future
+        );
+        let _ = writeln!(s, "  \"checkpoint_versions_ok\": {},", self.checkpoint.ok());
+        let _ = writeln!(s, "  \"ok\": {}", self.ok());
+        s.push('}');
+        s
+    }
+}
+
+/// Run every coverage cross-check. Pure computation over static configs —
+/// no model weights are built, no tokens generated, no files touched.
+pub fn analyse() -> CoverageReport {
+    let zoo = model_zoo();
+    let models = zoo.iter().map(probe_model).collect();
+    let outcomes = price_outcomes(&zoo);
+    let checkpoint = probe_checkpoints();
+    CoverageReport {
+        models,
+        outcomes,
+        checkpoint,
+    }
+}
+
+/// Probe one model's FT2 tap set through every `(block, layer)` hook point.
+fn probe_model(spec: &ModelSpec) -> ModelCoverage {
+    let config = &spec.config;
+    let report = CriticalityReport::analyse(config);
+    let critical = report.critical();
+    let factory = SchemeFactory::new(Scheme::Ft2, config, None);
+    let mut taps = factory.make();
+
+    let ctx_at = |block: usize, layer, step: usize| TapCtx {
+        point: TapPoint { block, layer },
+        hook: HookKind::LinearOutput,
+        step,
+        first_pos: if step == 0 { 0 } else { PRICE_PROMPT },
+        dtype: config.dtype,
+    };
+
+    // Step 0 (first-token profiling): benign outputs at every hook point.
+    for block in 0..config.blocks {
+        for &kind in config.block_layers() {
+            let ctx = ctx_at(block, kind, 0);
+            let mut out = Matrix::from_vec(1, 2, vec![-1.0, 1.0]);
+            for tap in taps.iter_mut() {
+                tap.on_output(&ctx, &mut out);
+            }
+        }
+    }
+    for tap in taps.iter_mut() {
+        tap.end_step(0);
+    }
+
+    // Step 1: inject an out-of-range probe at every hook point; exactly
+    // the critical set must clamp it.
+    let mut probes = 0usize;
+    let mut unprotected = Vec::new();
+    let mut over_protected = Vec::new();
+    for block in 0..config.blocks {
+        for &kind in config.block_layers() {
+            probes += 1;
+            let ctx = ctx_at(block, kind, 1);
+            let mut out = Matrix::from_vec(1, 2, vec![PROBE_VALUE, 0.5]);
+            for tap in taps.iter_mut() {
+                tap.on_output(&ctx, &mut out);
+            }
+            let clamped = out.get(0, 0).abs() < PROBE_VALUE;
+            let is_critical = critical.contains(&kind);
+            let label = format!("block{}/{}", block, kind.name());
+            if is_critical && !clamped {
+                unprotected.push(label);
+            } else if !is_critical && clamped {
+                over_protected.push(label);
+            }
+        }
+    }
+
+    ModelCoverage {
+        model: spec.name().to_string(),
+        style: format!("{:?}", config.style),
+        blocks: config.blocks,
+        critical: critical.iter().map(|k| k.name()).collect(),
+        matches_table1: report.matches_table1(),
+        probes,
+        unprotected,
+        over_protected,
+    }
+}
+
+/// Construct one sample of every outcome variant, in taxonomy order.
+fn sample_outcomes() -> Vec<Outcome> {
+    vec![
+        Outcome::MaskedIdentical,
+        Outcome::MaskedSemantic,
+        Outcome::Sdc,
+        Outcome::Crash {
+            site: "probe".to_string(),
+            message: "probe".to_string(),
+        },
+        Outcome::Hang,
+        Outcome::Recovered { retries: 1 },
+        Outcome::Repaired { repairs: 1 },
+        Outcome::RecoveryFailed { retries: 1 },
+    ]
+}
+
+/// Price one outcome on one workload shape.
+///
+/// The `match` is deliberately exhaustive (no `_` arm): a new [`Outcome`]
+/// variant fails to compile here until it is given a pricing rule — the
+/// static guarantee this check exists for.
+fn price(outcome: &Outcome, cost: &CostModel, shape: &WorkloadShape) -> (&'static str, &'static str, f64) {
+    let gen = cost.generation_time(shape, PRICE_PROMPT, PRICE_GEN);
+    let base = gen.total_s();
+    let protected = base * (1.0 + cost.protection_overhead(shape, PRICE_PROMPT, PRICE_GEN));
+    let rollback = cost.rollback_time(shape, PRICE_PROMPT + PRICE_GEN);
+    match outcome {
+        Outcome::MaskedIdentical => ("MaskedIdentical", "protected-generation", protected),
+        Outcome::MaskedSemantic => ("MaskedSemantic", "protected-generation", protected),
+        Outcome::Sdc => ("Sdc", "protected-generation", protected),
+        Outcome::Crash { .. } => (
+            "Crash",
+            "truncated-generation",
+            gen.prefill_s + 0.5 * gen.decode_s,
+        ),
+        Outcome::Hang => ("Hang", "watchdog-bounded-generation", protected),
+        Outcome::Recovered { retries } => (
+            "Recovered",
+            "generation-plus-rollbacks",
+            protected + f64::from(*retries) * rollback,
+        ),
+        Outcome::Repaired { repairs } => (
+            "Repaired",
+            "generation-plus-repair-scrub",
+            protected + *repairs as f64 * cost.scrub_time(shape, 1, TILE_ELEMS),
+        ),
+        Outcome::RecoveryFailed { retries } => (
+            "RecoveryFailed",
+            "rollback-budget-exhausted",
+            protected + f64::from(*retries) * rollback,
+        ),
+    }
+}
+
+/// Price every variant on every zoo shape; report representative seconds
+/// for the first shape and validity across all of them.
+fn price_outcomes(zoo: &[ModelSpec]) -> Vec<OutcomePricing> {
+    let cost = CostModel::new(A100);
+    let shapes: Vec<WorkloadShape> = zoo.iter().map(WorkloadShape::from_spec).collect();
+    sample_outcomes()
+        .iter()
+        .map(|outcome| {
+            let (variant, rule, seconds) = price(outcome, &cost, &shapes[0]);
+            let priced = shapes.iter().all(|shape| {
+                let (_, _, s) = price(outcome, &cost, shape);
+                s.is_finite() && s > 0.0
+            });
+            OutcomePricing {
+                variant,
+                rule,
+                seconds,
+                priced,
+            }
+        })
+        .collect()
+}
+
+/// Probe checkpoint-version acceptance through the real serializer.
+fn probe_checkpoints() -> CheckpointReport {
+    let doc = CampaignCheckpoint {
+        fingerprint: "analyze-probe".to_string(),
+        completed_tasks: 7,
+        result: CampaignResult::default(),
+    }
+    .to_json();
+    let version_line = format!("\"version\": {CHECKPOINT_VERSION}");
+
+    let mut accepted = Vec::new();
+    for v in 0..=CHECKPOINT_VERSION + 1 {
+        let probe = doc.replace(&version_line, &format!("\"version\": {v}"));
+        if CampaignCheckpoint::from_json(&probe).is_ok() {
+            accepted.push(v);
+        }
+    }
+    let versionless: String = doc
+        .lines()
+        .filter(|l| !l.contains("\"version\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    CheckpointReport {
+        current: CHECKPOINT_VERSION,
+        implicit_v2: CampaignCheckpoint::from_json(&versionless).is_ok(),
+        rejects_v1: !accepted.contains(&1) && !accepted.contains(&0),
+        rejects_future: !accepted.contains(&(CHECKPOINT_VERSION + 1)),
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_models_prove_exact_coverage() {
+        let report = analyse();
+        assert_eq!(report.models.len(), 7);
+        for m in &report.models {
+            assert!(m.ok(), "coverage gap in {}: {m:?}", m.model);
+            assert!(m.probes >= m.blocks * 6);
+        }
+        assert_eq!(report.unprotected_critical_layers(), 0);
+        assert_eq!(report.over_protected_layers(), 0);
+    }
+
+    #[test]
+    fn every_outcome_variant_is_priced() {
+        let report = analyse();
+        assert_eq!(report.outcomes.len(), 8);
+        assert_eq!(report.unpriced_outcomes(), 0);
+        for o in &report.outcomes {
+            assert!(o.seconds.is_finite() && o.seconds > 0.0, "{o:?}");
+        }
+        // Recovery costs strictly more than the plain protected run.
+        let by_name = |n: &str| report.outcomes.iter().find(|o| o.variant == n).unwrap();
+        assert!(by_name("Recovered").seconds > by_name("MaskedIdentical").seconds);
+        assert!(by_name("Repaired").seconds > by_name("MaskedIdentical").seconds);
+    }
+
+    #[test]
+    fn checkpoint_versions_probe_as_specified() {
+        let ck = probe_checkpoints();
+        assert!(ck.ok(), "{ck:?}");
+        assert_eq!(ck.accepted, vec![2, CHECKPOINT_VERSION]);
+    }
+
+    #[test]
+    fn report_is_ok_and_json_carries_the_gate_keys() {
+        let report = analyse();
+        assert!(report.ok());
+        let json = report.to_json();
+        assert!(json.contains("\"unprotected_critical_layers\": 0"));
+        assert!(json.contains("\"checkpoint_versions_ok\": true"));
+        assert!(json.contains("\"unpriced_outcomes\": 0"));
+    }
+}

@@ -1,0 +1,340 @@
+//! A deliberately small Rust *lexical* scanner.
+//!
+//! The lints in this crate are line-oriented pattern checks, but naive
+//! substring matching over raw source text is wrong in two directions: a
+//! pattern inside a comment or string literal is not code (false positive),
+//! and an annotation comment inside a string literal is not an annotation
+//! (false negative). The scanner splits every source line into three
+//! channels — executable code with comment text and literal *contents*
+//! blanked out, the comment text itself, and the string-literal contents —
+//! so each lint matches against exactly the channel it cares about.
+//!
+//! This is not a full lexer (no token stream, no spans inside a line); it
+//! only has to be right about what is and is not a comment or a literal.
+//! It therefore handles the complete set of Rust constructs that change
+//! that classification: line comments (`//`, `///`, `//!`), *nested* block
+//! comments, plain/byte strings with escapes, raw strings with arbitrary
+//! `#` fences, and the char-literal vs. lifetime ambiguity of `'`.
+
+/// One scanned source line, split by channel.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Executable source with comment text and literal contents replaced
+    /// by spaces. Delimiters (`"`, `'`) are kept so tokens never merge.
+    pub code: String,
+    /// Concatenated text of every comment (part) on this line, including
+    /// doc comments, without the `//` / `/* */` markers.
+    pub comment: String,
+    /// Contents of every string literal that *ends* on this line (the
+    /// whole content for multi-line literals, newlines preserved).
+    pub strings: Vec<String>,
+}
+
+/// A whole file scanned into per-line channels (1-based line numbers are
+/// `index + 1`).
+#[derive(Clone, Debug, Default)]
+pub struct ScannedFile {
+    /// Scanned lines in file order.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Debug)]
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a (possibly nested) block comment; the payload is the
+    /// current nesting depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string; the payload accumulates its contents.
+    Str(String),
+    /// Inside a raw string closed by `"` + this many `#`; payload is
+    /// (fence, contents).
+    RawStr(u32, String),
+}
+
+/// Scan an entire source text. Never fails: unterminated constructs simply
+/// run to end-of-file in their current state, mirroring what rustc's
+/// recovery would report.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut out = ScannedFile::default();
+    let mut state = State::Code;
+    for raw_line in source.lines() {
+        let mut line = Line::default();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match &mut state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment (incl. doc comments): the rest of
+                        // the line is comment text.
+                        let text: String = chars[i + 2..].iter().collect();
+                        line.comment.push_str(text.trim_start_matches(['/', '!']));
+                        line.comment.push(' ');
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        line.code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str(String::new());
+                        line.code.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (fence, start) = raw_fence(&chars, i);
+                        for _ in i..start {
+                            line.code.push(' ');
+                        }
+                        line.code.push('"');
+                        state = State::RawStr(fence, String::new());
+                        i = start;
+                    }
+                    '\'' => {
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            // Char literal: keep the quotes, blank the body.
+                            line.code.push('\'');
+                            for _ in i + 1..end {
+                                line.code.push(' ');
+                            }
+                            line.code.push('\'');
+                            i = end + 1;
+                        } else {
+                            // Lifetime or loop label: plain code.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            state = State::Code;
+                        }
+                        line.comment.push(' ');
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        *depth += 1;
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str(content) => match c {
+                    '\\' => {
+                        if let Some(n) = next {
+                            content.push('\\');
+                            content.push(n);
+                        }
+                        line.code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        let done = std::mem::take(content);
+                        line.strings.push(done);
+                        state = State::Code;
+                        line.code.push('"');
+                        i += 1;
+                    }
+                    _ => {
+                        content.push(c);
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(fence, content) => {
+                    if c == '"' && closes_raw(&chars, i, *fence) {
+                        let skip = 1 + *fence as usize;
+                        let done = std::mem::take(content);
+                        line.strings.push(done);
+                        line.code.push('"');
+                        for _ in 1..skip {
+                            line.code.push(' ');
+                        }
+                        state = State::Code;
+                        i += skip;
+                    } else {
+                        content.push(c);
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A literal or comment that continues past the newline keeps its
+        // state; record the newline in multi-line string contents so knob
+        // names can't be glued together across lines.
+        match &mut state {
+            State::Str(content) | State::RawStr(_, content) => content.push('\n'),
+            _ => {}
+        }
+        out.lines.push(line);
+    }
+    // Close any literal left open at EOF so its contents still reach the
+    // string channel of the line it started on.
+    if let State::Str(content) | State::RawStr(_, content) = state {
+        if let Some(last) = out.lines.last_mut() {
+            last.strings.push(content);
+        }
+    }
+    out
+}
+
+/// Is `chars[i]` the start of a raw (or raw byte) string literal —
+/// `r"`, `r#"`, `br"`, `br#"` …? Requires the previous char not to be an
+/// identifier char (so `attr"x"`-like identifiers never match).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// For a raw-string start at `i`, return (fence size, index just past the
+/// opening `"`).
+fn raw_fence(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut fence = 0u32;
+    while chars.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    (fence, j + 1) // past the opening quote
+}
+
+/// Does the `"` at `i` close a raw string with this fence size?
+fn closes_raw(chars: &[char], i: usize, fence: u32) -> bool {
+    (1..=fence as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If `chars[i] == '\''` starts a *char literal*, return the index of its
+/// closing quote; `None` means it is a lifetime or loop label.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the next unescaped quote.
+            let mut j = i + 2;
+            while j < chars.len() {
+                if chars[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_leave_the_code_channel() {
+        let f = scan("let x = 1; // unsafe == 0.0 \"KNOB_FAKE\"\n");
+        assert_eq!(f.lines[0].code.trim_end(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("unsafe == 0.0"));
+        assert!(f.lines[0].strings.is_empty());
+    }
+
+    #[test]
+    fn string_contents_leave_the_code_channel() {
+        let f = scan("println!(\"unsafe {} == 0.0\", KNOB_X);\n");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(!f.lines[0].code.contains("== 0.0"));
+        assert!(f.lines[0].code.contains("KNOB_X")); // the identifier stays
+        assert_eq!(f.lines[0].strings, vec!["unsafe {} == 0.0".to_string()]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let f = scan(r#"let s = "a \" b"; let t = 1;"#);
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert!(f.lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("a /* x /* y */ still comment */ b\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains('a') && code.contains('b'));
+        assert!(!code.contains("still"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let f = scan("fn x() {} /* SAFETY:\n   spans */ unsafe {}\n");
+        assert!(f.lines[0].comment.contains("SAFETY:"));
+        assert!(f.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let f = scan("let s = r#\"has \"quotes\" and unsafe\"#; let u = 2;\n");
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert!(f.lines[0].strings[0].contains("unsafe"));
+        assert!(f.lines[0].code.contains("let u = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("&'a str"));
+        assert!(!code.contains("'x'")); // char body blanked, quotes kept
+        assert!(code.contains("' '"));
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let f = scan("let c = '\\n'; let q = '\\''; let l: &'static str = \"\";\n");
+        assert!(f.lines[0].code.contains("&'static str"));
+        assert_eq!(f.lines[0].strings, vec![String::new()]);
+    }
+
+    #[test]
+    fn multiline_strings_accumulate_to_closing_line() {
+        let f = scan("let s = \"first\nsecond\";\nlet x = 3;\n");
+        assert_eq!(f.lines[1].strings.len(), 1);
+        assert!(f.lines[1].strings[0].contains("first"));
+        assert!(f.lines[1].strings[0].contains("second"));
+        assert!(f.lines[2].code.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn unterminated_string_still_captured() {
+        let f = scan("let s = \"runs off the end\n");
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert!(f.lines[0].strings[0].contains("runs off the end"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Snapshot test of the protection-coverage proof across all seven zoo
+//! configs. The report is fully deterministic (static model configs, the
+//! analytic cost model, no wall-clock anywhere), so an exact string
+//! comparison is safe — any drift in criticality classification, probe
+//! counts, outcome pricing, or checkpoint handling shows up as a diff.
+
+use ft2_analyze::analyse_coverage;
+
+const SNAPSHOT: &str = include_str!("snapshots/coverage.txt");
+
+#[test]
+fn coverage_report_matches_snapshot() {
+    let actual = analyse_coverage().render_text();
+    assert_eq!(
+        actual, SNAPSHOT,
+        "coverage report drifted from tests/snapshots/coverage.txt; \
+         if the change is intentional, regenerate the snapshot from the \
+         coverage section of `ft2-repro lint` output"
+    );
+}
+
+#[test]
+fn snapshot_covers_all_seven_models_and_proves_coverage() {
+    // Guard the snapshot itself: it must describe the full zoo and a
+    // gap-free proof, so a blessed-but-broken snapshot cannot pass.
+    assert!(SNAPSHOT.contains("7 models"));
+    for model in [
+        "OPT-6.7B", "OPT-2.7B", "GPTJ-6B", "Llama2-7B", "Vicuna-7B", "Qwen2-7B", "Qwen2-1.5B",
+    ] {
+        assert!(SNAPSHOT.contains(model), "snapshot missing {model}");
+    }
+    assert!(!SNAPSHOT.contains("gaps 1"), "snapshot has a coverage gap");
+    assert!(SNAPSHOT.contains("checkpoint versions: current"));
+}

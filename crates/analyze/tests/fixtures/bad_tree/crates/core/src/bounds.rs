@@ -1,0 +1,6 @@
+// Seeded violation: a NaN-swallowing min/max chain in a detection-critical
+// module path, with no `ft2: nan-ok` audit annotation.
+
+pub fn clamp(v: f32, lo: f32, hi: f32) -> f32 {
+    v.min(hi).max(lo)
+}

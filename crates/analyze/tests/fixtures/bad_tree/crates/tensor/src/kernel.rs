@@ -1,0 +1,13 @@
+// Seeded violation: a zero-skip sparsity guard in kernel code that is not
+// gated on `KernelPolicy::Fast` — it would mask a NaN/Inf in `b`.
+
+pub fn dot_skipping_zeros(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        if a[i] == 0.0 {
+            continue;
+        }
+        s += a[i] * b[i];
+    }
+    s
+}

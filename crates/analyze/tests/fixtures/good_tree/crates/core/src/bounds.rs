@@ -1,0 +1,6 @@
+// Annotated twin of bad_tree/crates/core/src/bounds.rs.
+
+pub fn clamp(v: f32, lo: f32, hi: f32) -> f32 {
+    // ft2: nan-ok (NaN maps to `hi` — min/max keep the non-NaN operand)
+    v.min(hi).max(lo)
+}

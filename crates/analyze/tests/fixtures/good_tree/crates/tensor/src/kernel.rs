@@ -1,0 +1,13 @@
+// Annotated twin of bad_tree/crates/tensor/src/kernel.rs: the zero-skip
+// guard is gated on the explicitly-unfaithful fast kernel policy.
+
+pub fn dot_skipping_zeros(a: &[f32], b: &[f32], policy: KernelPolicy) -> f32 {
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        if policy == KernelPolicy::Fast && a[i] == 0.0 {
+            continue;
+        }
+        s += a[i] * b[i];
+    }
+    s
+}

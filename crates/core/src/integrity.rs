@@ -65,6 +65,7 @@ impl WeightChecksums {
                 let data = lin.weight.as_slice();
                 let mut start = 0;
                 while start < data.len() {
+                    // ft2: nan-ok (usize tile sizing, no floats involved)
                     let len = TILE_ELEMS.min(data.len() - start);
                     tiles.push(Tile {
                         block: b,
@@ -142,6 +143,7 @@ impl WeightScrubber {
         if total == 0 {
             return report;
         }
+        // ft2: nan-ok (usize scrub budgeting, no floats)
         for _ in 0..budget.min(total) {
             let idx = self.cursor;
             self.cursor = (self.cursor + 1) % total;
@@ -195,11 +197,13 @@ impl KvGuard {
             let blk = ctx.cache.block(b);
             for (pos, &crc) in seals.k.iter().enumerate() {
                 if crc64_f32s(blk.k.row(pos)) != crc {
+                    // ft2: nan-ok (usize position min, no floats)
                     invalid = Some(invalid.map_or(pos, |p: usize| p.min(pos)));
                 }
             }
             for (pos, &crc) in seals.v.iter().enumerate() {
                 if crc64_f32s(blk.v.row(pos)) != crc {
+                    // ft2: nan-ok (usize position min, no floats)
                     invalid = Some(invalid.map_or(pos, |p: usize| p.min(pos)));
                 }
             }

@@ -185,7 +185,7 @@ impl Protector {
 
     /// Override the per-step storm threshold.
     pub fn with_storm_threshold(mut self, threshold: u64) -> Protector {
-        self.storm_threshold = threshold.max(1);
+        self.storm_threshold = threshold.max(1); // ft2: nan-ok (u64 floor)
         self
     }
 
@@ -193,6 +193,7 @@ impl Protector {
     /// level halves the excess over 1, tightening toward the raw profiled
     /// bound (scale 2.0 → 1.5 → 1.25 → …).
     fn escalated_scale(base: f32, level: u32) -> f32 {
+        // ft2: nan-ok (the min is on the u32 escalation level, not a float)
         1.0 + (base - 1.0) / 2f32.powi(level.min(30) as i32)
     }
 
@@ -228,6 +229,8 @@ impl Protector {
                         self.step_severe += 1;
                     }
                     *v = match self.correction {
+                        // ft2: nan-ok (v is finite here — the NaN branch
+                        // above rewrites NaN to 0 and `continue`s)
                         Correction::ClampToBound => b.clamp(*v),
                         Correction::ClipToZero => 0.0,
                     };

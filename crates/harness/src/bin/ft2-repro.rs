@@ -21,6 +21,13 @@
 //!   BENCH_decode.json baseline CI gates perf regressions against.
 //!   Sizing: FT2_BENCH_REPS, FT2_BENCH_GEN, FT2_BENCH_TRIALS, FT2_QUICK=1.
 //!
+//! ft2-repro lint [--json] [--root PATH]
+//!   static analysis: the repo-specific source lints (unsafe-safety,
+//!   nan-comparison, env-knob, zero-skip) plus the protection-coverage
+//!   proof (critical-layer clamp taps across all seven zoo configs,
+//!   outcome pricing, checkpoint versions). Exits non-zero on any finding
+//!   or coverage gap; --json emits the schema-stable report CI greps.
+//!
 //! Sizing (env): FT2_INPUTS (12), FT2_TRIALS (30), FT2_SEED, FT2_QUICK=1
 //!
 //! Resilience (env):
@@ -37,7 +44,7 @@
 
 use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
-use ft2_harness::{bench, BENCH_BASELINE_PATH};
+use ft2_harness::{bench, lint, BENCH_BASELINE_PATH};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -162,6 +169,10 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("usage: ft2-repro [--resume] <experiment>... | all");
         println!("       ft2-repro replay <seed>/<input>/<trial> [--model M] [--dataset D] [--scheme S] [--fault F] [--duration D] [--target T]");
+        println!("       ft2-repro lint [--json] [--root PATH]");
+        println!("         source lints + the protection-coverage proof; non-zero exit");
+        println!("         on any finding, unprotected critical layer, unpriced outcome");
+        println!("         or mishandled checkpoint version");
         println!("       ft2-repro bench [--json] [--out PATH]");
         println!("         measures prefill/decode tok/s and campaign trials/s on the");
         println!("         ft2-bench fixtures; --json writes a schema-stable baseline");
@@ -191,6 +202,16 @@ fn main() {
             std::process::exit(2);
         }
         return;
+    }
+
+    if args[0] == "lint" {
+        match lint::LintArgs::parse(&args[1..]).and_then(|a| lint::run(&a)) {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("lint failed: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     let resume_flag = args.iter().any(|a| a == "--resume");

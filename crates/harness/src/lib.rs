@@ -13,9 +13,10 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod lint;
 pub mod report;
 pub mod settings;
 
 pub use bench::{BenchReport, BENCH_BASELINE_PATH, BENCH_SCHEMA_VERSION};
 pub use report::{format_pct, Csv, Table};
-pub use settings::{EvalPair, Resilience, Settings};
+pub use settings::{knob_names, EvalPair, KnobKind, KnobSpec, Resilience, Settings, KNOB_REGISTRY};

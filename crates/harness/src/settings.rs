@@ -1,8 +1,217 @@
-//! Experiment sizing and the model × dataset evaluation grid.
+//! Experiment sizing, the central `FT2_*` env-knob registry, and the
+//! model × dataset evaluation grid.
 
 use ft2_fault::{CampaignConfig, FaultDuration, FaultModel, FaultTarget, StepFilter, StepWeighting};
 use ft2_model::{ModelSpec, ZooModel};
 use ft2_tasks::{DatasetId, TaskSpec, TaskType};
+
+/// Value shape of an env knob (drives the malformed-value warning and the
+/// README documentation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KnobKind {
+    /// Non-negative integer (`usize`/`u32`/`u64`).
+    Integer,
+    /// Floating-point number.
+    Float,
+    /// `=1` switch; any other value leaves the knob off.
+    Flag,
+    /// Filesystem path.
+    Path,
+}
+
+/// One row of the central env-knob registry: the single source of truth
+/// for every `FT2_*` environment variable the workspace reads.
+///
+/// The `env-knob` lint (`ft2-repro lint`) enforces the contract from both
+/// directions: every `FT2_*` string literal in the tree must resolve to a
+/// row of this table, and every row must be documented in README and read
+/// somewhere. Knobs consumed below the harness (`ft2-parallel`,
+/// `ft2-tensor`, `ft2-model` cannot depend on this crate) keep their local
+/// reads but are registered here with their reading crate in [`site`].
+///
+/// [`site`]: KnobSpec::site
+#[derive(Clone, Copy, Debug)]
+pub struct KnobSpec {
+    /// The environment variable name.
+    pub name: &'static str,
+    /// Value shape.
+    pub kind: KnobKind,
+    /// Human-readable default (what happens when unset).
+    pub default: &'static str,
+    /// One-line description (the README table row).
+    pub doc: &'static str,
+    /// The crate whose code reads the variable.
+    pub site: &'static str,
+}
+
+/// The registry, sorted by name. Adding a knob anywhere in the workspace
+/// without a row here fails `ft2-repro lint` (and `cargo test`).
+pub const KNOB_REGISTRY: &[KnobSpec] = &[
+    KnobSpec {
+        name: "FT2_BENCH_GEN",
+        kind: KnobKind::Integer,
+        default: "16",
+        doc: "tokens generated per decode measurement in `ft2-repro bench`",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_BENCH_REPS",
+        kind: KnobKind::Integer,
+        default: "3 (1 quick)",
+        doc: "best-of repetitions per bench measurement",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_BENCH_TRIALS",
+        kind: KnobKind::Integer,
+        default: "10 (3 quick)",
+        doc: "campaign trials per input in the bench throughput probe",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_CHECKPOINT_DIR",
+        kind: KnobKind::Path,
+        default: "results/checkpoints",
+        doc: "campaign checkpoint directory",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_CHECKPOINT_EVERY",
+        kind: KnobKind::Integer,
+        default: "off",
+        doc: "checkpoint the campaign aggregate every N tasks (enables checkpointing)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_INPUTS",
+        kind: KnobKind::Integer,
+        default: "12 (6 quick)",
+        doc: "inputs per (model, dataset) pair",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_KV_GUARD",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "CRC-seal appended KV-cache rows; rebuild positions whose seal fails",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_NO_SIMD",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "disable the AVX2+FMA matmul micro-kernel (portable fallback)",
+        site: "ft2-tensor",
+    },
+    KnobSpec {
+        name: "FT2_PROFILE_INPUTS",
+        kind: KnobKind::Integer,
+        default: "72",
+        doc: "inputs for the baselines' offline bound profiling (their \"20% of training data\")",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_QUICK",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "smoke-test sizing: 6 inputs x 10 trials; bench smoke sizing",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_RECOVERY_REPAIR",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "after rollback exhaustion, take one repair-and-retry rung (state-repair sweep + re-decode)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_RECOVERY_RETRIES",
+        kind: KnobKind::Integer,
+        default: "0 (recovery off)",
+        doc: "token-rollback retry budget per decode step",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_RESUME",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "resume compatible campaign checkpoints (same as `--resume`)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_SCRUB_TILES_PER_STEP",
+        kind: KnobKind::Integer,
+        default: "0 (scrubbing off)",
+        doc: "weight tiles the background integrity scrubber re-verifies per generation step",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_SEED",
+        kind: KnobKind::Integer,
+        default: "0xF72025",
+        doc: "campaign master seed (all campaigns are bit-reproducible in it)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_STORM_THRESHOLD",
+        kind: KnobKind::Integer,
+        default: "16",
+        doc: "corrections per decode step that escalate an anomaly verdict to a storm",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_THREADS",
+        kind: KnobKind::Integer,
+        default: "hardware parallelism",
+        doc: "worker threads of the work-stealing pool and fork-join helpers",
+        site: "ft2-parallel",
+    },
+    KnobSpec {
+        name: "FT2_TIE_ALPHA",
+        kind: KnobKind::Float,
+        default: "0.5",
+        doc: "LM-head weight-tying mix of the synthetic checkpoints (1.0 = fully tied)",
+        site: "ft2-model",
+    },
+    KnobSpec {
+        name: "FT2_TRIALS",
+        kind: KnobKind::Integer,
+        default: "30 (10 quick)",
+        doc: "fault-injection trials per input",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_TRIAL_DEADLINE_MS",
+        kind: KnobKind::Integer,
+        default: "off",
+        doc: "per-trial wall-clock watchdog in ms (Hang/DUE; not bit-reproducible)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_TRIAL_TOKEN_BUDGET",
+        kind: KnobKind::Integer,
+        default: "off",
+        doc: "per-trial generation-step watchdog (deterministic abort)",
+        site: "ft2-harness",
+    },
+];
+
+/// The registered knob names (what the `env-knob` lint validates literals
+/// against).
+pub fn knob_names() -> Vec<String> {
+    KNOB_REGISTRY.iter().map(|k| k.name.to_string()).collect()
+}
+
+/// Look up a knob's registry row; panics on an unregistered name so that a
+/// harness read bypassing the registry cannot survive `cargo test`.
+pub fn knob_spec(name: &str) -> &'static KnobSpec {
+    KNOB_REGISTRY
+        .iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| {
+            panic!("env knob {name} is not in the registry (crates/harness/src/settings.rs)")
+        })
+}
 
 /// Global experiment sizing, overridable from the environment:
 ///
@@ -101,6 +310,7 @@ fn parse_knob<T: std::str::FromStr>(name: &str, raw: &str) -> Option<T> {
 }
 
 pub(crate) fn env_knob<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let _ = knob_spec(name); // every harness read goes through the registry
     std::env::var(name)
         .ok()
         .and_then(|v| parse_knob(name, &v))
@@ -110,9 +320,21 @@ pub(crate) fn env_usize(name: &str) -> Option<usize> {
     env_knob(name)
 }
 
+/// A registered `=1` flag knob: `1` turns it on, anything else is off.
+pub(crate) fn env_flag(name: &str) -> bool {
+    let _ = knob_spec(name);
+    std::env::var(name).is_ok_and(|v| v == "1")
+}
+
+/// A registered path-valued knob.
+pub(crate) fn env_path(name: &str) -> Option<std::path::PathBuf> {
+    let _ = knob_spec(name);
+    std::env::var(name).ok().map(std::path::PathBuf::from)
+}
+
 /// Whether `FT2_QUICK=1` smoke-test sizing is in effect.
 pub(crate) fn quick_mode() -> bool {
-    std::env::var("FT2_QUICK").is_ok_and(|v| v == "1")
+    env_flag("FT2_QUICK")
 }
 
 impl Default for Settings {
@@ -137,8 +359,8 @@ impl Settings {
             recovery_retries: env_knob("FT2_RECOVERY_RETRIES").unwrap_or(0),
             storm_threshold: env_knob("FT2_STORM_THRESHOLD"),
             scrub_tiles_per_step: env_usize("FT2_SCRUB_TILES_PER_STEP").unwrap_or(0),
-            kv_guard: std::env::var("FT2_KV_GUARD").is_ok_and(|v| v == "1"),
-            recovery_repair: std::env::var("FT2_RECOVERY_REPAIR").is_ok_and(|v| v == "1"),
+            kv_guard: env_flag("FT2_KV_GUARD"),
+            recovery_repair: env_flag("FT2_RECOVERY_REPAIR"),
         }
     }
 
@@ -210,10 +432,9 @@ impl Resilience {
     pub fn from_env() -> Resilience {
         Resilience {
             checkpoint_every: env_usize("FT2_CHECKPOINT_EVERY"),
-            checkpoint_dir: std::env::var("FT2_CHECKPOINT_DIR")
-                .map(std::path::PathBuf::from)
-                .unwrap_or_else(|_| std::path::PathBuf::from("results/checkpoints")),
-            resume: std::env::var("FT2_RESUME").is_ok_and(|v| v == "1"),
+            checkpoint_dir: env_path("FT2_CHECKPOINT_DIR")
+                .unwrap_or_else(|| std::path::PathBuf::from("results/checkpoints")),
+            resume: env_flag("FT2_RESUME"),
         }
     }
 
@@ -357,6 +578,34 @@ mod tests {
         assert_eq!(expected_kind::<bool>(), "true or false");
         // Unknown types fall back to the type name rather than lying.
         assert!(expected_kind::<String>().contains("String"));
+    }
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        let names: Vec<&str> = KNOB_REGISTRY.iter().map(|k| k.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "KNOB_REGISTRY must be sorted by name, no duplicates");
+        assert!(names.iter().all(|n| n.starts_with("FT2_")));
+    }
+
+    #[test]
+    fn registry_docs_and_defaults_are_filled_in() {
+        for k in KNOB_REGISTRY {
+            assert!(!k.doc.is_empty(), "{} has no doc line", k.name);
+            assert!(!k.default.is_empty(), "{} has no default", k.name);
+            assert!(!k.site.is_empty(), "{} has no reading site", k.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the registry")]
+    fn unregistered_reads_panic() {
+        // Assembled at runtime so the env-knob lint (which checks FT2_*
+        // string literals against the registry) does not see a knob here.
+        let name = format!("FT2_{}", "NOT_A_REAL_KNOB");
+        let _ = env_usize(&name);
     }
 
     #[test]

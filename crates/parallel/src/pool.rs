@@ -173,11 +173,16 @@ impl WorkStealingPool {
             return Vec::new();
         }
         let grain = grain.max(1);
-        // Type-erase the closure. SAFETY of the lifetime: we block until
-        // `remaining == 0` and `active == 0`, so no worker can touch `f`
-        // after this call returns. We encode this by transmuting the
-        // closure to 'static behind Arc.
+        // Invariant upheld by the transmute below: this function does not
+        // return until (a) `remaining == 0` — every queued block has run —
+        // and (b) `active == 0` *after* each worker dropped its clone of
+        // the Arc (workers `drop(job)` before decrementing `active`), and
+        // the caller-held clones are dropped here before the wait loop, so
+        // no reference derived from `f` survives this call.
         let boxed: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(f);
+        // SAFETY: erases only the closure's lifetime to 'static (same fat
+        // pointer layout); sound because no worker can touch `f` after this
+        // call returns, per the wait-for-drain invariant above.
         let boxed: BatchFn = unsafe { std::mem::transmute(boxed) };
 
         let blocks = n.div_ceil(grain);
@@ -254,6 +259,8 @@ impl WorkStealingPool {
     {
         let n = items.len();
         let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        // SAFETY: `MaybeUninit<R>` needs no initialisation, and the capacity
+        // reserved above is exactly `n`.
         #[allow(clippy::uninit_vec)]
         unsafe {
             out.set_len(n);
@@ -322,7 +329,12 @@ fn worker_loop(wid: usize, state: Arc<BatchState>) {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: SendPtr only smuggles a raw pointer across the pool's thread
+// boundary; every dereference goes through `run`'s disjoint-index batches,
+// so no two threads ever write the same slot.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared access is read-only pointer arithmetic (`get().add(i)`);
+// writes target disjoint indices as above.
 unsafe impl<T> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     fn get(&self) -> *mut T {

@@ -267,7 +267,11 @@ fn grain_for(n: usize) -> usize {
 /// A raw pointer wrapper that asserts Send+Sync so disjoint-index writes can
 /// cross the scoped-thread boundary.
 struct SendPtr<T>(*mut T);
+// SAFETY: only the pointer value crosses threads; each scoped task
+// dereferences a disjoint index range, so no slot is aliased mutably.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared use is limited to copying the pointer out via `get`;
+// writes through it stay disjoint per the scope's range splitting.
 unsafe impl<T> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     fn get(&self) -> *mut T {

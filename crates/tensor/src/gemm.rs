@@ -214,6 +214,10 @@ mod x86 {
     }
 
     /// Horizontal sum of a 256-bit register (fixed reduction order).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX support (implied by the AVX2+FMA
+    /// check in [`enabled`]).
     #[inline]
     #[target_feature(enable = "avx")]
     unsafe fn hsum256(v: __m256) -> f32 {
@@ -340,7 +344,11 @@ pub fn matmul_transb_into(a: &Matrix, b_t: &Matrix, c: &mut Matrix) {
 }
 
 struct SendMutPtr(*mut f32);
+// SAFETY: the wrapper moves a raw pointer into pool tasks that each write a
+// distinct row range of C; no element is touched by two tasks.
 unsafe impl Send for SendMutPtr {}
+// SAFETY: shared access only reads the pointer value; row-disjoint writes
+// as above.
 unsafe impl Sync for SendMutPtr {}
 impl SendMutPtr {
     fn get(&self) -> *mut f32 {

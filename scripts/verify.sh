@@ -15,6 +15,30 @@ cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 echo "== cargo test (offline, locked) =="
 cargo test -q --workspace --offline --locked
 
+echo "== static analysis (source lints + protection-coverage proof) =="
+# The in-tree analyser must pass on the real tree: zero lint findings, zero
+# unprotected critical layers across all seven zoo configs, every outcome
+# priced, every checkpoint version handled. Grep the schema keys like the
+# bench smoke does so the JSON contract cannot silently drift.
+LINT_TMP="$(mktemp)"
+./target/release/ft2-repro lint --json > "$LINT_TMP"
+for key in '"schema": 1' '"ok": true' '"finding_count": 0' \
+           '"unprotected_critical_layers": 0' '"over_protected_layers": 0' \
+           '"unpriced_outcomes": 0' '"checkpoint_versions_ok": true'; do
+    grep -q "$key" "$LINT_TMP" || {
+        echo "verify: lint JSON is missing $key" >&2
+        cat "$LINT_TMP" >&2
+        exit 1
+    }
+done
+rm -f "$LINT_TMP"
+# And the gate must actually bite: the seeded-violation fixture tree has
+# one violation per lint class and must exit non-zero.
+if ./target/release/ft2-repro lint --root crates/analyze/tests/fixtures/bad_tree > /dev/null; then
+    echo "verify: lint accepted the seeded-violation fixture tree" >&2
+    exit 1
+fi
+
 echo "== persistent-fault smoke campaign =="
 # A tiny duration x target x defence sweep through the release binary:
 # exercises the weight scrubber, KV guard, and repair-and-retry rung

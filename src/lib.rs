@@ -1,4 +1,5 @@
 //! FT2 facade crate — re-exports the workspace.
+pub use ft2_analyze as analyze;
 pub use ft2_core as core;
 pub use ft2_fault as fault;
 pub use ft2_harness as harness;
