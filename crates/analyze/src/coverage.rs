@@ -41,6 +41,8 @@ const PRICE_PROMPT: usize = 64;
 const PRICE_GEN: usize = 60;
 /// The out-of-range probe value (far beyond any 2×-scaled step-0 bound).
 const PROBE_VALUE: f32 = 1.0e9;
+/// Shard count assumed when pricing a degrade re-partition.
+const DEGRADE_PRICE_SHARDS: usize = 4;
 
 /// Coverage result for one zoo model.
 #[derive(Clone, Debug)]
@@ -365,6 +367,7 @@ fn sample_outcomes() -> Vec<Outcome> {
         Outcome::Recovered { retries: 1 },
         Outcome::Repaired { repairs: 1 },
         Outcome::RecoveryFailed { retries: 1 },
+        Outcome::Degraded { shards_lost: 1 },
     ]
 }
 
@@ -402,6 +405,13 @@ fn price(outcome: &Outcome, cost: &CostModel, shape: &WorkloadShape) -> (&'stati
             "RecoveryFailed",
             "rollback-budget-exhausted",
             protected + f64::from(*retries) * rollback,
+        ),
+        Outcome::Degraded { shards_lost } => (
+            "Degraded",
+            "generation-plus-repartitions",
+            protected
+                + f64::from(*shards_lost)
+                    * cost.repartition_time(shape, DEGRADE_PRICE_SHARDS - 1),
         ),
     }
 }
@@ -479,7 +489,7 @@ mod tests {
     #[test]
     fn every_outcome_variant_is_priced() {
         let report = analyse();
-        assert_eq!(report.outcomes.len(), 8);
+        assert_eq!(report.outcomes.len(), 9);
         assert_eq!(report.unpriced_outcomes(), 0);
         for o in &report.outcomes {
             assert!(o.seconds.is_finite() && o.seconds > 0.0, "{o:?}");
@@ -488,13 +498,16 @@ mod tests {
         let by_name = |n: &str| report.outcomes.iter().find(|o| o.variant == n).unwrap();
         assert!(by_name("Recovered").seconds > by_name("MaskedIdentical").seconds);
         assert!(by_name("Repaired").seconds > by_name("MaskedIdentical").seconds);
+        assert!(by_name("Degraded").seconds > by_name("MaskedIdentical").seconds);
     }
 
     #[test]
     fn checkpoint_versions_probe_as_specified() {
         let ck = probe_checkpoints();
         assert!(ck.ok(), "{ck:?}");
-        assert_eq!(ck.accepted, vec![2, CHECKPOINT_VERSION]);
+        // v2 legacy, v3 (pre-degraded counters), and the current v4 all
+        // round-trip; v1 and future versions are rejected.
+        assert_eq!(ck.accepted, vec![2, 3, CHECKPOINT_VERSION]);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod persist;
 pub mod profile;
 pub mod protect;
 pub mod schemes;
+pub mod shard;
 
 pub use bounds::{prior_cap, static_prior, BoundsStore, LayerBounds};
 pub use critical::{critical_layers, is_critical, CriticalityReport};
@@ -45,3 +46,4 @@ pub use persist::{from_csv as bounds_from_csv, to_csv as bounds_to_csv};
 pub use profile::offline_profile;
 pub use protect::{Correction, Coverage, NanPolicy, Protector, DEFAULT_STORM_THRESHOLD};
 pub use schemes::{Scheme, SchemeFactory};
+pub use shard::ShardScrubber;

@@ -1,0 +1,271 @@
+//! Shard-granular stored-state integrity: per-shard weight-tile checksums
+//! with background scrubbing and on-demand repair.
+//!
+//! The sharded executor ([`ft2_model::ShardedModel`]) gives every shard its
+//! own failure domain; this module gives every shard its own integrity
+//! vertical, mirroring [`crate::integrity::WeightScrubber`] at shard
+//! granularity:
+//!
+//! * at construction (and after every degrade re-partition) the scrubber
+//!   snapshots a **golden copy** of each shard's weight slices and computes
+//!   per-tile CRC-64 checksums over them ([`TILE_ELEMS`]-element tiles,
+//!   the same tiling as the trial-level [`crate::WeightChecksums`]);
+//! * [`ShardTap::on_step_start`] verifies a budget of tiles per step,
+//!   round-robin, restoring any mismatched tile from the golden copy —
+//!   scrubbing amortised across the generation;
+//! * [`ShardTap::on_repair`] is the executor's repair rung: a sweep over
+//!   the tiles the failing GEMMs implicate — the suspect shards'
+//!   [`RepairScope`] `(block, layer)` weight slice (all shards when no
+//!   suspect is named) — restoring corruption from the golden copy. This
+//!   is what turns a *persistent* shard fault from an eviction into a
+//!   measured repair, and the slice-scoping is what keeps that repair
+//!   orders of magnitude cheaper than a full restart;
+//! * [`ShardTap::on_repartition`] re-baselines golden copies and checksums
+//!   for the survivors' fresh slices after a degrade.
+
+use ft2_model::shard::{RepairScope, ShardStateReport, ShardTap, ShardWeights};
+use ft2_model::LayerKind;
+use ft2_numeric::crc64_f32s;
+
+pub use crate::integrity::TILE_ELEMS;
+
+/// One checksummed tile of one shard's weight slice.
+#[derive(Clone, Copy, Debug)]
+struct ShardTile {
+    shard: usize,
+    block: usize,
+    layer: LayerKind,
+    start: usize,
+    len: usize,
+    crc: u64,
+}
+
+/// Shard-granular weight scrubber and repair engine. Register as a
+/// [`ShardTap`] on a sharded generation.
+pub struct ShardScrubber {
+    /// Golden copies of every shard's slices (index = shard).
+    golden: Vec<ShardWeights>,
+    tiles: Vec<ShardTile>,
+    cursor: usize,
+    tiles_per_step: usize,
+}
+
+fn build_tiles(shards: &[ShardWeights]) -> Vec<ShardTile> {
+    let mut tiles = Vec::new();
+    for (s, sw) in shards.iter().enumerate() {
+        for (b, sb) in sw.blocks.iter().enumerate() {
+            for k in LayerKind::ALL {
+                let Some(lin) = sb.layer(k) else { continue };
+                let data = lin.weight.as_slice();
+                let mut start = 0;
+                while start < data.len() {
+                    // ft2: nan-ok (usize tile sizing, no floats involved)
+                    let len = TILE_ELEMS.min(data.len() - start);
+                    tiles.push(ShardTile {
+                        shard: s,
+                        block: b,
+                        layer: k,
+                        start,
+                        len,
+                        crc: crc64_f32s(&data[start..start + len]),
+                    });
+                    start += len;
+                }
+            }
+        }
+    }
+    tiles
+}
+
+impl ShardScrubber {
+    /// Baseline golden copies and checksums from the freshly partitioned
+    /// shards (call with [`ft2_model::ShardedModel::shards`] before the
+    /// generation; the partition is bit-deterministic, so the baseline
+    /// stays valid across the executor's start-of-generation reset).
+    /// Verifies `tiles_per_step` tiles per step (0 disables background
+    /// scrubbing; the repair rung still works).
+    pub fn new(shards: &[ShardWeights], tiles_per_step: usize) -> ShardScrubber {
+        ShardScrubber {
+            golden: shards.to_vec(),
+            tiles: build_tiles(shards),
+            cursor: 0,
+            tiles_per_step,
+        }
+    }
+
+    /// Total checksummed tiles across all shards (one full sweep).
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Verify tile `idx` against the live shard weights; restore it from
+    /// the golden copy on mismatch. Returns true when a repair happened.
+    fn check_tile(&self, idx: usize, shards: &mut [ShardWeights]) -> bool {
+        let t = &self.tiles[idx];
+        let live = shards[t.shard].blocks[t.block]
+            .layer_mut(t.layer)
+            .expect("tile layer missing from live shard");
+        let live_slice = &mut live.weight.as_mut_slice()[t.start..t.start + t.len];
+        if crc64_f32s(live_slice) == t.crc {
+            return false;
+        }
+        let src = self.golden[t.shard].blocks[t.block]
+            .layer(t.layer)
+            .expect("tile layer missing from golden shard");
+        let src_slice = &src.weight.as_slice()[t.start..t.start + t.len];
+        assert_eq!(
+            crc64_f32s(src_slice),
+            t.crc,
+            "golden shard copy corrupted: refusing to repair from it"
+        );
+        live_slice.copy_from_slice(src_slice);
+        true
+    }
+
+    /// Verify (and repair) every tile of every shard — the unscoped
+    /// integrity pass, also usable out-of-band.
+    pub fn full_sweep(&self, shards: &mut [ShardWeights]) -> ShardStateReport {
+        let mut rep = ShardStateReport::default();
+        for idx in 0..self.tiles.len() {
+            rep.scrubbed_tiles += 1;
+            if self.check_tile(idx, shards) {
+                rep.repaired_tiles += 1;
+            }
+        }
+        rep
+    }
+}
+
+impl ShardTap for ShardScrubber {
+    fn on_step_start(&mut self, _step: usize, shards: &mut [ShardWeights]) -> ShardStateReport {
+        let mut rep = ShardStateReport::default();
+        if self.tiles.is_empty() || self.tiles_per_step == 0 {
+            return rep;
+        }
+        for _ in 0..self.tiles_per_step.min(self.tiles.len()) {
+            rep.scrubbed_tiles += 1;
+            if self.check_tile(self.cursor, shards) {
+                rep.repaired_tiles += 1;
+            }
+            self.cursor = (self.cursor + 1) % self.tiles.len();
+        }
+        rep
+    }
+
+    fn on_repair(&mut self, scope: &RepairScope<'_>, shards: &mut [ShardWeights]) -> ShardStateReport {
+        let mut rep = ShardStateReport::default();
+        for idx in 0..self.tiles.len() {
+            let t = &self.tiles[idx];
+            if t.block != scope.block || t.layer != scope.layer {
+                continue;
+            }
+            if !scope.suspects.is_empty() && !scope.suspects.contains(&t.shard) {
+                continue;
+            }
+            rep.scrubbed_tiles += 1;
+            if self.check_tile(idx, shards) {
+                rep.repaired_tiles += 1;
+            }
+        }
+        rep
+    }
+
+    fn on_repartition(&mut self, shards: &[ShardWeights]) {
+        self.golden = shards.to_vec();
+        self.tiles = build_tiles(shards);
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft2_model::shard::ShardPlan;
+    use ft2_model::weights::ModelWeights;
+    use ft2_model::ModelConfig;
+
+    fn shards_for(config: &ModelConfig, n: usize) -> Vec<ShardWeights> {
+        let weights = ModelWeights::build(config);
+        ShardPlan::new(config, n).partition(config, &weights)
+    }
+
+    #[test]
+    fn clean_shards_scrub_without_repairs() {
+        let config = ModelConfig::tiny_opt();
+        let mut shards = shards_for(&config, 2);
+        let mut scrub = ShardScrubber::new(&shards, 8);
+        let rep = scrub.on_step_start(0, &mut shards);
+        assert_eq!(rep.scrubbed_tiles, 8);
+        assert_eq!(rep.repaired_tiles, 0);
+    }
+
+    #[test]
+    fn full_sweep_repairs_corruption_bit_exactly() {
+        let config = ModelConfig::tiny_llama();
+        let mut shards = shards_for(&config, 3);
+        let pristine = shards.clone();
+        let mut scrub = ShardScrubber::new(&shards, 0);
+        // Corrupt two tiles on different shards.
+        shards[1].blocks[0].q_proj.weight.as_mut_slice()[3] = f32::NAN;
+        let down = shards[2].blocks[1]
+            .layer_mut(LayerKind::DownProj)
+            .unwrap();
+        down.weight.as_mut_slice()[0] = 1e30;
+        // A repair rung only touches the implicated slice of the suspect
+        // failure domain.
+        let scoped = scrub.on_repair(
+            &RepairScope {
+                suspects: &[1],
+                block: 0,
+                layer: LayerKind::QProj,
+            },
+            &mut shards,
+        );
+        assert_eq!(scoped.repaired_tiles, 1);
+        assert!((scoped.scrubbed_tiles as usize) < scrub.num_tiles());
+        // The unscoped integrity pass covers everything that remains.
+        let rep = scrub.full_sweep(&mut shards);
+        assert_eq!(rep.scrubbed_tiles as usize, scrub.num_tiles());
+        assert_eq!(rep.repaired_tiles, 1);
+        for (a, b) in shards.iter().zip(&pristine) {
+            for (ab, bb) in a.blocks.iter().zip(&b.blocks) {
+                for k in LayerKind::ALL {
+                    match (ab.layer(k), bb.layer(k)) {
+                        (Some(x), Some(y)) => assert_eq!(x, y),
+                        (None, None) => {}
+                        _ => panic!("layer presence mismatch"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_scrub_finds_corruption_within_one_sweep() {
+        let config = ModelConfig::tiny_opt();
+        let mut shards = shards_for(&config, 2);
+        let mut scrub = ShardScrubber::new(&shards, 4);
+        shards[0].blocks[0].k_proj.weight.as_mut_slice()[0] += 5.0;
+        let sweeps = scrub.num_tiles().div_ceil(4);
+        let mut repaired = 0;
+        for step in 0..sweeps {
+            repaired += scrub.on_step_start(step, &mut shards).repaired_tiles;
+        }
+        assert_eq!(repaired, 1);
+    }
+
+    #[test]
+    fn repartition_rebaselines_to_the_new_layout() {
+        let config = ModelConfig::tiny_opt();
+        let mut shards = shards_for(&config, 3);
+        let mut scrub = ShardScrubber::new(&shards, 0);
+        let before = scrub.num_tiles();
+        // Degrade to 2 shards: tile layout changes, checksums must follow.
+        shards = shards_for(&config, 2);
+        scrub.on_repartition(&shards);
+        assert_ne!(scrub.num_tiles(), 0);
+        assert!(scrub.num_tiles() <= before);
+        let rep = scrub.full_sweep(&mut shards);
+        assert_eq!(rep.repaired_tiles, 0, "fresh partition must verify clean");
+    }
+}

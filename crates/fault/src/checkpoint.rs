@@ -24,9 +24,12 @@ use ft2_model::LayerKind;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Current checkpoint document version. Version 2 documents (no `"version"`
-/// key) remain loadable; versions above this are rejected.
-pub const CHECKPOINT_VERSION: u64 = 3;
+/// Current checkpoint document version. Version 4 added the `degraded`
+/// outcome counter (sharded degraded-mode serving); version-3 documents
+/// (8-element count rows) and version-2 documents (no `"version"` key)
+/// remain loadable with the missing counters zeroed. Versions above this
+/// are rejected.
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// A persisted campaign prefix: everything needed to resume.
 #[derive(Clone, Debug, PartialEq)]
@@ -187,7 +190,7 @@ impl CampaignCheckpoint {
 
 fn counts_json(c: &OutcomeCounts) -> String {
     format!(
-        "[{}, {}, {}, {}, {}, {}, {}, {}]",
+        "[{}, {}, {}, {}, {}, {}, {}, {}, {}]",
         c.masked_identical,
         c.masked_semantic,
         c.sdc,
@@ -195,15 +198,20 @@ fn counts_json(c: &OutcomeCounts) -> String {
         c.hang,
         c.recovered,
         c.recovery_failed,
-        c.repaired
+        c.repaired,
+        c.degraded
     )
 }
 
 fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
     let a = v.as_arr("counts")?;
-    // Version-2 documents carry 7-element count rows (no `repaired`).
-    if a.len() != 7 && a.len() != 8 {
-        return Err(format!("counts must have 7 or 8 fields, got {}", a.len()));
+    // Version-2 documents carry 7-element count rows (no `repaired`),
+    // version-3 rows 8 elements (no `degraded`).
+    if a.len() != 7 && a.len() != 8 && a.len() != 9 {
+        return Err(format!(
+            "counts must have 7, 8 or 9 fields, got {}",
+            a.len()
+        ));
     }
     Ok(OutcomeCounts {
         masked_identical: a[0].as_u64("counts[0]")?,
@@ -215,6 +223,10 @@ fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
         recovery_failed: a[6].as_u64("counts[6]")?,
         repaired: match a.get(7) {
             Some(v) => v.as_u64("counts[7]")?,
+            None => 0,
+        },
+        degraded: match a.get(8) {
+            Some(v) => v.as_u64("counts[8]")?,
             None => 0,
         },
     })
@@ -456,6 +468,7 @@ mod tests {
                 recovered: 6,
                 recovery_failed: 2,
                 repaired: 5,
+                degraded: 3,
             },
             rollbacks: 9,
             storms: 11,
@@ -567,6 +580,33 @@ mod tests {
         assert_eq!(cp.result.kv_repairs, 0);
         assert_eq!(cp.result.repair_retries, 0);
         assert_eq!(cp.result.rollbacks, 2);
+    }
+
+    #[test]
+    fn version3_documents_still_load() {
+        // A v3 document: 8-element count rows (no `degraded`).
+        let v3 = r#"{
+  "version": 3,
+  "fingerprint": "v3|seed=1",
+  "completed_tasks": 9,
+  "counts": [5, 1, 1, 1, 0, 0, 0, 1],
+  "per_layer": {"FC1": [5, 1, 1, 1, 0, 0, 0, 1]},
+  "per_bit_class": {"exponent": [5, 1, 1, 1, 0, 0, 0, 1]},
+  "first_token_faults": [0, 0, 0, 0, 0, 0, 0, 0],
+  "crashes": [],
+  "rollbacks": 2,
+  "storms": 3,
+  "scrubbed_tiles": 64,
+  "weight_repairs": 1,
+  "kv_repairs": 0,
+  "repair_retries": 1
+}"#;
+        let cp = CampaignCheckpoint::from_json(v3).unwrap();
+        assert_eq!(cp.completed_tasks, 9);
+        assert_eq!(cp.result.counts.total(), 9);
+        assert_eq!(cp.result.counts.repaired, 1);
+        assert_eq!(cp.result.counts.degraded, 0);
+        assert_eq!(cp.result.scrubbed_tiles, 64);
     }
 
     #[test]

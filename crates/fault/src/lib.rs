@@ -29,6 +29,9 @@
 //! * [`checkpoint`] — crash-safe JSON persistence of partial campaign
 //!   results.
 //! * [`trace`] — the anomaly-recording tap behind `ft2-repro replay`.
+//! * [`shard`] — shard-scoped fault modes ([`ShardFault`]) for the sharded
+//!   executor's fault-isolation domains, and the [`classify_sharded`]
+//!   mapping into this taxonomy (including [`Outcome::Degraded`]).
 
 pub mod campaign;
 pub mod checkpoint;
@@ -36,6 +39,7 @@ pub mod dmr;
 pub mod inject;
 pub mod model;
 pub mod outcome;
+pub mod shard;
 pub mod site;
 pub mod trace;
 pub mod watchdog;
@@ -49,6 +53,7 @@ pub use dmr::{run_dmr_campaign, DmrReport};
 pub use inject::{FaultInjector, StateFaultInjector};
 pub use model::{FaultDuration, FaultModel, FaultTarget};
 pub use outcome::{ExactJudge, Outcome, OutcomeCounts, OutcomeJudge};
+pub use shard::{classify_sharded, ShardFault, ShardFaultInjector, ShardFaultSpec};
 pub use site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
 pub use trace::{TraceEvent, TraceTap};
 pub use watchdog::{TrialAbort, WatchdogTap};

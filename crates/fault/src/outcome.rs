@@ -48,6 +48,15 @@ pub enum Outcome {
         /// Rollback re-decodes spent before giving up.
         retries: u32,
     },
+    /// Sharded execution evicted one or more failed shards and kept
+    /// generating on the survivors. Availability was preserved — every
+    /// requested token was served — but the re-partitioned reduce seam may
+    /// drift from the reference, so the output is *not* claimed masked.
+    /// Never silent: the shard loss is always reported.
+    Degraded {
+        /// Shards evicted during the generation.
+        shards_lost: u32,
+    },
 }
 
 impl Outcome {
@@ -93,6 +102,9 @@ pub struct OutcomeCounts {
     /// Trials masked by stored-state repair (scrub/KV-guard + golden-copy
     /// restore or cache rebuild).
     pub repaired: u64,
+    /// Trials that kept serving after evicting failed shards (degraded
+    /// mode — available but not claimed masked).
+    pub degraded: u64,
 }
 
 impl OutcomeCounts {
@@ -107,6 +119,7 @@ impl OutcomeCounts {
             Outcome::Recovered { .. } => self.recovered += 1,
             Outcome::RecoveryFailed { .. } => self.recovery_failed += 1,
             Outcome::Repaired { .. } => self.repaired += 1,
+            Outcome::Degraded { .. } => self.degraded += 1,
         }
     }
 
@@ -120,6 +133,7 @@ impl OutcomeCounts {
         self.recovered += other.recovered;
         self.recovery_failed += other.recovery_failed;
         self.repaired += other.repaired;
+        self.degraded += other.degraded;
     }
 
     /// Total trials recorded.
@@ -132,6 +146,7 @@ impl OutcomeCounts {
             + self.recovered
             + self.recovery_failed
             + self.repaired
+            + self.degraded
     }
 
     /// Detected unrecoverable errors (crashes + hangs + exhausted
@@ -221,6 +236,7 @@ mod tests {
             recovered: 6,
             recovery_failed: 7,
             repaired: 8,
+            degraded: 9,
         };
         let b = OutcomeCounts {
             masked_identical: 10,
@@ -231,6 +247,7 @@ mod tests {
             recovered: 60,
             recovery_failed: 70,
             repaired: 80,
+            degraded: 90,
         };
         a.merge(&b);
         assert_eq!(a.masked_identical, 11);
@@ -241,7 +258,20 @@ mod tests {
         assert_eq!(a.recovered, 66);
         assert_eq!(a.recovery_failed, 77);
         assert_eq!(a.repaired, 88);
-        assert_eq!(a.total(), 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88);
+        assert_eq!(a.degraded, 99);
+        assert_eq!(a.total(), 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88 + 99);
+    }
+
+    #[test]
+    fn degraded_outcome_is_neither_masked_nor_due() {
+        let d = Outcome::Degraded { shards_lost: 1 };
+        assert!(!d.is_masked(), "degraded output may drift — not masked");
+        assert!(!d.is_due(), "degraded mode kept serving — not a DUE");
+        let mut c = OutcomeCounts::default();
+        c.record(&d);
+        assert_eq!(c.degraded, 1);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.due(), 0);
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //!   BENCH_decode.json baseline CI gates perf regressions against.
 //!   Sizing: FT2_BENCH_REPS, FT2_BENCH_GEN, FT2_BENCH_TRIALS, FT2_QUICK=1.
 //!
+//! ft2-repro shards [--json] [--out PATH] [--smoke]
+//!   sharded-execution sweep: for each swept zoo config and shard count,
+//!   proves fault-free N-shard decode is token-identical to 1-shard,
+//!   shard-level repair clears a persistent shard fault cheaper than a
+//!   full restart, and a one-shard crash with degrade keeps serving
+//!   (reported Outcome::Degraded, never silent). --json writes the
+//!   schema-stable BENCH_shards.json baseline. Knobs: FT2_SHARDS,
+//!   FT2_SHARD_DEGRADE=1, FT2_SHARD_HEARTBEAT_MS, FT2_QUICK=1.
+//!
 //! ft2-repro lint [--json] [--root PATH]
 //!   static analysis: the repo-specific source lints (unsafe-safety,
 //!   nan-comparison, env-knob, zero-skip) plus the protection-coverage
@@ -44,7 +53,7 @@
 
 use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
-use ft2_harness::{bench, lint, BENCH_BASELINE_PATH};
+use ft2_harness::{bench, lint, shards, BENCH_BASELINE_PATH, SHARDS_BASELINE_PATH};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -164,6 +173,35 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_shards(args: &[String]) -> Result<bool, String> {
+    let mut json = false;
+    let mut smoke = false;
+    let mut out = PathBuf::from(SHARDS_BASELINE_PATH);
+    let mut rest = args.iter();
+    while let Some(key) = rest.next() {
+        match key.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = PathBuf::from(
+                    rest.next().ok_or("option --out needs a value")?,
+                );
+            }
+            other => return Err(format!("unknown shards option {other}")),
+        }
+    }
+    let pool = ft2_parallel::WorkStealingPool::with_default_threads();
+    let t0 = Instant::now();
+    let report = shards::run(&pool, smoke);
+    eprintln!("### shards done in {:.1?}", t0.elapsed());
+    println!("{}", report.summary());
+    if json {
+        shards::write_json(&report, &out)?;
+        println!("wrote {}", out.display());
+    }
+    Ok(report.ok())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -178,6 +216,11 @@ fn main() {
         println!("         ft2-bench fixtures; --json writes a schema-stable baseline");
         println!("         ({BENCH_BASELINE_PATH} by default) for perf-regression gating;");
         println!("         sizing via FT2_BENCH_REPS, FT2_BENCH_GEN, FT2_BENCH_TRIALS, FT2_QUICK=1");
+        println!("       ft2-repro shards [--json] [--out PATH] [--smoke]");
+        println!("         sharded-execution sweep: N-shard token identity, shard-level");
+        println!("         repair vs full restart, crash + degraded-mode serving; --json");
+        println!("         writes the schema-stable {SHARDS_BASELINE_PATH} baseline;");
+        println!("         knobs: FT2_SHARDS, FT2_SHARD_DEGRADE=1, FT2_SHARD_HEARTBEAT_MS");
         println!("experiments: {}", EXPERIMENTS.join(" "));
         println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
         println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
@@ -202,6 +245,20 @@ fn main() {
             std::process::exit(2);
         }
         return;
+    }
+
+    if args[0] == "shards" {
+        match run_shards(&args[1..]) {
+            Ok(true) => return,
+            Ok(false) => {
+                eprintln!("shards sweep failed a guarantee — see the summary above");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("shards failed: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     if args[0] == "lint" {

@@ -272,6 +272,9 @@ pub(crate) mod tests {
                 scrub_tiles_per_step: 0,
                 kv_guard: false,
                 recovery_repair: false,
+                shards: 1,
+                shard_degrade: false,
+                shard_heartbeat_ms: 50,
             },
             resilience: Resilience {
                 checkpoint_every: None,

@@ -16,7 +16,9 @@ pub mod experiments;
 pub mod lint;
 pub mod report;
 pub mod settings;
+pub mod shards;
 
 pub use bench::{BenchReport, BENCH_BASELINE_PATH, BENCH_SCHEMA_VERSION};
+pub use shards::{ShardsEntry, ShardsReport, SHARDS_BASELINE_PATH, SHARDS_SCHEMA_VERSION};
 pub use report::{format_pct, Csv, Table};
 pub use settings::{knob_names, EvalPair, KnobKind, KnobSpec, Resilience, Settings, KNOB_REGISTRY};

@@ -153,6 +153,27 @@ pub const KNOB_REGISTRY: &[KnobSpec] = &[
         site: "ft2-harness",
     },
     KnobSpec {
+        name: "FT2_SHARDS",
+        kind: KnobKind::Integer,
+        default: "1 (unsharded)",
+        doc: "fault-isolation shards the `shards` sweep partitions each model across",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_SHARD_DEGRADE",
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "evict a dead shard and keep generating on the survivors (degraded mode)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_SHARD_HEARTBEAT_MS",
+        kind: KnobKind::Integer,
+        default: "50",
+        doc: "per-shard heartbeat timeout in ms before a hung shard is cancelled",
+        site: "ft2-harness",
+    },
+    KnobSpec {
         name: "FT2_STORM_THRESHOLD",
         kind: KnobKind::Integer,
         default: "16",
@@ -229,7 +250,11 @@ pub fn knob_spec(name: &str) -> &'static KnobSpec {
 ///   re-verifies per decode step (default 0 = scrubbing off);
 /// * `FT2_KV_GUARD=1`          — enable the KV-cache CRC guard;
 /// * `FT2_RECOVERY_REPAIR=1`   — take a repair-and-retry rung after the
-///   rollback retry budget is exhausted.
+///   rollback retry budget is exhausted;
+/// * `FT2_SHARDS`              — fault-isolation shards for the sharded
+///   sweep (default 1 = unsharded);
+/// * `FT2_SHARD_DEGRADE=1`     — evict a dead shard and keep generating;
+/// * `FT2_SHARD_HEARTBEAT_MS`  — per-shard heartbeat timeout (default 50).
 ///
 /// A knob that is set but malformed (empty, negative, non-numeric) is
 /// ignored with a warning on stderr — it never panics and never silently
@@ -276,6 +301,13 @@ pub struct Settings {
     pub kv_guard: bool,
     /// Take a repair-and-retry rung after rollback exhaustion.
     pub recovery_repair: bool,
+    /// Fault-isolation shards for the sharded-execution sweep (1 =
+    /// unsharded).
+    pub shards: usize,
+    /// Degraded-mode serving: evict a dead shard and keep generating.
+    pub shard_degrade: bool,
+    /// Per-shard heartbeat timeout in milliseconds.
+    pub shard_heartbeat_ms: u64,
 }
 
 /// Human-readable "expected …" description for a knob's target type. The
@@ -361,6 +393,9 @@ impl Settings {
             scrub_tiles_per_step: env_usize("FT2_SCRUB_TILES_PER_STEP").unwrap_or(0),
             kv_guard: env_flag("FT2_KV_GUARD"),
             recovery_repair: env_flag("FT2_RECOVERY_REPAIR"),
+            shards: env_usize("FT2_SHARDS").unwrap_or(1).max(1),
+            shard_degrade: env_flag("FT2_SHARD_DEGRADE"),
+            shard_heartbeat_ms: env_knob("FT2_SHARD_HEARTBEAT_MS").unwrap_or(50),
         }
     }
 
@@ -519,6 +554,9 @@ mod tests {
             scrub_tiles_per_step: 0,
             kv_guard: false,
             recovery_repair: false,
+            shards: 1,
+            shard_degrade: false,
+            shard_heartbeat_ms: 50,
         };
         assert_eq!(s.gen_tokens(TaskType::Qa), 16);
         assert_eq!(s.gen_tokens(TaskType::Math), 36);
@@ -542,6 +580,9 @@ mod tests {
             scrub_tiles_per_step: 8,
             kv_guard: true,
             recovery_repair: true,
+            shards: 2,
+            shard_degrade: true,
+            shard_heartbeat_ms: 25,
         };
         let cfg = s.campaign(DatasetId::Squad, FaultModel::ExponentBit);
         assert_eq!(cfg.recovery_retries, 3);

@@ -1,0 +1,431 @@
+//! The sharded-execution sweep behind `ft2-repro shards`.
+//!
+//! For each swept zoo config and shard count the sweep demonstrates the
+//! three guarantees of the fault-isolation design, end to end through the
+//! real sharded executor ([`ft2_model::ShardedModel`]):
+//!
+//! * **identity** — a fault-free N-shard decode emits tokens bit-identical
+//!   to the 1-shard golden run (the f64-exact reduce seam);
+//! * **repair** — a *persistent* shard-scoped weight fault
+//!   ([`ft2_fault::ShardFault::TileCorrupt`]) is survived through the
+//!   shard-level repair rung ([`ft2_core::ShardScrubber`] golden-copy
+//!   restore), with each repair rung strictly cheaper than a full restart
+//!   (re-running the whole generation) — the per-incident comparison;
+//! * **degrade** — crashing one shard with degraded-mode serving enabled
+//!   still emits every requested token and reports
+//!   [`ft2_fault::Outcome::Degraded`] — availability is preserved, and the
+//!   shard loss is never silent.
+//!
+//! With `--json` the results are written to a schema-stable
+//! `BENCH_shards.json` (committed as a baseline; CI greps its keys), in
+//! the same hand-rolled one-key-per-line format as `BENCH_decode.json`.
+//!
+//! Sizing: `FT2_QUICK=1` (or `--smoke`) sweeps N=2 only with a short
+//! generation; `FT2_SHARDS` overrides the swept shard counts with a single
+//! value; `FT2_SHARD_HEARTBEAT_MS` sets the hang-isolation heartbeat.
+
+use crate::settings::Settings;
+use ft2_core::ShardScrubber;
+use ft2_fault::model::FaultDuration;
+use ft2_fault::shard::{classify_sharded, ShardFault, ShardFaultInjector, ShardFaultSpec};
+use ft2_fault::{ExactJudge, Outcome};
+use ft2_model::{
+    Model, RecoveryPolicy, ShardTapList, ShardedGeneration, ShardedModel, ZooModel,
+};
+use ft2_parallel::WorkStealingPool;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// Version of the JSON report schema. Bump when a key changes meaning.
+pub const SHARDS_SCHEMA_VERSION: u64 = 1;
+
+/// Default output path for the JSON report.
+pub const SHARDS_BASELINE_PATH: &str = "BENCH_shards.json";
+
+/// Deterministic prompt for the sweep (token ids valid for every zoo
+/// config: all vocabularies exceed 32).
+const PROMPT: [u32; 6] = [3, 14, 15, 9, 26, 5];
+
+/// One (model, shard-count) cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct ShardsEntry {
+    /// Model display name.
+    pub model: String,
+    /// Shard count of this cell.
+    pub shards: usize,
+    /// Fault-free N-shard tokens == 1-shard golden tokens.
+    pub token_identical: bool,
+    /// Outcome of the persistent-TileCorrupt repair scenario.
+    pub repair_outcome: &'static str,
+    /// Shard-repair rungs taken in the repair scenario.
+    pub repair_rungs: u32,
+    /// Weight tiles restored from the golden copy.
+    pub tiles_repaired: u64,
+    /// Nanoseconds spent inside repair sweeps, across all rungs.
+    pub repair_ns: u64,
+    /// Full-restart cost: wall time of re-running the whole generation.
+    pub restart_ns: u64,
+    /// One repair rung costs less than one full restart — per incident,
+    /// the repair rung is the cheaper recovery (`repair_ns / repair_rungs
+    /// < restart_ns`). A restart would not even clear a persistent fault;
+    /// this shows repair also wins on pure time.
+    pub repair_beats_restart: bool,
+    /// Outcome of the crash-with-degrade scenario.
+    pub degrade_outcome: &'static str,
+    /// Tokens served in the degrade scenario (must equal `gen_tokens`).
+    pub degrade_tokens_served: usize,
+    /// Shards lost (evicted) in the degrade scenario.
+    pub degrade_shards_lost: u32,
+}
+
+impl ShardsEntry {
+    /// All three guarantees hold for this cell.
+    pub fn ok(&self, gen_tokens: usize) -> bool {
+        self.token_identical
+            && self.repair_outcome == "Repaired"
+            && self.repair_beats_restart
+            && self.degrade_outcome == "Degraded"
+            && self.degrade_tokens_served == gen_tokens
+            && self.degrade_shards_lost >= 1
+    }
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug)]
+pub struct ShardsReport {
+    /// Tokens generated per scenario run.
+    pub gen_tokens: usize,
+    /// Heartbeat timeout used for hang isolation, milliseconds.
+    pub heartbeat_ms: u64,
+    /// One entry per (model, shard-count) cell.
+    pub entries: Vec<ShardsEntry>,
+}
+
+impl ShardsReport {
+    /// Every cell upheld all three guarantees.
+    pub fn ok(&self) -> bool {
+        !self.entries.is_empty() && self.entries.iter().all(|e| e.ok(self.gen_tokens))
+    }
+
+    /// Serialise as the schema-stable JSON document (one key per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {SHARDS_SCHEMA_VERSION},");
+        let _ = writeln!(s, "  \"gen_tokens\": {},", self.gen_tokens);
+        let _ = writeln!(s, "  \"heartbeat_ms\": {},", self.heartbeat_ms);
+        s.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"model\": \"{}\", \"shards\": {}, \"token_identical\": {}, \
+                 \"repair_outcome\": \"{}\", \"repair_rungs\": {}, \"tiles_repaired\": {}, \
+                 \"repair_ns\": {}, \"restart_ns\": {}, \"repair_beats_restart\": {}, \
+                 \"degrade_outcome\": \"{}\", \"degrade_tokens_served\": {}, \
+                 \"degrade_shards_lost\": {}, \"ok\": {}}}",
+                e.model,
+                e.shards,
+                e.token_identical,
+                e.repair_outcome,
+                e.repair_rungs,
+                e.tiles_repaired,
+                e.repair_ns,
+                e.restart_ns,
+                e.repair_beats_restart,
+                e.degrade_outcome,
+                e.degrade_tokens_served,
+                e.degrade_shards_lost,
+                e.ok(self.gen_tokens)
+            );
+        }
+        s.push_str("\n  ],\n");
+        let _ = writeln!(s, "  \"ok\": {}", self.ok());
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "sharded execution sweep | {} tokens | heartbeat {} ms\n",
+            self.gen_tokens, self.heartbeat_ms
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                s,
+                "{:<12} N={}  identity {}  repair {} ({} rungs, {} tiles, \
+                 {:.2} ms vs restart {:.2} ms)  degrade {} ({} tokens, {} lost)  [{}]",
+                e.model,
+                e.shards,
+                if e.token_identical { "ok" } else { "DRIFT" },
+                e.repair_outcome,
+                e.repair_rungs,
+                e.tiles_repaired,
+                e.repair_ns as f64 / 1e6,
+                e.restart_ns as f64 / 1e6,
+                e.degrade_outcome,
+                e.degrade_tokens_served,
+                e.degrade_shards_lost,
+                if e.ok(self.gen_tokens) { "ok" } else { "FAIL" }
+            );
+        }
+        let _ = write!(s, "overall: {}", if self.ok() { "ok" } else { "FAIL" });
+        s
+    }
+}
+
+/// Stable label for an [`Outcome`] in the JSON report.
+fn outcome_label(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::MaskedIdentical => "MaskedIdentical",
+        Outcome::MaskedSemantic => "MaskedSemantic",
+        Outcome::Sdc => "Sdc",
+        Outcome::Crash { .. } => "Crash",
+        Outcome::Hang => "Hang",
+        Outcome::Recovered { .. } => "Recovered",
+        Outcome::Repaired { .. } => "Repaired",
+        Outcome::RecoveryFailed { .. } => "RecoveryFailed",
+        Outcome::Degraded { .. } => "Degraded",
+    }
+}
+
+fn generate(
+    model: &Model,
+    pool: &WorkStealingPool,
+    n: usize,
+    gen_tokens: usize,
+    taps: &mut ShardTapList<'_>,
+    policy: RecoveryPolicy,
+    heartbeat: Duration,
+) -> ShardedGeneration {
+    ShardedModel::new(model, n).generate_with(pool, &PROMPT, gen_tokens, taps, policy, heartbeat)
+}
+
+/// Run the three scenarios for one (model, shard-count) cell.
+fn probe_cell(
+    spec_name: &str,
+    model: &Model,
+    pool: &WorkStealingPool,
+    n: usize,
+    gen_tokens: usize,
+    heartbeat: Duration,
+) -> ShardsEntry {
+    // Golden: 1-shard, fault-free.
+    let golden = generate(
+        model,
+        pool,
+        1,
+        gen_tokens,
+        &mut ShardTapList::new(),
+        RecoveryPolicy::disabled(),
+        heartbeat,
+    );
+
+    // (a) identity: N shards, fault-free, bit-identical tokens.
+    let clean = generate(
+        model,
+        pool,
+        n,
+        gen_tokens,
+        &mut ShardTapList::new(),
+        RecoveryPolicy::disabled(),
+        heartbeat,
+    );
+    let token_identical = clean.completed() && clean.tokens == golden.tokens;
+    // Full-restart cost: re-running the whole N-shard generation.
+    let restart_ns = clean.prefill_ns + clean.decode_ns;
+
+    // (b) repair: persistent weight-tile corruption on shard 0, survived
+    // through the scrubber's golden-copy repair rung.
+    let repair = {
+        let mut sharded = ShardedModel::new(model, n);
+        let mut injector = ShardFaultInjector::new(ShardFaultSpec {
+            shard: 0,
+            fault: ShardFault::TileCorrupt,
+            step: 1,
+            block: 0,
+            duration: FaultDuration::Persistent,
+        });
+        let mut scrubber = ShardScrubber::new(sharded.shards(), 0);
+        let mut taps = ShardTapList::new();
+        taps.push(&mut injector);
+        taps.push(&mut scrubber);
+        sharded.generate_with(
+            pool,
+            &PROMPT,
+            gen_tokens,
+            &mut taps,
+            RecoveryPolicy::retries(1).with_repair(),
+            heartbeat,
+        )
+    };
+    let repair_outcome = outcome_label(&classify_sharded(&golden.tokens, &repair, &ExactJudge));
+
+    // (c) degrade: crash one shard mid-generation; keep serving.
+    let degrade = {
+        let mut injector = ShardFaultInjector::new(ShardFaultSpec {
+            shard: n - 1,
+            fault: ShardFault::Crash,
+            step: 1,
+            block: 0,
+            duration: FaultDuration::Persistent,
+        });
+        let mut taps = ShardTapList::new();
+        taps.push(&mut injector);
+        generate(
+            model,
+            pool,
+            n,
+            gen_tokens,
+            &mut taps,
+            RecoveryPolicy::retries(1).with_shard_degrade(),
+            heartbeat,
+        )
+    };
+    let degrade_outcome = outcome_label(&classify_sharded(&golden.tokens, &degrade, &ExactJudge));
+
+    ShardsEntry {
+        model: spec_name.to_string(),
+        shards: n,
+        token_identical,
+        repair_outcome,
+        repair_rungs: repair.repair_rungs,
+        tiles_repaired: repair.tiles_repaired,
+        repair_ns: repair.repair_ns,
+        restart_ns,
+        repair_beats_restart: repair.repair_ns / u64::from(repair.repair_rungs.max(1))
+            < restart_ns,
+        degrade_outcome,
+        degrade_tokens_served: degrade.tokens.len(),
+        degrade_shards_lost: degrade.shards_lost,
+    }
+}
+
+/// Run the sweep: two zoo configs (one OPT-style, one Llama-style with a
+/// shard-count-indivisible head count) at N=2 and N=4, or N=2 only in
+/// smoke mode. `FT2_SHARDS` (when > 1) narrows the sweep to that count.
+pub fn run(pool: &WorkStealingPool, smoke: bool) -> ShardsReport {
+    let settings = Settings::from_env();
+    let gen_tokens = if smoke { 8 } else { 12 };
+    let heartbeat_ms = settings.shard_heartbeat_ms.max(1);
+    let heartbeat = Duration::from_millis(heartbeat_ms);
+    let counts: Vec<usize> = if settings.shards > 1 {
+        vec![settings.shards]
+    } else if smoke {
+        vec![2]
+    } else {
+        vec![2, 4]
+    };
+
+    let mut entries = Vec::new();
+    for zoo in [ZooModel::Opt6_7B, ZooModel::Qwen2_1_5B] {
+        let spec = zoo.spec();
+        let model = spec.build();
+        for &n in &counts {
+            entries.push(probe_cell(
+                spec.name(),
+                &model,
+                pool,
+                n,
+                gen_tokens,
+                heartbeat,
+            ));
+        }
+    }
+    ShardsReport {
+        gen_tokens,
+        heartbeat_ms,
+        entries,
+    }
+}
+
+/// Write the JSON report atomically (temp file + rename), like the decode
+/// bench baseline.
+pub fn write_json(report: &ShardsReport, path: &Path) -> Result<(), String> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, report.to_json())
+        .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming to {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardsReport {
+        ShardsReport {
+            gen_tokens: 12,
+            heartbeat_ms: 50,
+            entries: vec![ShardsEntry {
+                model: "OPT-6.7B".to_string(),
+                shards: 2,
+                token_identical: true,
+                repair_outcome: "Repaired",
+                repair_rungs: 11,
+                tiles_repaired: 11,
+                repair_ns: 120_000,
+                restart_ns: 9_000_000,
+                repair_beats_restart: true,
+                degrade_outcome: "Degraded",
+                degrade_tokens_served: 12,
+                degrade_shards_lost: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let json = sample().to_json();
+        for key in [
+            "\"schema\": 1",
+            "\"gen_tokens\": 12",
+            "\"heartbeat_ms\": 50",
+            "\"model\": \"OPT-6.7B\"",
+            "\"shards\": 2",
+            "\"token_identical\": true",
+            "\"repair_outcome\": \"Repaired\"",
+            "\"repair_beats_restart\": true",
+            "\"degrade_outcome\": \"Degraded\"",
+            "\"degrade_tokens_served\": 12",
+            "\"degrade_shards_lost\": 1",
+            "\"ok\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn entry_ok_requires_all_three_guarantees() {
+        let report = sample();
+        assert!(report.ok());
+        let mut drifted = report.clone();
+        drifted.entries[0].token_identical = false;
+        assert!(!drifted.ok());
+        let mut silent = report.clone();
+        silent.entries[0].degrade_outcome = "MaskedIdentical";
+        assert!(!silent.ok(), "a silent shard loss must fail the sweep");
+        let mut slow = report;
+        slow.entries[0].repair_beats_restart = false;
+        assert!(!slow.ok());
+    }
+
+    #[test]
+    fn smoke_sweep_upholds_all_guarantees() {
+        let pool = WorkStealingPool::new(3);
+        let report = run(&pool, true);
+        // Two configs x N=2 in smoke mode.
+        assert_eq!(report.entries.len(), 2);
+        for e in &report.entries {
+            assert!(e.ok(report.gen_tokens), "cell failed: {e:?}");
+        }
+        assert!(report.ok());
+        let json = report.to_json();
+        assert!(json.contains("\"ok\": true"));
+    }
+}

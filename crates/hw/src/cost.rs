@@ -114,6 +114,11 @@ pub struct CostModel {
     /// Per-protected-layer cost of the fused clamp+nan_to_num kernel,
     /// seconds (launch dominated).
     pub protection_kernel_s: f64,
+    /// Host-to-device link bandwidth, bytes/s (PCIe 4.0 x16 effective).
+    /// A full restart re-stages every weight over this link; shard-level
+    /// repair restores from an on-device golden copy at `mem_bw` instead —
+    /// the gap is why the repair rung beats a restart.
+    pub host_link_bw: f64,
 }
 
 impl CostModel {
@@ -123,6 +128,7 @@ impl CostModel {
             profile,
             framework_factor: 3.0,
             protection_kernel_s: 8e-6,
+            host_link_bw: 25e9,
         }
     }
 
@@ -242,6 +248,34 @@ impl CostModel {
         extra / base
     }
 
+    /// Shard-level repair time: re-read and checksum one shard's weight
+    /// slice (`1/shards` of the block weights) and restore corrupt tiles
+    /// from the on-device golden copy — a verify read plus a restore write,
+    /// both at device memory bandwidth.
+    pub fn shard_repair_time(&self, shape: &WorkloadShape, shards: usize) -> f64 {
+        let slice_bytes =
+            shape.block_params() * shape.bytes_per_element as f64 / shards.max(1) as f64;
+        self.profile.kernel_overhead + 2.0 * slice_bytes / self.profile.mem_bw
+    }
+
+    /// Degrade re-partition time: after evicting a dead shard, the block
+    /// weights are re-sliced across the survivors — every surviving device
+    /// re-reads its fresh slice from the replicated host copy, in parallel,
+    /// each pulling `1/survivors` of the block weights over the host link.
+    pub fn repartition_time(&self, shape: &WorkloadShape, survivors: usize) -> f64 {
+        let slice_bytes =
+            shape.block_params() * shape.bytes_per_element as f64 / survivors.max(1) as f64;
+        self.profile.kernel_overhead + slice_bytes / self.host_link_bw
+    }
+
+    /// Full-restart time: the recovery baseline shard repair is measured
+    /// against. Every weight is re-staged over the host link and the whole
+    /// prompt is re-prefilled; all generated tokens so far are lost.
+    pub fn full_restart_time(&self, shape: &WorkloadShape, prompt: usize) -> f64 {
+        let weight_bytes = shape.total_params() * shape.bytes_per_element as f64;
+        weight_bytes / self.host_link_bw + self.prefill_time(shape, prompt)
+    }
+
     /// Offline bound-profiling time for `n_inputs` full generations
     /// (the Fig. 4 quantity), in seconds.
     pub fn profiling_time(
@@ -351,6 +385,33 @@ mod tests {
         }
         let avg = overheads.iter().sum::<f64>() / overheads.len() as f64;
         assert!(avg > 0.01 && avg < 0.08, "avg overhead {avg}");
+    }
+
+    #[test]
+    fn shard_repair_beats_full_restart_on_every_zoo_shape() {
+        let model = CostModel::new(A100);
+        for spec in ft2_model::model_zoo() {
+            let s = WorkloadShape::from_spec(&spec);
+            for shards in [2usize, 4, 8] {
+                let repair = model.shard_repair_time(&s, shards);
+                let repart = model.repartition_time(&s, shards - 1);
+                let restart = model.full_restart_time(&s, 150);
+                assert!(repair > 0.0 && repair.is_finite());
+                assert!(repart > 0.0 && repart.is_finite());
+                assert!(
+                    repair < restart,
+                    "{}: repair {repair}s !< restart {restart}s at {shards} shards",
+                    spec.name()
+                );
+                assert!(
+                    repart < restart,
+                    "{}: repartition {repart}s !< restart {restart}s",
+                    spec.name()
+                );
+            }
+            // More shards -> smaller slices -> cheaper repair.
+            assert!(model.shard_repair_time(&s, 8) < model.shard_repair_time(&s, 2));
+        }
     }
 
     #[test]

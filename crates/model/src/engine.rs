@@ -32,6 +32,16 @@ pub struct RecoveryPolicy {
     /// poisoned KV pages invalidated and re-decoded) and grant one extra
     /// re-decode. Meaningless without state taps.
     pub repair: bool,
+    /// Sharded execution only: how many times one shard's partial GEMM is
+    /// re-executed after a shard-scoped failure (crash, hang, anomalous
+    /// partial) before escalating to the repair rung. The unsharded
+    /// engine ignores this field.
+    pub shard_reexec: u32,
+    /// Sharded execution only: when a shard failure survives re-execution
+    /// and repair, evict the shard, re-partition onto the survivors, and
+    /// keep generating (reported as degraded) instead of failing the
+    /// generation. The unsharded engine ignores this field.
+    pub shard_degrade: bool,
 }
 
 impl RecoveryPolicy {
@@ -40,20 +50,39 @@ impl RecoveryPolicy {
         RecoveryPolicy {
             max_retries: 0,
             repair: false,
+            shard_reexec: 0,
+            shard_degrade: false,
         }
     }
 
-    /// Roll back and re-decode a storming token up to `n` times.
+    /// Roll back and re-decode a storming token up to `n` times. Sharded
+    /// runs get one shard re-execution by default, matching the
+    /// transient-fault assumption of the rollback rung.
     pub fn retries(n: u32) -> RecoveryPolicy {
         RecoveryPolicy {
             max_retries: n,
             repair: false,
+            shard_reexec: 1,
+            shard_degrade: false,
         }
     }
 
     /// Enable the repair-and-retry rung above the retry budget.
     pub fn with_repair(mut self) -> RecoveryPolicy {
         self.repair = true;
+        self
+    }
+
+    /// Set the per-linear shard re-execution budget (sharded runs).
+    pub fn with_shard_reexec(mut self, n: u32) -> RecoveryPolicy {
+        self.shard_reexec = n;
+        self
+    }
+
+    /// Enable the terminal degrade rung (sharded runs): evict a dead
+    /// shard and keep serving on the survivors.
+    pub fn with_shard_degrade(mut self) -> RecoveryPolicy {
+        self.shard_degrade = true;
         self
     }
 
@@ -220,9 +249,15 @@ impl Model {
         &self.weights
     }
 
+    /// Precomputed RoPE table (Llama-style models; the sharded executor
+    /// replicates position handling on the driver).
+    pub(crate) fn rope_table(&self) -> Option<&RopeTable> {
+        self.rope.as_ref()
+    }
+
     /// Embed token ids at absolute positions `start_pos..` using the given
     /// weight set, writing into a reusable buffer.
-    fn embed_into(
+    pub(crate) fn embed_into(
         &self,
         weights: &ModelWeights,
         tokens: &[u32],
@@ -315,7 +350,7 @@ impl Model {
 
     /// Logits for a single hidden-state row, with an explicit weight set,
     /// into a reusable buffer.
-    fn logits_into(&self, weights: &ModelWeights, hidden_row: &Matrix, out: &mut Matrix) {
+    pub(crate) fn logits_into(&self, weights: &ModelWeights, hidden_row: &Matrix, out: &mut Matrix) {
         weights.lm_head.forward_into(hidden_row, self.config.dtype, out);
     }
 

@@ -38,6 +38,7 @@ pub mod graph;
 pub mod hooks;
 pub mod mlp;
 pub mod scratch;
+pub mod shard;
 pub mod state;
 pub mod weights;
 pub mod zoo;
@@ -52,6 +53,11 @@ pub use graph::{ArchGraph, OpClass};
 pub use hooks::{
     AnomalyVerdict, HookKind, LayerTap, NoTaps, RecordingTap, StepReport, TapCtx, TapList,
     TapPoint,
+};
+pub use shard::{
+    balanced_spans, DegradeEvent, PartialMut, RepairScope, ShardBlockWeights, ShardFailure,
+    ShardIncidentKind, ShardPartialCtx, ShardPlan, ShardStateReport, ShardTap, ShardTapList,
+    ShardWeights, ShardedGeneration, ShardedModel, Span, TaskDirective,
 };
 pub use state::{StateCtx, StateReport, StateTap, StateTapList};
 pub use zoo::{model_zoo, ModelSpec, ZooModel};

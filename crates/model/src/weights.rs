@@ -56,7 +56,7 @@ fn lm_head_tie_alpha() -> f32 {
 
 /// One linear layer: weight `[out, in]` (row per output feature) plus an
 /// optional bias.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Linear {
     /// Weight matrix, `[out_features, in_features]`.
     pub weight: Matrix,
@@ -90,7 +90,7 @@ impl Linear {
 }
 
 /// Normalisation parameters at a block boundary.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NormParams {
     /// Scale, length `hidden`.
     pub gamma: Vec<f32>,
@@ -99,7 +99,7 @@ pub struct NormParams {
 }
 
 /// Weights of one decoder block.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BlockWeights {
     /// Pre-attention norm.
     pub attn_norm: NormParams,
@@ -153,7 +153,7 @@ impl BlockWeights {
 }
 
 /// All weights of a model.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelWeights {
     /// Token embedding table `[vocab, hidden]`.
     pub embed: Matrix,

@@ -26,10 +26,12 @@
 //! derive their RNG stream from the task index (see `ft2_numeric::rng`),
 //! never from thread identity.
 
+pub mod heartbeat;
 pub mod panics;
 pub mod pool;
 pub mod scope;
 
+pub use heartbeat::{HeartbeatMonitor, ShardHeartbeat};
 pub use panics::{catch_quiet, CaughtPanic};
 pub use pool::{TaskPanic, WorkStealingPool};
 pub use scope::{

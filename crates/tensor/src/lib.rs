@@ -23,12 +23,14 @@ pub mod abft;
 pub mod gemm;
 pub mod matrix;
 pub mod ops;
+pub mod seam;
 
 pub use abft::{checked_matmul_transb, AbftOutcome, CheckedProduct};
 pub use gemm::{
     dot, matmul, matmul_naive, matmul_transb, matmul_transb_into, matmul_with, KernelPolicy,
 };
 pub use matrix::{DType, Matrix};
+pub use seam::{matmul_transb_cols_f64, reduce_seam_into};
 pub use ops::{
     add_bias_inplace, add_inplace, argmax, gelu_inplace, layer_norm, relu_inplace, rms_norm,
     scale_inplace, silu_inplace, softmax_rows,

@@ -1,0 +1,166 @@
+//! Partial GEMM and the all-reduce seam for sharded (tensor-parallel)
+//! execution.
+//!
+//! Row-sharded layers (`OUT_PROJ`, `FC2`/`DOWN_PROJ`) split the *input*
+//! (`k`) dimension across shards: shard `s` holds the weight columns for
+//! its slice of the input features, computes a partial product over that
+//! slice, and the partials are summed — the all-reduce seam of
+//! Megatron-style tensor parallelism.
+//!
+//! # Why the seam accumulates in `f64`
+//!
+//! A serial `f32` dot product and a sum of per-slice `f32` dots differ by
+//! a few ulps (float addition is not associative), and the difference
+//! would *depend on the shard count* — so an `N`-shard generation could
+//! drift token-wise from the 1-shard golden. Accumulating each partial in
+//! `f64` makes every product term exact (an `f32 × f32` product is
+//! exactly representable in `f64`: 24 + 24 = 48 ≤ 53 mantissa bits) and
+//! pushes the association error of the reduce down to ~2⁻⁵³ relative —
+//! far below the `f32` rounding of the final result, and *orders of
+//! magnitude* below the per-layer F16 storage quantisation that follows.
+//! The reduced value is therefore bit-stable across shard counts on the
+//! simulator's workloads, which is what lets `tests/` pin N-shard
+//! generations token-identical to the 1-shard golden.
+
+use crate::matrix::Matrix;
+
+/// Partial `A × Bᵀ` over an input-column slice, accumulated in `f64`.
+///
+/// `a` is `[n, k_full]`; `b_t` is the shard's weight slice
+/// `[out, k_slice]` whose columns correspond to `a`'s columns
+/// `col_lo..col_lo + k_slice`. Writes the `[n, out]` partial row-major
+/// into `out` (resized to `n * out`). Every term is accumulated — no
+/// zero-skip — so injected NaN/Inf in either operand poisons the partial
+/// exactly as on a strict kernel.
+pub fn matmul_transb_cols_f64(a: &Matrix, b_t: &Matrix, col_lo: usize, out: &mut Vec<f64>) {
+    let n = a.rows();
+    let out_f = b_t.rows();
+    let k_slice = b_t.cols();
+    assert!(
+        col_lo + k_slice <= a.cols(),
+        "column slice {}..{} exceeds input width {}",
+        col_lo,
+        col_lo + k_slice,
+        a.cols()
+    );
+    out.clear();
+    out.resize(n * out_f, 0.0);
+    for i in 0..n {
+        let a_row = &a.row(i)[col_lo..col_lo + k_slice];
+        let o_row = &mut out[i * out_f..(i + 1) * out_f];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = b_t.row(j);
+            let mut acc = 0.0f64;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += f64::from(av) * f64::from(bv);
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// The all-reduce seam: sum per-shard `f64` partials in fixed shard
+/// order, then round once to `f32` into `out` (`[rows, cols]`).
+///
+/// Partials must all have length `rows * cols`; an empty shard may pass
+/// an empty slice (skipped). The summation order is the caller's slice
+/// order, so reduces are deterministic for a fixed shard layout.
+pub fn reduce_seam_into(partials: &[&[f64]], rows: usize, cols: usize, out: &mut Matrix) {
+    out.reset(rows, cols);
+    let flat = out.as_mut_slice();
+    let len = rows * cols;
+    // First pass initialises, later passes accumulate — in f64 so the
+    // final rounding to f32 happens exactly once per element.
+    let mut acc = vec![0.0f64; len];
+    for part in partials {
+        if part.is_empty() {
+            continue;
+        }
+        assert_eq!(part.len(), len, "partial shape mismatch in reduce seam");
+        for (a, &p) in acc.iter_mut().zip(part.iter()) {
+            *a += p;
+        }
+    }
+    for (o, &a) in flat.iter_mut().zip(acc.iter()) {
+        *o = a as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_transb_into;
+
+    fn demo(rows: usize, cols: usize, seed: u32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((c as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            ((h % 2000) as f32 - 1000.0) * 1e-3
+        })
+    }
+
+    #[test]
+    fn single_slice_matches_f32_gemm_closely() {
+        let a = demo(3, 16, 1);
+        let w = demo(5, 16, 2);
+        let mut part = Vec::new();
+        matmul_transb_cols_f64(&a, &w, 0, &mut part);
+        let mut reduced = Matrix::zeros(0, 0);
+        reduce_seam_into(&[&part], 3, 5, &mut reduced);
+        let mut reference = Matrix::zeros(3, 5);
+        matmul_transb_into(&a, &w, &mut reference);
+        assert!(reduced.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn reduce_is_shard_count_invariant() {
+        let a = demo(2, 24, 3);
+        let w = demo(7, 24, 4);
+        // One slice vs three uneven slices: identical after the f64 seam.
+        let mut whole = Vec::new();
+        matmul_transb_cols_f64(&a, &w, 0, &mut whole);
+        let mut one = Matrix::zeros(0, 0);
+        reduce_seam_into(&[&whole], 2, 7, &mut one);
+
+        let spans = [(0usize, 10usize), (10, 21), (21, 24)];
+        let parts: Vec<Vec<f64>> = spans
+            .iter()
+            .map(|&(lo, hi)| {
+                let slice = Matrix::from_fn(7, hi - lo, |r, c| w.get(r, lo + c));
+                let mut p = Vec::new();
+                matmul_transb_cols_f64(&a, &slice, lo, &mut p);
+                p
+            })
+            .collect();
+        let refs: Vec<&[f64]> = parts.iter().map(|p| p.as_slice()).collect();
+        let mut three = Matrix::zeros(0, 0);
+        reduce_seam_into(&refs, 2, 7, &mut three);
+        assert_eq!(one, three, "seam must not depend on the slice layout");
+    }
+
+    #[test]
+    fn non_finite_terms_poison_the_partial() {
+        let mut a = demo(1, 8, 5);
+        a.set(0, 3, f32::NAN);
+        let w = demo(2, 8, 6);
+        let mut part = Vec::new();
+        matmul_transb_cols_f64(&a, &w, 0, &mut part);
+        assert!(part.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn empty_partials_are_skipped() {
+        let a = demo(1, 4, 7);
+        let w = demo(3, 4, 8);
+        let mut part = Vec::new();
+        matmul_transb_cols_f64(&a, &w, 0, &mut part);
+        let empty: Vec<f64> = Vec::new();
+        let mut with_empty = Matrix::zeros(0, 0);
+        reduce_seam_into(&[&part, &empty], 1, 3, &mut with_empty);
+        let mut without = Matrix::zeros(0, 0);
+        reduce_seam_into(&[&part], 1, 3, &mut without);
+        assert_eq!(with_empty, without);
+    }
+}

@@ -58,4 +58,22 @@ for key in '"schema": 1' '"prefill_tok_s"' '"decode_tok_s"' '"campaign_trials_s"
 done
 rm -f "$BENCH_TMP"
 
+echo "== shards smoke (fault-isolation guarantees + JSON baseline) =="
+# 2-shard smoke sweep through the release binary: proves N-shard token
+# identity, repair-beats-restart, and crash + degraded-mode serving, and
+# pins the BENCH_shards.json schema the availability gate greps. The
+# subcommand itself exits non-zero if any guarantee fails.
+SHARDS_TMP="$(mktemp -d)/BENCH_shards.json"
+FT2_QUICK=1 ./target/release/ft2-repro shards --smoke --json --out "$SHARDS_TMP"
+for key in '"schema": 1' '"token_identical": true' '"repair_outcome": "Repaired"' \
+           '"repair_beats_restart": true' '"degrade_outcome": "Degraded"' \
+           '"ok": true'; do
+    grep -q "$key" "$SHARDS_TMP" || {
+        echo "verify: shards JSON is missing $key" >&2
+        cat "$SHARDS_TMP" >&2
+        exit 1
+    }
+done
+rm -f "$SHARDS_TMP"
+
 echo "verify: OK"

@@ -3,7 +3,13 @@
 use ft2::core::bounds::{BoundsStore, LayerBounds};
 use ft2::core::protect::{Correction, Coverage, NanPolicy, Protector};
 use ft2::fault::{FaultDuration, FaultInjector, FaultModel, FaultSite, FaultTarget, SiteSampler};
-use ft2::model::{HookKind, LayerKind, LayerTap, ModelConfig, TapCtx, TapPoint};
+use ft2::model::engine::RecoveryPolicy;
+use ft2::model::shard::ShardPlan;
+use ft2::model::{
+    HookKind, LayerKind, LayerTap, ModelConfig, ShardTapList, ShardedModel, TapCtx, TapPoint,
+    ZooModel,
+};
+use ft2::parallel::WorkStealingPool;
 use ft2::numeric::bits::flip_bit_in_format;
 use ft2::numeric::{crc64_f32s, Bf16, FloatFormat, Xoshiro256StarStar, F16};
 use ft2::tensor::{DType, Matrix};
@@ -240,5 +246,84 @@ proptest! {
         for &v in m1.as_slice() {
             prop_assert!(bounds.contains(v), "{v} outside {bounds:?}");
         }
+    }
+
+    /// Sharding is a bit-exact involution for every zoo architecture and
+    /// shard count — including counts that divide neither the head count
+    /// (Qwen2-1.5B has 3 heads) nor the hidden width.
+    #[test]
+    fn zoo_shard_partition_reassembly_is_an_involution(
+        zoo_idx in 0usize..7,
+        n in 1usize..7,
+    ) {
+        let model = ZooModel::ALL[zoo_idx].spec().build();
+        let config = model.config();
+        let golden = model.weights();
+        let plan = ShardPlan::new(config, n);
+        let shards = plan.partition(config, golden);
+        // Scramble every sharded linear of the target, then reassemble.
+        let mut target = golden.clone();
+        for bw in &mut target.blocks {
+            for kind in config.block_layers() {
+                let lin = bw.layer_mut(*kind).unwrap();
+                for v in lin.weight.as_mut_slice() {
+                    *v = 7.75;
+                }
+                if let Some(b) = lin.bias.as_mut() {
+                    for v in b {
+                        *v = -7.75;
+                    }
+                }
+            }
+        }
+        plan.reassemble_into(&shards, &mut target);
+        prop_assert_eq!(
+            &target, golden,
+            "{}: partition/reassemble not an involution at n={}",
+            config.name, n
+        );
+    }
+
+    /// Fault-free sharded generation is token-identical across shard
+    /// counts for every zoo architecture and any prompt: the f64
+    /// all-reduce seam makes the partition invisible to the token stream.
+    #[test]
+    fn zoo_sharded_generation_is_shard_count_invariant(
+        zoo_idx in 0usize..7,
+        n in 2usize..6,
+        seed in any::<u64>(),
+        prompt_len in 3usize..8,
+    ) {
+        let model = ZooModel::ALL[zoo_idx].spec().build();
+        let vocab = model.config().vocab as u64;
+        let prompt: Vec<u32> = (0..prompt_len)
+            .map(|i| ((seed >> (7 * (i % 8))) % vocab) as u32)
+            .collect();
+        let pool = WorkStealingPool::new(2);
+        let heartbeat = std::time::Duration::from_millis(250);
+        let golden = ShardedModel::new(&model, 1).generate_with(
+            &pool,
+            &prompt,
+            6,
+            &mut ShardTapList::new(),
+            RecoveryPolicy::disabled(),
+            heartbeat,
+        );
+        prop_assert!(golden.completed());
+        let out = ShardedModel::new(&model, n).generate_with(
+            &pool,
+            &prompt,
+            6,
+            &mut ShardTapList::new(),
+            RecoveryPolicy::disabled(),
+            heartbeat,
+        );
+        prop_assert!(out.completed());
+        prop_assert_eq!(out.storms, 0, "fault-free run reported a storm");
+        prop_assert_eq!(
+            out.tokens, golden.tokens,
+            "{}: {}-shard tokens diverge from 1-shard",
+            model.config().name, n
+        );
     }
 }
