@@ -30,6 +30,16 @@
 //!   schema-stable BENCH_shards.json baseline. Knobs: FT2_SHARDS,
 //!   FT2_SHARD_DEGRADE=1, FT2_SHARD_HEARTBEAT_MS, FT2_QUICK=1.
 //!
+//! ft2-repro serve [--json] [--out PATH] [--smoke]
+//!   continuous-batching serving gate: requests/s, accepted tok/s and
+//!   p50/p99 token latency for batch sizes {1, 4, 8}, batch-N vs solo
+//!   token identity on fault-free traffic, and a per-request fault storm
+//!   (one lane of a batch-4 run) that must heal by rollback while every
+//!   clean request stays token-identical — clean-request p99 inflation is
+//!   reported. --json writes the schema-stable BENCH_serve.json baseline.
+//!   Knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN,
+//!   FT2_QUICK=1.
+//!
 //! ft2-repro lint [--json] [--root PATH]
 //!   static analysis: the repo-specific source lints (unsafe-safety,
 //!   nan-comparison, env-knob, zero-skip) plus the protection-coverage
@@ -53,7 +63,9 @@
 
 use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
-use ft2_harness::{bench, lint, shards, BENCH_BASELINE_PATH, SHARDS_BASELINE_PATH};
+use ft2_harness::{
+    bench, lint, serve, shards, BENCH_BASELINE_PATH, SERVE_BASELINE_PATH, SHARDS_BASELINE_PATH,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -202,6 +214,35 @@ fn run_shards(args: &[String]) -> Result<bool, String> {
     Ok(report.ok())
 }
 
+fn run_serve(args: &[String]) -> Result<bool, String> {
+    let mut json = false;
+    let mut smoke = false;
+    let mut out = PathBuf::from(SERVE_BASELINE_PATH);
+    let mut rest = args.iter();
+    while let Some(key) = rest.next() {
+        match key.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = PathBuf::from(
+                    rest.next().ok_or("option --out needs a value")?,
+                );
+            }
+            other => return Err(format!("unknown serve option {other}")),
+        }
+    }
+    let pool = ft2_parallel::WorkStealingPool::with_default_threads();
+    let t0 = Instant::now();
+    let report = serve::run(&pool, smoke);
+    eprintln!("### serve done in {:.1?}", t0.elapsed());
+    println!("{}", report.summary());
+    if json {
+        serve::write_json(&report, &out)?;
+        println!("wrote {}", out.display());
+    }
+    Ok(report.ok())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -221,6 +262,12 @@ fn main() {
         println!("         repair vs full restart, crash + degraded-mode serving; --json");
         println!("         writes the schema-stable {SHARDS_BASELINE_PATH} baseline;");
         println!("         knobs: FT2_SHARDS, FT2_SHARD_DEGRADE=1, FT2_SHARD_HEARTBEAT_MS");
+        println!("       ft2-repro serve [--json] [--out PATH] [--smoke]");
+        println!("         continuous-batching serving gate: requests/s, p50/p99 token");
+        println!("         latency for batch sizes {{1, 4, 8}}, batch-vs-solo token identity,");
+        println!("         and clean-request p99 inflation under a per-request fault storm;");
+        println!("         --json writes the schema-stable {SERVE_BASELINE_PATH} baseline;");
+        println!("         knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN");
         println!("experiments: {}", EXPERIMENTS.join(" "));
         println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
         println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
@@ -256,6 +303,20 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("shards failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args[0] == "serve" {
+        match run_serve(&args[1..]) {
+            Ok(true) => return,
+            Ok(false) => {
+                eprintln!("serving gate failed a guarantee — see the summary above");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("serve failed: {e}");
                 std::process::exit(2);
             }
         }

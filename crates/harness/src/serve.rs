@@ -1,0 +1,448 @@
+//! The serving-runtime gate behind `ft2-repro serve`.
+//!
+//! Exercises the `ft2-serve` continuous-batching scheduler end to end on
+//! the bench fixtures (OPT-6.7B stand-in, deterministic SQuAD-style
+//! prompts) and reports:
+//!
+//! * **throughput** — requests/s and accepted tokens/s for batch sizes
+//!   {1, 4, 8} (capped by `FT2_SERVE_MAX_BATCH`), with p50/p99 per-token
+//!   latency;
+//! * **identity** — every request served at batch size N emits tokens
+//!   bit-identical to its single-sequence [`ft2_model::Model::generate`]
+//!   (the core serving guarantee; a batch must never change anyone's
+//!   answer);
+//! * **fault isolation** — a transient fault storm confined to one
+//!   request of a batch-4 run: the storming request rolls back and
+//!   re-decodes alone, every clean request still matches its solo
+//!   generation, and the clean requests' p99 token latency is reported as
+//!   an inflation ratio over the fault-free batch-4 run (tail-latency
+//!   isolation, informational).
+//!
+//! With `--json` the report is written as the schema-stable
+//! `BENCH_serve.json` (committed as a baseline; CI greps its keys), in
+//! the same hand-rolled one-key-per-line format as the other baselines.
+//! `ok` gates correctness only (identity and storm outcome); timings are
+//! informational. Sizing: `FT2_BENCH_GEN`, `FT2_QUICK=1` / `--smoke`;
+//! `FT2_SERVE_MAX_BATCH` and `FT2_SERVE_QUEUE_DEPTH` shape the scheduler.
+
+use crate::settings::{env_usize, quick_mode};
+use ft2_model::{Model, RecoveryPolicy, TapList, ZooModel};
+use ft2_parallel::WorkStealingPool;
+use ft2_serve::scheduler::{Completion, Outcome, Request, Scheduler, ServeConfig};
+use ft2_serve::StormTap;
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Version of the JSON report schema. Bump when a key changes meaning.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Default output path for the JSON report.
+pub const SERVE_BASELINE_PATH: &str = "BENCH_serve.json";
+
+/// One batch-size point of the fault-free throughput sweep.
+#[derive(Clone, Debug)]
+pub struct ServeBatchPoint {
+    /// Concurrent lanes of this point.
+    pub batch: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Completed requests per second.
+    pub requests_s: f64,
+    /// Accepted tokens per second across the batch.
+    pub tok_s: f64,
+    /// Median per-token latency, milliseconds.
+    pub p50_token_ms: f64,
+    /// 99th-percentile per-token latency, milliseconds.
+    pub p99_token_ms: f64,
+    /// Every request matched its single-sequence generation bit-for-bit.
+    pub identity_ok: bool,
+}
+
+/// The full serving report.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Benchmarked model name.
+    pub model: String,
+    /// Decode-pool worker threads.
+    pub threads: usize,
+    /// Tokens generated per request.
+    pub gen_tokens: usize,
+    /// `FT2_SERVE_MAX_BATCH` in effect (caps the sweep).
+    pub max_batch: usize,
+    /// `FT2_SERVE_QUEUE_DEPTH` in effect.
+    pub queue_depth: usize,
+    /// Fault-free throughput/identity points.
+    pub batches: Vec<ServeBatchPoint>,
+    /// Outcome of the storming request in the fault drill.
+    pub storm_outcome: &'static str,
+    /// Rollbacks the storming request took.
+    pub storm_rollbacks: u32,
+    /// Clean requests' p99 token latency under the storm, milliseconds.
+    pub storm_clean_p99_ms: f64,
+    /// Fault-free batch-4 p99 token latency, milliseconds (the baseline
+    /// the storm tail is compared against).
+    pub clean_p99_ms: f64,
+    /// `storm_clean_p99_ms / clean_p99_ms` — tail-latency inflation the
+    /// storm imposed on its batchmates (informational).
+    pub clean_p99_inflation: f64,
+    /// Every request of the storm drill — clean batchmates *and* the
+    /// rolled-back storming request — matched its solo generation.
+    pub storm_identity_ok: bool,
+}
+
+impl ServeReport {
+    /// Correctness gate: identity at every batch size, and the storm drill
+    /// healed with every request token-identical. Timings are
+    /// informational and never gate.
+    pub fn ok(&self) -> bool {
+        !self.batches.is_empty()
+            && self.batches.iter().all(|b| b.identity_ok)
+            && self.storm_outcome == "Completed"
+            && self.storm_identity_ok
+    }
+
+    /// Serialise as the schema-stable JSON document (one key per line,
+    /// points one per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {SERVE_SCHEMA_VERSION},");
+        let _ = writeln!(s, "  \"model\": \"{}\",", self.model);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"gen_tokens\": {},", self.gen_tokens);
+        let _ = writeln!(s, "  \"max_batch\": {},", self.max_batch);
+        let _ = writeln!(s, "  \"queue_depth\": {},", self.queue_depth);
+        s.push_str("  \"batches\": [");
+        for (i, b) in self.batches.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"batch\": {}, \"requests\": {}, \"requests_s\": {:.3}, \
+                 \"tok_s\": {:.3}, \"p50_token_ms\": {:.3}, \"p99_token_ms\": {:.3}, \
+                 \"identity_ok\": {}}}",
+                b.batch, b.requests, b.requests_s, b.tok_s, b.p50_token_ms, b.p99_token_ms,
+                b.identity_ok
+            );
+        }
+        s.push_str("\n  ],\n");
+        let _ = writeln!(s, "  \"storm_outcome\": \"{}\",", self.storm_outcome);
+        let _ = writeln!(s, "  \"storm_rollbacks\": {},", self.storm_rollbacks);
+        let _ = writeln!(s, "  \"storm_clean_p99_ms\": {:.3},", self.storm_clean_p99_ms);
+        let _ = writeln!(s, "  \"clean_p99_ms\": {:.3},", self.clean_p99_ms);
+        let _ = writeln!(s, "  \"clean_p99_inflation\": {:.3},", self.clean_p99_inflation);
+        let _ = writeln!(s, "  \"storm_identity_ok\": {},", self.storm_identity_ok);
+        let _ = writeln!(s, "  \"ok\": {}", self.ok());
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "serving runtime | model {} | threads {} | {} tokens/request | max batch {}\n",
+            self.model, self.threads, self.gen_tokens, self.max_batch
+        );
+        for b in &self.batches {
+            let _ = writeln!(
+                s,
+                "batch {:>2}  {:>8.2} req/s  {:>9.1} tok/s  p50 {:>7.3} ms  p99 {:>7.3} ms  identity {}",
+                b.batch,
+                b.requests_s,
+                b.tok_s,
+                b.p50_token_ms,
+                b.p99_token_ms,
+                if b.identity_ok { "ok" } else { "DRIFT" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "fault storm (1 of 4 lanes): outcome {} ({} rollbacks), clean p99 {:.3} ms \
+             = {:.2}x fault-free, identity {}",
+            self.storm_outcome,
+            self.storm_rollbacks,
+            self.storm_clean_p99_ms,
+            self.clean_p99_inflation,
+            if self.storm_identity_ok { "ok" } else { "DRIFT" }
+        );
+        let _ = write!(s, "overall: {}", if self.ok() { "ok" } else { "FAIL" });
+        s
+    }
+}
+
+/// Percentile (0..=100) of per-token latencies, in milliseconds.
+fn percentile_ms(mut ns: Vec<u64>, p: f64) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    ns.sort_unstable();
+    let idx = ((p / 100.0) * (ns.len() - 1) as f64).round() as usize;
+    ns[idx.min(ns.len() - 1)] as f64 / 1e6
+}
+
+/// Per-token latencies of one completion: the gap between consecutive
+/// token acceptances (the first token's latency spans the prefill).
+fn token_latencies_ns(c: &Completion) -> Vec<u64> {
+    let mut out = Vec::with_capacity(c.token_ns.len());
+    let mut prev = 0u64;
+    for &t in &c.token_ns {
+        out.push(t.saturating_sub(prev));
+        prev = t;
+    }
+    out
+}
+
+struct RunStats {
+    completions: Vec<Completion>,
+    wall_s: f64,
+}
+
+/// Serve `requests` clean requests (prompt i, cycling) at one batch size.
+#[allow(clippy::too_many_arguments)]
+fn serve_wave(
+    model: &Model,
+    pool: &WorkStealingPool,
+    prompts: &[Vec<u32>],
+    gen_tokens: usize,
+    batch: usize,
+    queue_depth: usize,
+    requests: usize,
+    storm_first: bool,
+) -> RunStats {
+    let config = ServeConfig {
+        max_batch: batch,
+        queue_depth: queue_depth.max(requests),
+        recovery: RecoveryPolicy::retries(2).with_repair(),
+        kv_guard: true,
+    };
+    let mut sched = Scheduler::new(model, config);
+    for i in 0..requests {
+        let tap: Option<Box<dyn ft2_model::LayerTap + Send>> = (storm_first && i == 0)
+            .then(|| Box::new(StormTap::transient(3, 1)) as _);
+        sched
+            .try_submit(Request {
+                id: i as u64,
+                prompt: prompts[i % prompts.len()].clone(),
+                gen_tokens,
+                tap,
+            })
+            .expect("bench request rejected at admission");
+    }
+    let t0 = Instant::now();
+    let mut completions = sched.run(pool);
+    let wall_s = t0.elapsed().as_secs_f64();
+    completions.sort_by_key(|c| c.id);
+    RunStats { completions, wall_s }
+}
+
+/// Run the serving gate. `smoke` (or `FT2_QUICK=1`) shrinks request
+/// counts and generation length for CI.
+pub fn run(pool: &WorkStealingPool, smoke: bool) -> ServeReport {
+    let quick = smoke || quick_mode();
+    let gen_tokens = env_usize("FT2_BENCH_GEN")
+        .unwrap_or(if quick { 8 } else { 16 })
+        .max(8);
+    let max_batch = env_usize("FT2_SERVE_MAX_BATCH").unwrap_or(8).max(1);
+    let queue_depth = env_usize("FT2_SERVE_QUEUE_DEPTH").unwrap_or(64).max(1);
+    let waves = if quick { 1 } else { 2 };
+
+    let model: Model = ZooModel::Opt6_7B.spec().build();
+    let batch_sizes: Vec<usize> = [1usize, 4, 8]
+        .into_iter()
+        .filter(|&b| b <= max_batch)
+        .collect();
+    let most = batch_sizes.iter().copied().max().unwrap_or(1) * waves;
+    let prompts = generate_prompts(DatasetId::Squad, most.min(8), 0xBE7C4);
+
+    // Solo references: the single-sequence generation every served request
+    // must match bit-for-bit.
+    let solo: Vec<Vec<u32>> = prompts
+        .iter()
+        .map(|p| {
+            let mut taps = TapList::new();
+            model.generate(p, gen_tokens, &mut taps).tokens
+        })
+        .collect();
+    let matches_solo = |c: &Completion| c.tokens == solo[c.id as usize % prompts.len()];
+
+    // Fault-free sweep.
+    let mut batches = Vec::new();
+    let mut clean_p99_ms = 0.0f64;
+    for &batch in &batch_sizes {
+        let requests = batch * waves;
+        let stats = serve_wave(
+            &model, pool, &prompts, gen_tokens, batch, queue_depth, requests, false,
+        );
+        let identity_ok = stats.completions.len() == requests
+            && stats
+                .completions
+                .iter()
+                .all(|c| c.outcome == Outcome::Completed && matches_solo(c));
+        let token_ns: Vec<u64> = stats.completions.iter().flat_map(token_latencies_ns).collect();
+        let total_tokens: usize = stats.completions.iter().map(|c| c.tokens.len()).sum();
+        let point = ServeBatchPoint {
+            batch,
+            requests,
+            requests_s: requests as f64 / stats.wall_s.max(1e-9),
+            tok_s: total_tokens as f64 / stats.wall_s.max(1e-9),
+            p50_token_ms: percentile_ms(token_ns.clone(), 50.0),
+            p99_token_ms: percentile_ms(token_ns, 99.0),
+            identity_ok,
+        };
+        if batch == 4 {
+            clean_p99_ms = point.p99_token_ms;
+        }
+        batches.push(point);
+    }
+    if clean_p99_ms == 0.0 {
+        clean_p99_ms = batches.last().map(|b| b.p99_token_ms).unwrap_or(0.0);
+    }
+
+    // Fault drill: one transient storm confined to request 0 of a batch-4
+    // run; batchmates keep stepping while it rolls back.
+    let storm_batch = 4usize.min(max_batch);
+    let stats = serve_wave(
+        &model,
+        pool,
+        &prompts,
+        gen_tokens,
+        storm_batch,
+        queue_depth,
+        storm_batch * waves,
+        true,
+    );
+    let stormer = stats.completions.iter().find(|c| c.id == 0);
+    let storm_outcome = match stormer.map(|c| c.outcome) {
+        Some(Outcome::Completed) => "Completed",
+        Some(Outcome::Evicted(_)) => "Evicted",
+        None => "Missing",
+    };
+    let storm_rollbacks = stormer.map(|c| c.rollbacks).unwrap_or(0);
+    let clean_ns: Vec<u64> = stats
+        .completions
+        .iter()
+        .filter(|c| c.id != 0)
+        .flat_map(token_latencies_ns)
+        .collect();
+    let storm_clean_p99_ms = percentile_ms(clean_ns, 99.0);
+    let storm_identity_ok = stats.completions.iter().all(matches_solo);
+
+    ServeReport {
+        model: model.config().name.to_string(),
+        threads: pool.threads(),
+        gen_tokens,
+        max_batch,
+        queue_depth,
+        batches,
+        storm_outcome,
+        storm_rollbacks,
+        storm_clean_p99_ms,
+        clean_p99_ms,
+        clean_p99_inflation: storm_clean_p99_ms / clean_p99_ms.max(1e-9),
+        storm_identity_ok,
+    }
+}
+
+/// Write the JSON report atomically (temp file + rename), like the other
+/// baselines.
+pub fn write_json(report: &ServeReport, path: &Path) -> Result<(), String> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, report.to_json())
+        .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming to {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            model: "OPT-6.7B".to_string(),
+            threads: 4,
+            gen_tokens: 16,
+            max_batch: 8,
+            queue_depth: 64,
+            batches: vec![ServeBatchPoint {
+                batch: 4,
+                requests: 8,
+                requests_s: 12.345,
+                tok_s: 197.52,
+                p50_token_ms: 0.85,
+                p99_token_ms: 2.125,
+                identity_ok: true,
+            }],
+            storm_outcome: "Completed",
+            storm_rollbacks: 1,
+            storm_clean_p99_ms: 2.5,
+            clean_p99_ms: 2.125,
+            clean_p99_inflation: 1.176,
+            storm_identity_ok: true,
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let json = sample().to_json();
+        for key in [
+            "\"schema\": 1",
+            "\"model\": \"OPT-6.7B\"",
+            "\"gen_tokens\": 16",
+            "\"max_batch\": 8",
+            "\"queue_depth\": 64",
+            "\"batch\": 4",
+            "\"requests_s\": 12.345",
+            "\"tok_s\": 197.520",
+            "\"p50_token_ms\": 0.850",
+            "\"p99_token_ms\": 2.125",
+            "\"identity_ok\": true",
+            "\"storm_outcome\": \"Completed\"",
+            "\"storm_clean_p99_ms\": 2.500",
+            "\"clean_p99_inflation\": 1.176",
+            "\"storm_identity_ok\": true",
+            "\"ok\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn ok_gates_identity_and_storm_outcome_only() {
+        let report = sample();
+        assert!(report.ok());
+        let mut drift = report.clone();
+        drift.batches[0].identity_ok = false;
+        assert!(!drift.ok(), "batch identity drift must fail the gate");
+        let mut evicted = report.clone();
+        evicted.storm_outcome = "Evicted";
+        assert!(!evicted.ok(), "a transient storm must heal, not evict");
+        let mut slow = report;
+        slow.clean_p99_inflation = 50.0;
+        assert!(slow.ok(), "timing is informational, never a gate");
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert!((percentile_ms(ns.clone(), 50.0) - 50.0).abs() < 2.0);
+        assert!((percentile_ms(ns, 99.0) - 99.0).abs() < 2.0);
+        assert_eq!(percentile_ms(vec![], 99.0), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_upholds_identity_and_isolation() {
+        let pool = WorkStealingPool::new(3);
+        let report = run(&pool, true);
+        assert!(report.ok(), "serving gate failed:\n{}", report.summary());
+        assert!(report.batches.iter().any(|b| b.batch == 1));
+        assert!(report.batches.iter().any(|b| b.batch >= 4));
+        assert_eq!(report.storm_outcome, "Completed");
+        assert!(report.storm_rollbacks >= 1, "the storm must have struck");
+    }
+}

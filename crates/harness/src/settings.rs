@@ -153,6 +153,20 @@ pub const KNOB_REGISTRY: &[KnobSpec] = &[
         site: "ft2-harness",
     },
     KnobSpec {
+        name: "FT2_SERVE_MAX_BATCH",
+        kind: KnobKind::Integer,
+        default: "8",
+        doc: "concurrent requests the serving scheduler batches per decode step",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_SERVE_QUEUE_DEPTH",
+        kind: KnobKind::Integer,
+        default: "64",
+        doc: "bounded admission-queue depth; a full queue backpressures submitters",
+        site: "ft2-harness",
+    },
+    KnobSpec {
         name: "FT2_SHARDS",
         kind: KnobKind::Integer,
         default: "1 (unsharded)",
@@ -170,7 +184,7 @@ pub const KNOB_REGISTRY: &[KnobSpec] = &[
         name: "FT2_SHARD_HEARTBEAT_MS",
         kind: KnobKind::Integer,
         default: "50",
-        doc: "per-shard heartbeat timeout in ms before a hung shard is cancelled",
+        doc: "per-shard heartbeat timeout in ms before a hung shard is cancelled (0 or negative disables the watchdog)",
         site: "ft2-harness",
     },
     KnobSpec {
@@ -254,7 +268,8 @@ pub fn knob_spec(name: &str) -> &'static KnobSpec {
 /// * `FT2_SHARDS`              — fault-isolation shards for the sharded
 ///   sweep (default 1 = unsharded);
 /// * `FT2_SHARD_DEGRADE=1`     — evict a dead shard and keep generating;
-/// * `FT2_SHARD_HEARTBEAT_MS`  — per-shard heartbeat timeout (default 50).
+/// * `FT2_SHARD_HEARTBEAT_MS`  — per-shard heartbeat timeout (default 50;
+///   0 or negative disables the watchdog with a warning).
 ///
 /// A knob that is set but malformed (empty, negative, non-numeric) is
 /// ignored with a warning on stderr — it never panics and never silently
@@ -395,7 +410,19 @@ impl Settings {
             recovery_repair: env_flag("FT2_RECOVERY_REPAIR"),
             shards: env_usize("FT2_SHARDS").unwrap_or(1).max(1),
             shard_degrade: env_flag("FT2_SHARD_DEGRADE"),
-            shard_heartbeat_ms: env_knob("FT2_SHARD_HEARTBEAT_MS").unwrap_or(50),
+            // Parsed as i64 so that an explicit negative value reads as
+            // "disable the watchdog" (0) rather than tripping the malformed
+            // warning and silently re-enabling the 50 ms default.
+            shard_heartbeat_ms: match env_knob::<i64>("FT2_SHARD_HEARTBEAT_MS") {
+                Some(ms) if ms <= 0 => {
+                    eprintln!(
+                        "warning: FT2_SHARD_HEARTBEAT_MS={ms} disables the shard hang watchdog"
+                    );
+                    0
+                }
+                Some(ms) => ms as u64,
+                None => 50,
+            },
         }
     }
 
@@ -647,6 +674,17 @@ mod tests {
         // string literals against the registry) does not see a knob here.
         let name = format!("FT2_{}", "NOT_A_REAL_KNOB");
         let _ = env_usize(&name);
+    }
+
+    #[test]
+    fn negative_heartbeat_parses_as_disable_not_malformed() {
+        // The heartbeat knob is parsed as i64 precisely so that an explicit
+        // negative "disable" value is accepted (and mapped to 0) instead of
+        // failing the u64 parse and re-enabling the 50 ms default.
+        assert_eq!(parse_knob::<i64>("FT2_SHARD_HEARTBEAT_MS", "-5"), Some(-5));
+        assert_eq!(parse_knob::<i64>("FT2_SHARD_HEARTBEAT_MS", "0"), Some(0));
+        assert_eq!(parse_knob::<i64>("FT2_SHARD_HEARTBEAT_MS", "50"), Some(50));
+        assert_eq!(parse_knob::<i64>("FT2_SHARD_HEARTBEAT_MS", "ten"), None);
     }
 
     #[test]

@@ -249,9 +249,9 @@ impl Model {
         &self.weights
     }
 
-    /// Precomputed RoPE table (Llama-style models; the sharded executor
-    /// replicates position handling on the driver).
-    pub(crate) fn rope_table(&self) -> Option<&RopeTable> {
+    /// Precomputed RoPE table (Llama-style models; the sharded executor and
+    /// the serving runtime replicate position handling on the driver).
+    pub fn rope_table(&self) -> Option<&RopeTable> {
         self.rope.as_ref()
     }
 

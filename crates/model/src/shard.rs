@@ -1238,8 +1238,17 @@ impl<'m> ShardedModel<'m> {
                             stats.shards_lost += 1;
                             self.degrade();
                             taps.on_repartition(&self.weights);
+                            // Survivor slots are reset for the repartitioned
+                            // plan; slots beyond it are *evicted* so a
+                            // monitor polling after the eviction can never
+                            // report the dead shard as hung again.
+                            let live = self.weights.len();
                             for i in 0..hb.shards() {
-                                hb.reset(i);
+                                if i < live {
+                                    hb.reset(i);
+                                } else {
+                                    hb.evict(i);
+                                }
                             }
                             continue;
                         }

@@ -83,6 +83,20 @@ impl Linear {
         out.quantize(dtype);
     }
 
+    /// [`Linear::forward_into`] on the panel-major batch GEMM
+    /// ([`ft2_tensor::matmul_transb_batch_into`]): one weight-panel pass is
+    /// amortised over all batch rows, and every output row is bit-identical
+    /// to what [`Linear::forward_into`] produces for that row alone — the
+    /// invariant the serving runtime's batch-vs-single token-identity
+    /// guarantee rests on.
+    pub fn forward_batch_into(&self, x: &Matrix, dtype: DType, out: &mut Matrix) {
+        ft2_tensor::matmul_transb_batch_into(x, &self.weight, out);
+        if let Some(b) = &self.bias {
+            ft2_tensor::add_bias_inplace(out, b);
+        }
+        out.quantize(dtype);
+    }
+
     /// Output feature count.
     pub fn out_features(&self) -> usize {
         self.weight.rows()

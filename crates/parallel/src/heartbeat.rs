@@ -39,6 +39,12 @@ pub struct ShardHeartbeat {
     beats: Vec<AtomicU64>,
     /// Set by the monitor when a shard's beat goes stale.
     cancel: Vec<AtomicBool>,
+    /// Slots evicted from the active partition (degraded-mode serving).
+    /// An evicted slot is permanently quiet until [`ShardHeartbeat::reset`]:
+    /// `begin`/`beat` are no-ops, the monitor skips it, and
+    /// [`ShardHeartbeat::is_cancelled`] reports `false` — a monitor polled
+    /// *after* the eviction must never report the dead slot as hung.
+    evicted: Vec<AtomicBool>,
     epoch: Instant,
     shutdown: AtomicBool,
 }
@@ -48,6 +54,7 @@ impl ShardHeartbeat {
         ShardHeartbeat {
             beats: (0..shards).map(|_| AtomicU64::new(DISARMED)).collect(),
             cancel: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            evicted: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
         }
@@ -63,15 +70,23 @@ impl ShardHeartbeat {
     }
 
     /// Arm shard `i`: record a fresh beat. Called by the driver just
-    /// before dispatching the shard's task.
+    /// before dispatching the shard's task. No-op on an evicted slot — a
+    /// straggling dispatch cannot re-arm a dead shard.
     pub fn begin(&self, i: usize) {
+        if self.evicted[i].load(Ordering::SeqCst) {
+            return;
+        }
         self.beats[i].store(self.now_ms(), Ordering::SeqCst);
     }
 
     /// Record liveness for shard `i` (long-running tasks call this
     /// between work items; the simulator's GEMMs finish well inside one
-    /// interval, so `begin` alone usually suffices).
+    /// interval, so `begin` alone usually suffices). No-op on an evicted
+    /// slot.
     pub fn beat(&self, i: usize) {
+        if self.evicted[i].load(Ordering::SeqCst) {
+            return;
+        }
         self.beats[i].store(self.now_ms(), Ordering::SeqCst);
     }
 
@@ -81,17 +96,36 @@ impl ShardHeartbeat {
         self.beats[i].store(DISARMED, Ordering::SeqCst);
     }
 
-    /// Has the monitor asked shard `i` to abort?
+    /// Has the monitor asked shard `i` to abort? Always `false` for an
+    /// evicted slot: a poll racing the eviction must not misread the dead
+    /// shard as freshly hung.
     pub fn is_cancelled(&self, i: usize) -> bool {
-        self.cancel[i].load(Ordering::SeqCst)
+        !self.evicted[i].load(Ordering::SeqCst) && self.cancel[i].load(Ordering::SeqCst)
     }
 
-    /// Clear shard `i`'s cancel flag and disarm it — the driver calls
-    /// this after handling a shard failure so the slot can be reused
+    /// Has slot `i` been evicted from the active partition?
+    pub fn is_evicted(&self, i: usize) -> bool {
+        self.evicted[i].load(Ordering::SeqCst)
+    }
+
+    /// Clear shard `i`'s cancel/evicted flags and disarm it — the driver
+    /// calls this after handling a shard failure so the slot can be reused
     /// (re-execution or a repartitioned successor).
     pub fn reset(&self, i: usize) {
+        self.evicted[i].store(false, Ordering::SeqCst);
         self.cancel[i].store(false, Ordering::SeqCst);
         self.beats[i].store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Permanently quiesce slot `i` after degraded-mode eviction: the slot
+    /// is disarmed, its stale cancel flag is cleared, and every later
+    /// `begin`/`beat`/monitor poll ignores it. The ordering (evict flag
+    /// first) makes [`ShardHeartbeat::is_cancelled`] report `false` even if
+    /// the monitor thread re-cancels the slot mid-eviction.
+    pub fn evict(&self, i: usize) {
+        self.evicted[i].store(true, Ordering::SeqCst);
+        self.beats[i].store(DISARMED, Ordering::SeqCst);
+        self.cancel[i].store(false, Ordering::SeqCst);
     }
 
     /// Force-cancel shard `i` (tests and explicit eviction).
@@ -112,8 +146,23 @@ impl HeartbeatMonitor {
     /// timeout. The monitor polls at a quarter of the timeout (at least
     /// every millisecond), so a hung shard is cancelled within roughly
     /// `timeout` to `1.25 × timeout`.
+    ///
+    /// A **zero timeout disables the watchdog**: a warning is printed and
+    /// no monitor thread is spawned (the old behaviour — clamping to 1 ms —
+    /// turned "disabled" into a 1 ms spin loop that cancelled every armed
+    /// shard almost immediately). `is_cancelled` then always reports
+    /// `false` and hang isolation falls back to the callers' own deadlines.
     pub fn spawn(shards: usize, timeout: Duration) -> HeartbeatMonitor {
         let state = Arc::new(ShardHeartbeat::new(shards));
+        if timeout.is_zero() {
+            eprintln!(
+                "warning: shard heartbeat timeout is 0 — hang watchdog disabled (no monitor thread)"
+            );
+            return HeartbeatMonitor {
+                state,
+                handle: None,
+            };
+        }
         let watcher = Arc::clone(&state);
         let timeout_ms = timeout.as_millis().max(1) as u64;
         let poll = Duration::from_millis((timeout_ms / 4).max(1));
@@ -125,6 +174,9 @@ impl HeartbeatMonitor {
                 }
                 let now = watcher.now_ms();
                 for i in 0..watcher.beats.len() {
+                    if watcher.evicted[i].load(Ordering::SeqCst) {
+                        continue;
+                    }
                     let beat = watcher.beats[i].load(Ordering::SeqCst);
                     if beat != DISARMED && now.saturating_sub(beat) > timeout_ms {
                         watcher.cancel[i].store(true, Ordering::SeqCst);
@@ -137,6 +189,12 @@ impl HeartbeatMonitor {
             state,
             handle: Some(handle),
         }
+    }
+
+    /// Is the watchdog actually running? `false` when a zero timeout
+    /// disabled it at spawn time.
+    pub fn armed(&self) -> bool {
+        self.handle.is_some()
     }
 
     /// The shared state to hand to worker tasks.
@@ -200,6 +258,47 @@ mod tests {
         // Disarmed after reset: no further cancellation.
         std::thread::sleep(Duration::from_millis(25));
         assert!(!hb.is_cancelled(0));
+    }
+
+    #[test]
+    fn zero_timeout_disables_the_watchdog() {
+        let mon = HeartbeatMonitor::spawn(2, Duration::ZERO);
+        assert!(!mon.armed(), "zero timeout must not spawn a monitor thread");
+        let hb = mon.state();
+        // Arm a shard and never beat again: with the watchdog disabled the
+        // shard must never be cancelled, no matter how stale the beat is.
+        hb.begin(0);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!hb.is_cancelled(0));
+        assert!(!hb.is_cancelled(1));
+    }
+
+    #[test]
+    fn evicted_shard_is_not_reported_hung() {
+        let mon = HeartbeatMonitor::spawn(2, Duration::from_millis(5));
+        let hb = mon.state();
+        hb.begin(0);
+        while !hb.is_cancelled(0) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        hb.evict(0);
+        assert!(
+            !hb.is_cancelled(0),
+            "eviction must clear the stale cancel flag"
+        );
+        assert!(hb.is_evicted(0));
+        // A straggling dispatch cannot re-arm the dead slot, so the monitor
+        // polled well past the timeout must never report it hung again.
+        hb.begin(0);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !hb.is_cancelled(0),
+            "monitor re-cancelled an evicted shard"
+        );
+        assert!(!hb.is_cancelled(1), "eviction must not leak to live shards");
+        // Reset reclaims the slot for a repartitioned successor.
+        hb.reset(0);
+        assert!(!hb.is_evicted(0));
     }
 
     #[test]

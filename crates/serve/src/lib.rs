@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # ft2-serve
+//!
+//! A continuous-batching serving runtime with per-request fault isolation,
+//! extending the FT2 reproduction from single-generation fault tolerance
+//! to a multi-request server. The paper's online detect/rollback loop
+//! protects one generation; a server must protect many at once *without
+//! letting one faulty request stall or corrupt its batchmates*.
+//!
+//! * [`arena`] — paged per-request KV storage: [`arena::KvArena`] owns one
+//!   K/V slab per decoder block carved into fixed pages,
+//!   [`arena::KvSeq`] maps a request's positions onto its pages, and
+//!   [`arena::KvGuard`] carries per-position CRC seals for the repair
+//!   rung. Requests allocate, roll back, and free pages independently.
+//! * [`engine`] — the batched decode step: [`engine::batch_step`] advances
+//!   every lane one token, bit-identical per lane to the single-sequence
+//!   engine (batched linears via the panel-major batch GEMM, lane-major
+//!   attention over the paged cache, per-lane taps in engine order).
+//! * [`scheduler`] — the continuous-batching scheduler and per-request
+//!   recovery ladder: a storming lane rolls back and re-decodes its own
+//!   token while batchmates keep advancing; the repair rung sweeps the
+//!   lane's KV seals and rebuilds corrupted positions; a lane that
+//!   exhausts its budget is evicted with a typed
+//!   [`scheduler::Outcome`], never stalling the batch.
+//! * [`server`] — a threaded front door: submissions from any thread,
+//!   bounded admission queue with backpressure, one worker owning the
+//!   scheduler and decode pool.
+//! * [`storm`] — a per-request fault-storm injector
+//!   ([`storm::StormTap`]) driving tests and the serving bench's
+//!   fault-storm drill, scheduled by [`ft2_fault::FaultDuration`].
+
+pub mod arena;
+pub mod engine;
+pub mod scheduler;
+pub mod server;
+pub mod storm;
+
+pub use arena::{KvArena, KvGuard, KvSeq, KV_PAGE};
+pub use engine::{batch_step, BatchLane, BatchScratch};
+pub use scheduler::{
+    Completion, EvictReason, Outcome, Request, Scheduler, ServeConfig, SubmitError,
+};
+pub use server::Server;
+pub use storm::StormTap;

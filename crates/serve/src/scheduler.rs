@@ -1,0 +1,484 @@
+//! The continuous-batching scheduler with a per-request recovery ladder.
+//!
+//! [`Scheduler`] admits requests from a bounded queue into a batch of at
+//! most `max_batch` lanes and advances every lane one token per
+//! [`Scheduler::step`] via the batched decode step. Requests join and
+//! leave the batch at step granularity — a finishing request's lane is
+//! refilled from the queue on the next step, so the batch never drains to
+//! restart (continuous batching rather than static batching).
+//!
+//! Fault tolerance is *per request*. Each lane carries its own tap (the
+//! detector/injector), its own redecode budget, and its own KV pages, so
+//! the engine's recovery ladder replays per lane:
+//!
+//! 1. **Rollback** — a lane whose step verdict is
+//!    [`AnomalyVerdict::Storm`] truncates its own [`KvSeq`] back one
+//!    position and re-decodes the same token on the next scheduler step,
+//!    while every other lane keeps advancing. A transient fault re-strikes
+//!    until it fades (the tap's `on_rollback` escalation), exactly as in
+//!    the single-sequence engine.
+//! 2. **Repair** — once the retry budget is exhausted, a policy with
+//!    `repair` set takes one repair rung: the lane's [`KvGuard`] seals are
+//!    swept, corrupted KV positions are rebuilt by a joint replay of the
+//!    lane's known tokens (bit-identical to the incremental rows, so clean
+//!    positions are untouched), and one extra re-decode is granted.
+//! 3. **Evict** — a lane still storming after rollback and repair is
+//!    evicted with [`EvictReason::RetriesExhausted`]: its pages return to
+//!    the arena and its [`Completion`] reports the typed outcome. Eviction
+//!    never stalls batchmates — the freed lane is refilled from the queue.
+//!
+//! A disabled [`RecoveryPolicy`] accepts storming tokens as-is (engine
+//! parity), and prefill (step 0) is never rolled back.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::arena::{KvArena, KvGuard, KvSeq};
+use crate::engine::{batch_step, BatchLane, BatchScratch};
+use ft2_model::engine::KvCache;
+use ft2_model::hooks::{AnomalyVerdict, LayerTap, TapList};
+use ft2_model::{Model, RecoveryPolicy};
+use ft2_parallel::WorkStealingPool;
+use ft2_tensor::argmax;
+
+/// Scheduler configuration (knobs `FT2_SERVE_MAX_BATCH` and
+/// `FT2_SERVE_QUEUE_DEPTH` feed the first two fields).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum concurrent lanes per decode step.
+    pub max_batch: usize,
+    /// Bounded admission-queue depth; a full queue rejects submissions
+    /// with [`SubmitError::QueueFull`] (backpressure).
+    pub queue_depth: usize,
+    /// Per-request recovery ladder policy.
+    pub recovery: RecoveryPolicy,
+    /// Maintain per-position KV seals and sweep them on the repair rung.
+    pub kv_guard: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 8,
+            queue_depth: 64,
+            recovery: RecoveryPolicy::retries(2).with_repair(),
+            kv_guard: true,
+        }
+    }
+}
+
+/// One generation request.
+pub struct Request {
+    /// Caller-chosen id, echoed in the [`Completion`].
+    pub id: u64,
+    /// Prompt tokens (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Tokens to generate (including the prefill token).
+    pub gen_tokens: usize,
+    /// Per-request tap: fault injector, detector, or both. `None` serves
+    /// the request tap-less.
+    pub tap: Option<Box<dyn LayerTap + Send>>,
+}
+
+/// Why a submission was rejected at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — back off and resubmit.
+    QueueFull,
+    /// Empty prompts cannot be prefilled.
+    EmptyPrompt,
+    /// `prompt.len() + gen_tokens` exceeds the model's `max_seq`.
+    TooLong {
+        /// Requested total sequence length.
+        requested: usize,
+        /// The model's maximum.
+        max_seq: usize,
+    },
+}
+
+/// Why a request was evicted from the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The per-request recovery ladder ran out: the step still stormed
+    /// after `redecodes` rollbacks (and the repair rung, when enabled).
+    RetriesExhausted {
+        /// The generation step that could not be decoded cleanly.
+        step: usize,
+        /// Rollbacks spent on that step.
+        redecodes: u32,
+    },
+}
+
+/// Terminal state of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// All requested tokens were generated and accepted.
+    Completed,
+    /// The request was removed from the batch before completing.
+    Evicted(EvictReason),
+}
+
+/// Everything the caller gets back for one request.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// Accepted tokens (all `gen_tokens` on completion, a prefix on
+    /// eviction).
+    pub tokens: Vec<u32>,
+    /// Rollbacks taken across all steps.
+    pub rollbacks: u32,
+    /// Steps whose merged verdict was a storm.
+    pub storms: u32,
+    /// KV positions rebuilt by the repair rung.
+    pub kv_repairs: usize,
+    /// Repair rungs taken.
+    pub repair_retries: u32,
+    /// Nanoseconds from admission to each accepted token.
+    pub token_ns: Vec<u64>,
+}
+
+/// A request occupying a batch lane.
+struct ActiveRequest {
+    id: u64,
+    prompt: Vec<u32>,
+    gen_tokens: usize,
+    tap: Option<Box<dyn LayerTap + Send>>,
+    seq: KvSeq,
+    guard: Option<KvGuard>,
+    tokens: Vec<u32>,
+    token_ns: Vec<u64>,
+    admitted_at: Instant,
+    redecodes: u32,
+    repaired_this_step: bool,
+    rollbacks: u32,
+    storms: u32,
+    kv_repairs: usize,
+    repair_retries: u32,
+}
+
+impl ActiveRequest {
+    /// Token stored at sequence position `j` (prompt, then accepted
+    /// generated tokens).
+    fn token_at(&self, j: usize) -> u32 {
+        if j < self.prompt.len() {
+            self.prompt[j]
+        } else {
+            self.tokens[j - self.prompt.len()]
+        }
+    }
+
+    fn into_completion(self, outcome: Outcome) -> Completion {
+        Completion {
+            id: self.id,
+            outcome,
+            tokens: self.tokens,
+            rollbacks: self.rollbacks,
+            storms: self.storms,
+            kv_repairs: self.kv_repairs,
+            repair_retries: self.repair_retries,
+            token_ns: self.token_ns,
+        }
+    }
+}
+
+/// Continuous-batching scheduler over one model and one KV arena.
+pub struct Scheduler<'m> {
+    model: &'m Model,
+    config: ServeConfig,
+    arena: KvArena,
+    queue: VecDeque<Request>,
+    active: Vec<ActiveRequest>,
+    completions: Vec<Completion>,
+    scratch: BatchScratch,
+}
+
+impl<'m> Scheduler<'m> {
+    /// New scheduler serving `model` under `config`.
+    pub fn new(model: &'m Model, config: ServeConfig) -> Scheduler<'m> {
+        let c = model.config();
+        Scheduler {
+            model,
+            config,
+            arena: KvArena::new(c.blocks, c.hidden),
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            completions: Vec::new(),
+            scratch: BatchScratch::new(),
+        }
+    }
+
+    /// Requests waiting for a lane.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently occupying lanes.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True when no queued or active work remains.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// The KV arena (tests inspect page accounting; fault drills corrupt
+    /// sealed rows through it).
+    pub fn arena_mut(&mut self) -> &mut KvArena {
+        &mut self.arena
+    }
+
+    /// The KV sequence of the active request with the given id, if it
+    /// currently occupies a lane (fault drills use this to address a
+    /// request's arena rows).
+    pub fn lane_seq(&self, id: u64) -> Option<&KvSeq> {
+        self.active.iter().find(|ar| ar.id == id).map(|ar| &ar.seq)
+    }
+
+    /// Admit a request into the bounded queue.
+    pub fn try_submit(&mut self, req: Request) -> Result<(), SubmitError> {
+        if req.prompt.is_empty() {
+            return Err(SubmitError::EmptyPrompt);
+        }
+        let requested = req.prompt.len() + req.gen_tokens;
+        let max_seq = self.model.config().max_seq;
+        if requested > max_seq {
+            return Err(SubmitError::TooLong { requested, max_seq });
+        }
+        if self.queue.len() >= self.config.queue_depth {
+            return Err(SubmitError::QueueFull);
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    /// Drain completed requests accumulated since the last call.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Prefill one queued request into a lane: run the prompt through the
+    /// single-sequence path (so its taps see the exact prefill the engine
+    /// would fire), copy the KV rows into the arena, and record the first
+    /// token. Prefill is never rolled back (engine parity) — a storm is
+    /// counted and the token accepted.
+    fn admit(&mut self, req: Request) {
+        let admitted_at = Instant::now();
+        let mut ar = ActiveRequest {
+            id: req.id,
+            prompt: req.prompt,
+            gen_tokens: req.gen_tokens,
+            tap: req.tap,
+            seq: KvSeq::new(),
+            guard: self.config.kv_guard.then(KvGuard::new),
+            tokens: Vec::new(),
+            token_ns: Vec::new(),
+            admitted_at,
+            redecodes: 0,
+            repaired_this_step: false,
+            rollbacks: 0,
+            storms: 0,
+            kv_repairs: 0,
+            repair_retries: 0,
+        };
+        let mut cache = KvCache::new(self.model.config());
+        let mut taps = TapList::new();
+        if let Some(tap) = ar.tap.as_deref_mut() {
+            taps.push(tap);
+        }
+        let hidden = self
+            .model
+            .forward_step(&ar.prompt, 0, 0, &mut cache, &mut taps);
+        let report = taps.end_step(0);
+        drop(taps);
+        if report.verdict == AnomalyVerdict::Storm {
+            ar.storms += 1;
+        }
+        for j in 0..ar.prompt.len() {
+            let row = ar.seq.push(&mut self.arena);
+            for b in 0..cache.num_blocks() {
+                self.arena
+                    .k_row_mut(b, row)
+                    .copy_from_slice(cache.block(b).k.row(j));
+                self.arena
+                    .v_row_mut(b, row)
+                    .copy_from_slice(cache.block(b).v.row(j));
+            }
+            if let Some(guard) = &mut ar.guard {
+                guard.seal(&self.arena, &ar.seq, j);
+            }
+        }
+        let last = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
+        let first = argmax(&self.model.logits(&last)) as u32;
+        ar.tokens.push(first);
+        ar.token_ns.push(admitted_at.elapsed().as_nanos() as u64);
+        if ar.tokens.len() >= ar.gen_tokens {
+            ar.seq.release(&mut self.arena);
+            self.completions.push(ar.into_completion(Outcome::Completed));
+        } else {
+            self.active.push(ar);
+        }
+    }
+
+    /// Rebuild this lane's KV positions `from..seq.len()` by replaying its
+    /// known tokens (prompt plus accepted tokens) exactly as the rows were
+    /// first produced — a joint prefill for the prompt, single-token steps
+    /// for decode positions. The kernel path depends on row count, so only
+    /// this replay shape is bit-identical to the rows it replaces (a joint
+    /// replay of everything would perturb clean positions in the last
+    /// bits and break the token-identity contract). Returns positions
+    /// rebuilt.
+    fn rebuild_kv(model: &Model, arena: &mut KvArena, ar: &mut ActiveRequest, from: usize) -> usize {
+        let len = ar.seq.len();
+        if from >= len {
+            return 0;
+        }
+        let plen = ar.prompt.len().min(len);
+        let mut cache = KvCache::new(model.config());
+        let mut taps = TapList::new();
+        let _ = model.forward_step(&ar.prompt[..plen], 0, 0, &mut cache, &mut taps);
+        for j in plen..len {
+            let _ = model.forward_step(&[ar.token_at(j)], j, j - plen + 1, &mut cache, &mut taps);
+        }
+        for j in from..len {
+            let row = ar.seq.row_of(j);
+            for b in 0..cache.num_blocks() {
+                arena
+                    .k_row_mut(b, row)
+                    .copy_from_slice(cache.block(b).k.row(j));
+                arena
+                    .v_row_mut(b, row)
+                    .copy_from_slice(cache.block(b).v.row(j));
+            }
+        }
+        if let Some(guard) = &mut ar.guard {
+            for j in from..len {
+                guard.reseal(arena, &ar.seq, j);
+            }
+        }
+        len - from
+    }
+
+    /// Advance the batch one decode step: admit queued requests into free
+    /// lanes, decode every lane, then run each lane's recovery ladder.
+    /// Returns `false` when there was nothing to do.
+    pub fn step(&mut self, pool: &WorkStealingPool) -> bool {
+        while self.active.len() < self.config.max_batch {
+            match self.queue.pop_front() {
+                Some(req) => self.admit(req),
+                None => break,
+            }
+        }
+        if self.active.is_empty() {
+            return false;
+        }
+
+        // Build one lane per active request and decode the batch.
+        let Scheduler {
+            model,
+            arena,
+            active,
+            scratch,
+            ..
+        } = self;
+        let mut lanes: Vec<BatchLane<'_>> = active
+            .iter_mut()
+            .map(|ar| BatchLane {
+                token: *ar.tokens.last().expect("active lane without a token"),
+                pos: ar.prompt.len() + ar.tokens.len() - 1,
+                step: ar.tokens.len(),
+                seq: &mut ar.seq,
+                tap: ar.tap.as_deref_mut(),
+            })
+            .collect();
+        let next = batch_step(model, arena, &mut lanes, pool, scratch);
+        drop(lanes);
+
+        // Per-lane recovery ladder.
+        let policy = self.config.recovery;
+        let mut finished: Vec<(usize, Outcome)> = Vec::new();
+        for (i, ar) in self.active.iter_mut().enumerate() {
+            let step = ar.tokens.len();
+            let pos = ar.prompt.len() + ar.tokens.len() - 1;
+            let report = match ar.tap.as_deref_mut() {
+                Some(tap) => tap.end_step(step),
+                None => Default::default(),
+            };
+            if report.verdict == AnomalyVerdict::Storm {
+                ar.storms += 1;
+                let rollback = |ar: &mut ActiveRequest, arena: &mut KvArena| {
+                    ar.seq.truncate(pos, arena);
+                    if let Some(guard) = &mut ar.guard {
+                        guard.truncate(pos);
+                    }
+                    if let Some(tap) = ar.tap.as_deref_mut() {
+                        tap.on_rollback(step, ar.redecodes);
+                    }
+                    ar.rollbacks += 1;
+                    ar.redecodes += 1;
+                };
+                if ar.redecodes < policy.max_retries {
+                    rollback(ar, &mut self.arena);
+                    continue;
+                }
+                if policy.enabled() && policy.repair && !ar.repaired_this_step {
+                    rollback(ar, &mut self.arena);
+                    let bad = ar
+                        .guard
+                        .as_ref()
+                        .and_then(|g| g.verify(&self.arena, &ar.seq));
+                    if let Some(bad) = bad {
+                        ar.kv_repairs += Self::rebuild_kv(self.model, &mut self.arena, ar, bad);
+                    }
+                    ar.repair_retries += 1;
+                    ar.repaired_this_step = true;
+                    continue;
+                }
+                if policy.enabled() {
+                    finished.push((
+                        i,
+                        Outcome::Evicted(EvictReason::RetriesExhausted {
+                            step,
+                            redecodes: ar.redecodes,
+                        }),
+                    ));
+                    continue;
+                }
+                // Disabled policy: fall through and accept the storming
+                // token (engine parity).
+            }
+            // Accept.
+            ar.tokens.push(next[i]);
+            ar.token_ns
+                .push(ar.admitted_at.elapsed().as_nanos() as u64);
+            ar.redecodes = 0;
+            ar.repaired_this_step = false;
+            if let Some(guard) = &mut ar.guard {
+                guard.seal(&self.arena, &ar.seq, pos);
+            }
+            if ar.tokens.len() >= ar.gen_tokens {
+                finished.push((i, Outcome::Completed));
+            }
+        }
+
+        // Remove finished lanes (largest index first so indices stay valid)
+        // and hand their pages back to the arena.
+        finished.sort_by_key(|f| std::cmp::Reverse(f.0));
+        for (i, outcome) in finished {
+            let mut ar = self.active.remove(i);
+            ar.seq.release(&mut self.arena);
+            self.completions.push(ar.into_completion(outcome));
+        }
+        true
+    }
+
+    /// Run until every queued and active request has completed or been
+    /// evicted, returning all completions in finish order.
+    pub fn run(&mut self, pool: &WorkStealingPool) -> Vec<Completion> {
+        while self.step(pool) {}
+        self.drain_completions()
+    }
+}

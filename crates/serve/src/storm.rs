@@ -1,0 +1,165 @@
+//! A per-request fault-storm injector for serving tests and benches.
+//!
+//! [`StormTap`] is the serving analogue of the engine tests' transient-storm
+//! tap: it corrupts the value-projection output of block 0 on a configurable
+//! schedule and reports a [`AnomalyVerdict::Storm`] for any step it struck,
+//! driving the scheduler's per-request recovery ladder. The strike schedule
+//! follows the fault model's [`FaultDuration`]: a transient storm strikes a
+//! single step until rolled back enough times, an intermittent storm
+//! re-strikes on a period, and a persistent storm never heals — the case
+//! that must end in eviction rather than stalling the batch.
+
+use ft2_fault::FaultDuration;
+use ft2_model::config::LayerKind;
+use ft2_model::hooks::{AnomalyVerdict, HookKind, LayerTap, StepReport, TapCtx};
+use ft2_tensor::Matrix;
+
+/// Magnitude added to every element of the struck output — far outside any
+/// activation range, so downstream detectors cannot miss it.
+const STORM_MAGNITUDE: f32 = 1.0e3;
+
+/// Fault injector confined to one request: storms the VProj output of
+/// block 0 according to a [`FaultDuration`] schedule.
+pub struct StormTap {
+    /// First generation step the storm can strike.
+    pub target_step: usize,
+    /// Strike schedule relative to `target_step`.
+    pub duration: FaultDuration,
+    /// Rollback attempts after which the fault heals (transient and
+    /// intermittent storms model re-strikes of a fading fault; persistent
+    /// storms ignore this).
+    pub heal_after: u32,
+    attempts: u32,
+    stormed_this_step: bool,
+    /// Total strikes delivered (visible to tests).
+    pub strikes: u64,
+}
+
+impl StormTap {
+    /// Storm the given step once, healing after `heal_after` rollbacks.
+    pub fn transient(target_step: usize, heal_after: u32) -> StormTap {
+        StormTap::new(target_step, FaultDuration::Transient, heal_after)
+    }
+
+    /// Storm every step from `target_step` on, forever.
+    pub fn persistent(target_step: usize) -> StormTap {
+        StormTap::new(target_step, FaultDuration::Persistent, u32::MAX)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn new(target_step: usize, duration: FaultDuration, heal_after: u32) -> StormTap {
+        StormTap {
+            target_step,
+            duration,
+            heal_after,
+            attempts: 0,
+            stormed_this_step: false,
+            strikes: 0,
+        }
+    }
+
+    fn strikes_at(&self, step: usize) -> bool {
+        match self.duration {
+            FaultDuration::Transient => {
+                step == self.target_step && self.attempts < self.heal_after
+            }
+            FaultDuration::Intermittent { period } => {
+                step >= self.target_step
+                    && (step - self.target_step).is_multiple_of(period.max(1))
+                    && self.attempts < self.heal_after
+            }
+            FaultDuration::Persistent => step >= self.target_step,
+        }
+    }
+}
+
+impl LayerTap for StormTap {
+    fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix) {
+        if ctx.point.block != 0
+            || ctx.point.layer != LayerKind::VProj
+            || ctx.hook != HookKind::LinearOutput
+            || !self.strikes_at(ctx.step)
+        {
+            return;
+        }
+        for v in data.as_mut_slice() {
+            *v += STORM_MAGNITUDE;
+        }
+        self.stormed_this_step = true;
+        self.strikes += 1;
+    }
+
+    fn end_step(&mut self, _step: usize) -> StepReport {
+        let verdict = if self.stormed_this_step {
+            AnomalyVerdict::Storm
+        } else {
+            AnomalyVerdict::Clean
+        };
+        self.stormed_this_step = false;
+        StepReport {
+            clamps: 0,
+            nans: 0,
+            verdict,
+        }
+    }
+
+    fn on_rollback(&mut self, _step: usize, _attempt: u32) {
+        self.attempts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_storm_heals_after_rollbacks() {
+        let mut tap = StormTap::transient(3, 2);
+        assert!(!tap.strikes_at(2));
+        assert!(tap.strikes_at(3));
+        tap.on_rollback(3, 0);
+        assert!(tap.strikes_at(3));
+        tap.on_rollback(3, 1);
+        assert!(!tap.strikes_at(3), "storm must heal after two rollbacks");
+        assert!(!tap.strikes_at(4));
+    }
+
+    #[test]
+    fn persistent_storm_never_heals() {
+        let mut tap = StormTap::persistent(2);
+        for _ in 0..16 {
+            tap.on_rollback(2, 0);
+        }
+        assert!(tap.strikes_at(2));
+        assert!(tap.strikes_at(40));
+    }
+
+    #[test]
+    fn intermittent_storm_strikes_on_period() {
+        let tap = StormTap::new(2, FaultDuration::Intermittent { period: 3 }, u32::MAX);
+        assert!(tap.strikes_at(2));
+        assert!(!tap.strikes_at(3));
+        assert!(!tap.strikes_at(4));
+        assert!(tap.strikes_at(5));
+    }
+
+    #[test]
+    fn end_step_reports_storm_only_after_a_strike() {
+        let mut tap = StormTap::transient(1, 1);
+        let mut data = Matrix::zeros(1, 4);
+        let ctx = TapCtx {
+            point: ft2_model::hooks::TapPoint {
+                block: 0,
+                layer: LayerKind::VProj,
+            },
+            hook: HookKind::LinearOutput,
+            step: 1,
+            first_pos: 5,
+            dtype: ft2_tensor::DType::F32,
+        };
+        tap.on_output(&ctx, &mut data);
+        assert_eq!(tap.end_step(1).verdict, AnomalyVerdict::Storm);
+        assert_eq!(tap.end_step(1).verdict, AnomalyVerdict::Clean, "flag resets");
+        assert!(data.row(0).iter().all(|&v| v == STORM_MAGNITUDE));
+    }
+}

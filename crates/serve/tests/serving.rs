@@ -1,0 +1,237 @@
+//! End-to-end serving guarantees: batch/solo token identity, per-request
+//! fault isolation, eviction, backpressure, and KV repair.
+
+use std::sync::{Arc, OnceLock};
+
+use ft2_model::{Model, ModelConfig, RecoveryPolicy, TapList};
+use ft2_parallel::WorkStealingPool;
+use ft2_serve::scheduler::{EvictReason, Outcome, Request, Scheduler, ServeConfig, SubmitError};
+use ft2_serve::{Server, StormTap};
+
+fn model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| Model::new(ModelConfig::tiny_llama()))
+}
+
+fn solo_tokens(model: &Model, prompt: &[u32], gen: usize) -> Vec<u32> {
+    let mut taps = TapList::new();
+    model.generate(prompt, gen, &mut taps).tokens
+}
+
+const PROMPTS: [&[u32]; 4] = [
+    &[3, 14, 15, 92, 6],
+    &[27, 1, 82, 8],
+    &[45, 45, 45],
+    &[9, 8, 7, 6, 5, 4],
+];
+const GEN: usize = 8;
+
+fn request(i: usize, tap: Option<Box<dyn ft2_model::LayerTap + Send>>) -> Request {
+    Request {
+        id: i as u64,
+        prompt: PROMPTS[i].to_vec(),
+        gen_tokens: GEN,
+        tap,
+    }
+}
+
+#[test]
+fn fault_free_batch_matches_single_sequence_generation() {
+    let model = model();
+    let pool = WorkStealingPool::new(3);
+    let mut sched = Scheduler::new(model, ServeConfig::default());
+    for i in 0..4 {
+        sched.try_submit(request(i, None)).unwrap();
+    }
+    let mut done = sched.run(&pool);
+    assert_eq!(done.len(), 4);
+    done.sort_by_key(|c| c.id);
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(c.outcome, Outcome::Completed);
+        assert_eq!(c.tokens, solo_tokens(model, PROMPTS[i], GEN), "request {i}");
+        assert_eq!(c.rollbacks, 0);
+        assert_eq!(c.token_ns.len(), GEN);
+    }
+    assert_eq!(sched.arena_mut().pages_in_use(), 0, "all pages returned");
+}
+
+#[test]
+fn transient_storm_is_isolated_to_the_storming_request() {
+    let model = model();
+    let pool = WorkStealingPool::new(3);
+    let config = ServeConfig {
+        recovery: RecoveryPolicy::retries(2),
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(model, config);
+    for i in 0..4 {
+        let tap: Option<Box<dyn ft2_model::LayerTap + Send>> =
+            (i == 0).then(|| Box::new(StormTap::transient(3, 1)) as _);
+        sched.try_submit(request(i, tap)).unwrap();
+    }
+    let mut done = sched.run(&pool);
+    done.sort_by_key(|c| c.id);
+    assert_eq!(done.len(), 4);
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(c.outcome, Outcome::Completed, "request {i}");
+        // Rollback discards the storm entirely: every request — including
+        // the storming one — matches its clean solo generation.
+        assert_eq!(c.tokens, solo_tokens(model, PROMPTS[i], GEN), "request {i}");
+        if i == 0 {
+            assert_eq!(c.storms, 1, "one storming step");
+            assert_eq!(c.rollbacks, 1, "healed after one rollback");
+        } else {
+            assert_eq!(c.storms, 0);
+            assert_eq!(c.rollbacks, 0, "clean request {i} must not roll back");
+        }
+    }
+}
+
+#[test]
+fn persistent_storm_is_evicted_without_stalling_batchmates() {
+    let model = model();
+    let pool = WorkStealingPool::new(3);
+    let config = ServeConfig {
+        recovery: RecoveryPolicy::retries(2).with_repair(),
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(model, config);
+    for i in 0..4 {
+        let tap: Option<Box<dyn ft2_model::LayerTap + Send>> =
+            (i == 0).then(|| Box::new(StormTap::persistent(2)) as _);
+        sched.try_submit(request(i, tap)).unwrap();
+    }
+    let mut done = sched.run(&pool);
+    done.sort_by_key(|c| c.id);
+    assert_eq!(done.len(), 4);
+    match done[0].outcome {
+        Outcome::Evicted(EvictReason::RetriesExhausted { step, redecodes }) => {
+            assert_eq!(step, 2, "evicted at the persistently storming step");
+            assert!(redecodes >= 2, "budget spent before eviction");
+        }
+        other => panic!("storming request should be evicted, got {other:?}"),
+    }
+    assert!(done[0].tokens.len() < GEN, "eviction returns a prefix");
+    assert!(done[0].repair_retries >= 1, "repair rung was attempted");
+    for (i, c) in done.iter().enumerate().skip(1) {
+        assert_eq!(c.outcome, Outcome::Completed, "batchmate {i} completes");
+        assert_eq!(c.tokens, solo_tokens(model, PROMPTS[i], GEN), "batchmate {i}");
+    }
+    assert_eq!(sched.arena_mut().pages_in_use(), 0, "evicted pages returned");
+}
+
+#[test]
+fn disabled_policy_accepts_storming_tokens() {
+    let model = model();
+    let pool = WorkStealingPool::new(2);
+    let config = ServeConfig {
+        recovery: RecoveryPolicy::disabled(),
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(model, config);
+    let tap: Box<dyn ft2_model::LayerTap + Send> = Box::new(StormTap::persistent(2));
+    sched.try_submit(request(0, Some(tap))).unwrap();
+    let done = sched.run(&pool);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].outcome, Outcome::Completed, "no eviction when disabled");
+    assert_eq!(done[0].tokens.len(), GEN);
+    assert!(done[0].storms > 0, "storms are still recorded");
+    assert_eq!(done[0].rollbacks, 0, "no rollback when disabled");
+}
+
+#[test]
+fn admission_control_backpressures_and_validates() {
+    let model = model();
+    let config = ServeConfig {
+        queue_depth: 2,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(model, config);
+    sched.try_submit(request(0, None)).unwrap();
+    sched.try_submit(request(1, None)).unwrap();
+    assert_eq!(
+        sched.try_submit(request(2, None)),
+        Err(SubmitError::QueueFull),
+        "third submission must backpressure"
+    );
+    assert_eq!(
+        sched.try_submit(Request {
+            id: 9,
+            prompt: vec![],
+            gen_tokens: 4,
+            tap: None
+        }),
+        Err(SubmitError::EmptyPrompt)
+    );
+    let max_seq = model.config().max_seq;
+    assert_eq!(
+        sched.try_submit(Request {
+            id: 10,
+            prompt: vec![1; max_seq],
+            gen_tokens: 1,
+            tap: None
+        }),
+        Err(SubmitError::TooLong {
+            requested: max_seq + 1,
+            max_seq
+        })
+    );
+}
+
+#[test]
+fn repair_rung_rebuilds_corrupted_kv_and_recovers_the_tokens() {
+    let model = model();
+    let pool = WorkStealingPool::new(2);
+    let config = ServeConfig {
+        max_batch: 1,
+        recovery: RecoveryPolicy::retries(1).with_repair(),
+        kv_guard: true,
+        ..ServeConfig::default()
+    };
+    let mut sched = Scheduler::new(model, config);
+    // Storm strikes step 4 and survives the single rollback; only the
+    // repair rung's extra re-decode (heal_after = 2) clears it.
+    let tap: Box<dyn ft2_model::LayerTap + Send> = Box::new(StormTap::transient(4, 2));
+    sched.try_submit(request(0, Some(tap))).unwrap();
+    // Step until the request has accepted 4 tokens (the next decode is the
+    // storm target), then corrupt a sealed KV row behind the guard's back.
+    loop {
+        assert!(sched.step(&pool), "request finished before the drill armed");
+        let seq = sched.lane_seq(0).expect("request is active");
+        if seq.len() == PROMPTS[0].len() + 3 {
+            let row = seq.row_of(1);
+            sched.arena_mut().k_row_mut(0, row)[0] += 7.0;
+            break;
+        }
+    }
+    let done = sched.run(&pool);
+    assert_eq!(done.len(), 1);
+    let c = &done[0];
+    assert_eq!(c.outcome, Outcome::Completed);
+    assert_eq!(c.repair_retries, 1, "exactly one repair rung");
+    assert!(c.kv_repairs > 0, "the corrupted position was rebuilt");
+    // Post-repair decode runs on rebuilt (clean) state: the tokens match
+    // the clean solo generation bit-for-bit.
+    assert_eq!(c.tokens, solo_tokens(model, PROMPTS[0], GEN));
+}
+
+#[test]
+fn server_serves_concurrent_submissions_end_to_end() {
+    let model = Arc::new(Model::new(ModelConfig::tiny_opt()));
+    let server = Server::spawn(Arc::clone(&model), ServeConfig::default(), 2);
+    let mut expected = Vec::new();
+    for i in 0..6 {
+        let prompt: Vec<u32> = (0..4 + i % 3).map(|j| (i * 13 + j) as u32).collect();
+        let id = server.submit(prompt.clone(), GEN, None).unwrap();
+        expected.push((id, solo_tokens(&model, &prompt, GEN)));
+    }
+    let mut done = server.wait_all();
+    assert_eq!(done.len(), 6);
+    done.sort_by_key(|c| c.id);
+    for (c, (id, toks)) in done.iter().zip(&expected) {
+        assert_eq!(c.id, *id);
+        assert_eq!(c.outcome, Outcome::Completed);
+        assert_eq!(&c.tokens, toks, "request {id}");
+    }
+    assert_eq!(server.submit(vec![], 4, None), Err(SubmitError::EmptyPrompt));
+}

@@ -343,6 +343,55 @@ pub fn matmul_transb_into(a: &Matrix, b_t: &Matrix, c: &mut Matrix) {
     }
 }
 
+/// Batch-aware `A × Bᵀ`: the same per-element math as
+/// [`matmul_transb_into`] — each output element is the identical
+/// [`dot4`]/[`dot`] call with the identical reduction order, so every
+/// output **row is bit-identical** to the row-major kernel's — but the
+/// loops are reordered *panel-major*: each 4-row weight panel of `Bᵀ` is
+/// loaded once and amortised over all rows of `A` while it sits in L1/L2.
+///
+/// For a continuous-batching decode step (a handful of activation rows
+/// against a large weight matrix) the weight matrix dominates memory
+/// traffic; the row-major kernel streams it `m` times, this kernel once.
+/// The AVX2+FMA [`dot4`] micro-kernel is reused unchanged, so the SIMD
+/// path gets the same amortisation.
+///
+/// Single-row inputs and products big enough for the row-parallel schedule
+/// delegate to [`matmul_transb_into`] (bit-identical either way).
+pub fn matmul_transb_batch(a: &Matrix, b_t: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(0, 0);
+    matmul_transb_batch_into(a, b_t, &mut c);
+    c
+}
+
+/// [`matmul_transb_batch`] writing into a caller-owned output matrix.
+pub fn matmul_transb_batch_into(a: &Matrix, b_t: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b_t.cols(), "matmul_transb shape mismatch");
+    let (m, n) = (a.rows(), b_t.rows());
+    if m <= 1 || m * n * a.cols() >= PARALLEL_THRESHOLD {
+        matmul_transb_into(a, b_t, c);
+        return;
+    }
+    c.reset(m, n);
+    let cs = c.as_mut_slice();
+    let mut j = 0;
+    while j + 4 <= n {
+        let (b0, b1, b2, b3) = (b_t.row(j), b_t.row(j + 1), b_t.row(j + 2), b_t.row(j + 3));
+        for i in 0..m {
+            let r = dot4(a.row(i), b0, b1, b2, b3);
+            cs[i * n + j..i * n + j + 4].copy_from_slice(&r);
+        }
+        j += 4;
+    }
+    while j < n {
+        let bj = b_t.row(j);
+        for i in 0..m {
+            cs[i * n + j] = dot(a.row(i), bj);
+        }
+        j += 1;
+    }
+}
+
 struct SendMutPtr(*mut f32);
 // SAFETY: the wrapper moves a raw pointer into pool tasks that each write a
 // distinct row range of C; no element is touched by two tasks.
@@ -435,6 +484,70 @@ mod tests {
             assert_eq!(out.rows(), 4);
             assert_eq!(out.cols(), 11);
             assert!(out.max_abs_diff(&matmul_transb(&a, &bt)) == 0.0);
+        }
+    }
+
+    /// The serving contract: the panel-major batch kernel must be
+    /// *bit-identical* to the row-major kernel on every row — batched
+    /// decode steps only match single-sequence generations because each
+    /// output element is the exact same `dot4`/`dot` reduction.
+    #[test]
+    fn batch_kernel_is_bit_identical_to_row_major() {
+        let mut rng = Xoshiro256StarStar::new(77);
+        for &(m, k, n) in &[
+            (2usize, 24usize, 16usize),
+            (3, 13, 7),   // remainder columns (n % 4 != 0)
+            (4, 64, 33),  // remainder + odd k
+            (8, 96, 64),  // serving batch against a square-ish weight
+            (16, 17, 5),
+        ] {
+            let a = random_matrix(&mut rng, m, k);
+            let bt = random_matrix(&mut rng, n, k);
+            let row_major = matmul_transb(&a, &bt);
+            let batch = matmul_transb_batch(&a, &bt);
+            assert_eq!(batch, row_major, "bitwise divergence at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn batch_kernel_delegates_for_single_row_and_large_products() {
+        let mut rng = Xoshiro256StarStar::new(78);
+        // m == 1: the decode GEMV path.
+        let a1 = random_matrix(&mut rng, 1, 48);
+        let bt1 = random_matrix(&mut rng, 19, 48);
+        assert_eq!(matmul_transb_batch(&a1, &bt1), matmul_transb(&a1, &bt1));
+        // Crosses PARALLEL_THRESHOLD: delegates to the row-parallel kernel.
+        let a2 = random_matrix(&mut rng, 192, 160);
+        let bt2 = random_matrix(&mut rng, 160, 160);
+        assert_eq!(matmul_transb_batch(&a2, &bt2), matmul_transb(&a2, &bt2));
+    }
+
+    #[test]
+    fn batch_kernel_propagates_nonfinite_like_naive() {
+        let mut rng = Xoshiro256StarStar::new(79);
+        let a = random_matrix(&mut rng, 4, 24);
+        let mut bt = random_matrix(&mut rng, 11, 24);
+        bt.set(1, 2, f32::NAN);
+        bt.set(10, 0, f32::INFINITY);
+        let got = matmul_transb_batch(&a, &bt);
+        let oracle = matmul_naive(&a, &bt.transpose());
+        for i in 0..4 {
+            for j in 0..11 {
+                assert_eq!(got.get(i, j).is_nan(), oracle.get(i, j).is_nan());
+                assert_eq!(got.get(i, j).is_finite(), oracle.get(i, j).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_buffer_and_matches() {
+        let mut rng = Xoshiro256StarStar::new(80);
+        let mut out = Matrix::zeros(3, 3); // wrong shape on purpose
+        for _ in 0..3 {
+            let a = random_matrix(&mut rng, 5, 24);
+            let bt = random_matrix(&mut rng, 11, 24);
+            matmul_transb_batch_into(&a, &bt, &mut out);
+            assert_eq!(out, matmul_transb(&a, &bt));
         }
     }
 

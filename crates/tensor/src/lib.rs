@@ -27,7 +27,8 @@ pub mod seam;
 
 pub use abft::{checked_matmul_transb, AbftOutcome, CheckedProduct};
 pub use gemm::{
-    dot, matmul, matmul_naive, matmul_transb, matmul_transb_into, matmul_with, KernelPolicy,
+    dot, matmul, matmul_naive, matmul_transb, matmul_transb_batch, matmul_transb_batch_into,
+    matmul_transb_into, matmul_with, KernelPolicy,
 };
 pub use matrix::{DType, Matrix};
 pub use seam::{matmul_transb_cols_f64, reduce_seam_into};

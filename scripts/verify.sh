@@ -56,6 +56,19 @@ for key in '"schema": 1' '"prefill_tok_s"' '"decode_tok_s"' '"campaign_trials_s"
         exit 1
     }
 done
+# Decode-throughput non-regression: the fresh quick run must stay within
+# 2x of the committed BENCH_decode.json baseline. Quick sizing is noisy
+# (historically ~90% of the full run on the same box), so the 50% floor
+# only bites on a genuine hot-path regression, not jitter.
+awk -F': ' '
+    /"decode_tok_s"/ { gsub(/,/, ""); v[n++] = $2 }
+    END {
+        if (n != 2) { print "verify: could not read decode_tok_s" > "/dev/stderr"; exit 1 }
+        if (v[1] * 2 < v[0]) {
+            printf "verify: decode throughput regressed: %s tok/s vs committed baseline %s\n", v[1], v[0] > "/dev/stderr"
+            exit 1
+        }
+    }' BENCH_decode.json "$BENCH_TMP"
 rm -f "$BENCH_TMP"
 
 echo "== shards smoke (fault-isolation guarantees + JSON baseline) =="
@@ -75,5 +88,24 @@ for key in '"schema": 1' '"token_identical": true' '"repair_outcome": "Repaired"
     }
 done
 rm -f "$SHARDS_TMP"
+
+echo "== serve smoke (per-request fault isolation + JSON baseline) =="
+# CI-sized pass through the continuous-batching serving gate: batch-vs-solo
+# token identity at every swept batch size, and a transient storm confined
+# to one lane of a batch-4 run that must heal by rollback with every
+# request still token-identical. Pins the BENCH_serve.json schema. The
+# subcommand itself exits non-zero if any guarantee fails.
+SERVE_TMP="$(mktemp -d)/BENCH_serve.json"
+./target/release/ft2-repro serve --smoke --json --out "$SERVE_TMP"
+for key in '"schema": 1' '"requests_s"' '"p50_token_ms"' '"p99_token_ms"' \
+           '"identity_ok": true' '"storm_outcome": "Completed"' \
+           '"clean_p99_inflation"' '"storm_identity_ok": true' '"ok": true'; do
+    grep -q "$key" "$SERVE_TMP" || {
+        echo "verify: serve JSON is missing $key" >&2
+        cat "$SERVE_TMP" >&2
+        exit 1
+    }
+done
+rm -f "$SERVE_TMP"
 
 echo "verify: OK"
