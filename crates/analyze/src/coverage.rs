@@ -43,6 +43,8 @@ const PRICE_GEN: usize = 60;
 const PROBE_VALUE: f32 = 1.0e9;
 /// Shard count assumed when pricing a degrade re-partition.
 const DEGRADE_PRICE_SHARDS: usize = 4;
+/// Corrupt weight-tile fraction assumed when pricing a replica rebuild.
+const REBUILD_PRICE_CORRUPT: f64 = 0.01;
 
 /// Coverage result for one zoo model.
 #[derive(Clone, Debug)]
@@ -368,6 +370,7 @@ fn sample_outcomes() -> Vec<Outcome> {
         Outcome::Repaired { repairs: 1 },
         Outcome::RecoveryFailed { retries: 1 },
         Outcome::Degraded { shards_lost: 1 },
+        Outcome::FailedOver { failovers: 1 },
     ]
 }
 
@@ -412,6 +415,14 @@ fn price(outcome: &Outcome, cost: &CostModel, shape: &WorkloadShape) -> (&'stati
             protected
                 + f64::from(*shards_lost)
                     * cost.repartition_time(shape, DEGRADE_PRICE_SHARDS - 1),
+        ),
+        Outcome::FailedOver { failovers } => (
+            "FailedOver",
+            "generation-plus-handoff-and-rebuild",
+            protected
+                + f64::from(*failovers)
+                    * (cost.failover_time(shape, PRICE_PROMPT, PRICE_GEN / 2)
+                        + cost.rebuild_time(shape, REBUILD_PRICE_CORRUPT)),
         ),
     }
 }
@@ -489,7 +500,7 @@ mod tests {
     #[test]
     fn every_outcome_variant_is_priced() {
         let report = analyse();
-        assert_eq!(report.outcomes.len(), 9);
+        assert_eq!(report.outcomes.len(), 10);
         assert_eq!(report.unpriced_outcomes(), 0);
         for o in &report.outcomes {
             assert!(o.seconds.is_finite() && o.seconds > 0.0, "{o:?}");
@@ -499,15 +510,17 @@ mod tests {
         assert!(by_name("Recovered").seconds > by_name("MaskedIdentical").seconds);
         assert!(by_name("Repaired").seconds > by_name("MaskedIdentical").seconds);
         assert!(by_name("Degraded").seconds > by_name("MaskedIdentical").seconds);
+        assert!(by_name("FailedOver").seconds > by_name("MaskedIdentical").seconds);
     }
 
     #[test]
     fn checkpoint_versions_probe_as_specified() {
         let ck = probe_checkpoints();
         assert!(ck.ok(), "{ck:?}");
-        // v2 legacy, v3 (pre-degraded counters), and the current v4 all
-        // round-trip; v1 and future versions are rejected.
-        assert_eq!(ck.accepted, vec![2, 3, CHECKPOINT_VERSION]);
+        // v2 legacy, v3 (pre-degraded counters), v4 (pre-failover
+        // counters), and the current v5 all round-trip; v1 and future
+        // versions are rejected.
+        assert_eq!(ck.accepted, vec![2, 3, 4, CHECKPOINT_VERSION]);
     }
 
     #[test]

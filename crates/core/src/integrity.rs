@@ -115,6 +115,40 @@ impl WeightChecksums {
             .expect("layer missing");
         dst.weight.as_mut_slice()[t.start..t.start + t.len].copy_from_slice(src_slice);
     }
+
+    /// Verify tiles `from..from + budget` (clamped to the table) of the
+    /// live weights and restore any mismatch from the golden copy.
+    /// Returns `(checked, repaired)`. This is the incremental unit of the
+    /// replica-rebuild loop: a quarantined replica verifies a budget of
+    /// tiles per router tick — surviving replicas keep serving — and
+    /// rejoins once the cursor has covered [`WeightChecksums::num_tiles`].
+    pub fn sweep(
+        &self,
+        from: usize,
+        budget: usize,
+        live: &mut ModelWeights,
+        golden: &ModelWeights,
+    ) -> (usize, usize) {
+        // ft2: nan-ok (usize clamp of the tile cursor; no floats involved)
+        let end = self.tiles.len().min(from.saturating_add(budget));
+        if from >= end {
+            return (0, 0);
+        }
+        let mut repaired = 0;
+        for idx in from..end {
+            if !self.tile_matches(idx, live) {
+                self.repair_tile(idx, live, golden);
+                repaired += 1;
+            }
+        }
+        (end - from, repaired)
+    }
+
+    /// Verify every tile and repair every mismatch in one pass. Returns
+    /// `(checked, repaired)`.
+    pub fn full_sweep(&self, live: &mut ModelWeights, golden: &ModelWeights) -> (usize, usize) {
+        self.sweep(0, self.tiles.len(), live, golden)
+    }
 }
 
 /// Background weight scrubber: verifies `tiles_per_step` tiles per state
@@ -333,6 +367,35 @@ mod tests {
         // tiled at 256 elements each.
         let per_block = 4 * (32 * 32) + 2 * (128 * 32);
         assert_eq!(sums.num_tiles(), 2 * per_block / TILE_ELEMS);
+    }
+
+    #[test]
+    fn incremental_sweep_covers_the_table_and_repairs_corruption() {
+        let (config, golden, mut live) = ctx_parts();
+        let sums = WeightChecksums::build(&config, &golden);
+        // Corrupt one element in each of two blocks.
+        for b in 0..2 {
+            let v = live.blocks[b].fc.as_ref().unwrap().0.weight.get_flat(3);
+            live.blocks[b].fc.as_mut().unwrap().0.weight.set_flat(3, v - 42.0);
+        }
+        // Sweep in uneven budgets; the cursor must cover every tile once.
+        let mut cursor = 0;
+        let mut repaired = 0;
+        for budget in [7usize, 64, usize::MAX] {
+            let (checked, fixed) = sums.sweep(cursor, budget, &mut live, &golden);
+            cursor += checked;
+            repaired += fixed;
+            if cursor >= sums.num_tiles() {
+                break;
+            }
+        }
+        assert_eq!(cursor, sums.num_tiles(), "sweep must cover every tile");
+        assert_eq!(repaired, 2, "both corrupted tiles repaired");
+        let (checked, fixed) = sums.full_sweep(&mut live, &golden);
+        assert_eq!(checked, sums.num_tiles());
+        assert_eq!(fixed, 0, "second sweep finds a clean model");
+        // Past-the-end sweeps are empty, not panics.
+        assert_eq!(sums.sweep(sums.num_tiles(), 10, &mut live, &golden), (0, 0));
     }
 
     #[test]

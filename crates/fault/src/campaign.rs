@@ -193,6 +193,12 @@ pub struct CampaignResult {
     pub kv_repairs: u64,
     /// Total repair-and-retry rungs taken after rollback exhaustion.
     pub repair_retries: u64,
+    /// Total cross-replica failovers: in-flight requests handed off to a
+    /// surviving replica after a crash, hang, or quarantine.
+    pub failovers: u64,
+    /// Total quarantined replicas rebuilt from the golden copy that
+    /// rejoined live service.
+    pub replica_rebuilds: u64,
 }
 
 impl CampaignResult {

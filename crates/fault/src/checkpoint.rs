@@ -24,12 +24,13 @@ use ft2_model::LayerKind;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Current checkpoint document version. Version 4 added the `degraded`
-/// outcome counter (sharded degraded-mode serving); version-3 documents
-/// (8-element count rows) and version-2 documents (no `"version"` key)
-/// remain loadable with the missing counters zeroed. Versions above this
-/// are rejected.
-pub const CHECKPOINT_VERSION: u64 = 4;
+/// Current checkpoint document version. Version 5 added the `failed_over`
+/// outcome counter plus the `failovers` / `replica_rebuilds` scalars
+/// (cross-replica failover); version 4 added the `degraded` counter,
+/// version-3 documents carry 8-element count rows and version-2 documents
+/// (no `"version"` key) 7-element rows — all remain loadable with the
+/// missing counters zeroed. Versions above this are rejected.
+pub const CHECKPOINT_VERSION: u64 = 5;
 
 /// A persisted campaign prefix: everything needed to resume.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,7 +93,9 @@ impl CampaignCheckpoint {
         let _ = writeln!(s, "  \"scrubbed_tiles\": {},", self.result.scrubbed_tiles);
         let _ = writeln!(s, "  \"weight_repairs\": {},", self.result.weight_repairs);
         let _ = writeln!(s, "  \"kv_repairs\": {},", self.result.kv_repairs);
-        let _ = writeln!(s, "  \"repair_retries\": {}", self.result.repair_retries);
+        let _ = writeln!(s, "  \"repair_retries\": {},", self.result.repair_retries);
+        let _ = writeln!(s, "  \"failovers\": {},", self.result.failovers);
+        let _ = writeln!(s, "  \"replica_rebuilds\": {}", self.result.replica_rebuilds);
         s.push_str("}\n");
         s
     }
@@ -160,6 +163,10 @@ impl CampaignCheckpoint {
         result.weight_repairs = get_u64_or(obj, "weight_repairs", 0)?;
         result.kv_repairs = get_u64_or(obj, "kv_repairs", 0)?;
         result.repair_retries = get_u64_or(obj, "repair_retries", 0)?;
+        // Failover counters arrived in version 5; older documents load
+        // with them zeroed.
+        result.failovers = get_u64_or(obj, "failovers", 0)?;
+        result.replica_rebuilds = get_u64_or(obj, "replica_rebuilds", 0)?;
         Ok(CampaignCheckpoint {
             fingerprint: get(obj, "fingerprint")?.as_str("fingerprint")?.to_string(),
             completed_tasks: get(obj, "completed_tasks")?.as_u64("completed_tasks")? as usize,
@@ -190,7 +197,7 @@ impl CampaignCheckpoint {
 
 fn counts_json(c: &OutcomeCounts) -> String {
     format!(
-        "[{}, {}, {}, {}, {}, {}, {}, {}, {}]",
+        "[{}, {}, {}, {}, {}, {}, {}, {}, {}, {}]",
         c.masked_identical,
         c.masked_semantic,
         c.sdc,
@@ -199,17 +206,19 @@ fn counts_json(c: &OutcomeCounts) -> String {
         c.recovered,
         c.recovery_failed,
         c.repaired,
-        c.degraded
+        c.degraded,
+        c.failed_over
     )
 }
 
 fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
     let a = v.as_arr("counts")?;
     // Version-2 documents carry 7-element count rows (no `repaired`),
-    // version-3 rows 8 elements (no `degraded`).
-    if a.len() != 7 && a.len() != 8 && a.len() != 9 {
+    // version-3 rows 8 elements (no `degraded`), version-4 rows 9
+    // elements (no `failed_over`).
+    if !(7..=10).contains(&a.len()) {
         return Err(format!(
-            "counts must have 7, 8 or 9 fields, got {}",
+            "counts must have 7 to 10 fields, got {}",
             a.len()
         ));
     }
@@ -227,6 +236,10 @@ fn parse_counts(v: &Json) -> Result<OutcomeCounts, String> {
         },
         degraded: match a.get(8) {
             Some(v) => v.as_u64("counts[8]")?,
+            None => 0,
+        },
+        failed_over: match a.get(9) {
+            Some(v) => v.as_u64("counts[9]")?,
             None => 0,
         },
     })
@@ -469,6 +482,7 @@ mod tests {
                 recovery_failed: 2,
                 repaired: 5,
                 degraded: 3,
+                failed_over: 2,
             },
             rollbacks: 9,
             storms: 11,
@@ -476,6 +490,8 @@ mod tests {
             weight_repairs: 3,
             kv_repairs: 2,
             repair_retries: 1,
+            failovers: 2,
+            replica_rebuilds: 1,
             ..CampaignResult::default()
         };
         result.per_layer.insert(
@@ -607,6 +623,35 @@ mod tests {
         assert_eq!(cp.result.counts.repaired, 1);
         assert_eq!(cp.result.counts.degraded, 0);
         assert_eq!(cp.result.scrubbed_tiles, 64);
+    }
+
+    #[test]
+    fn version4_documents_still_load() {
+        // A v4 document: 9-element count rows (no `failed_over`), no
+        // failover scalars.
+        let v4 = r#"{
+  "version": 4,
+  "fingerprint": "v4|seed=1",
+  "completed_tasks": 8,
+  "counts": [4, 1, 1, 0, 0, 0, 0, 1, 1],
+  "per_layer": {"FC1": [4, 1, 1, 0, 0, 0, 0, 1, 1]},
+  "per_bit_class": {"exponent": [4, 1, 1, 0, 0, 0, 0, 1, 1]},
+  "first_token_faults": [0, 0, 0, 0, 0, 0, 0, 0, 0],
+  "crashes": [],
+  "rollbacks": 1,
+  "storms": 2,
+  "scrubbed_tiles": 32,
+  "weight_repairs": 1,
+  "kv_repairs": 0,
+  "repair_retries": 1
+}"#;
+        let cp = CampaignCheckpoint::from_json(v4).unwrap();
+        assert_eq!(cp.completed_tasks, 8);
+        assert_eq!(cp.result.counts.total(), 8);
+        assert_eq!(cp.result.counts.degraded, 1);
+        assert_eq!(cp.result.counts.failed_over, 0);
+        assert_eq!(cp.result.failovers, 0);
+        assert_eq!(cp.result.replica_rebuilds, 0);
     }
 
     #[test]

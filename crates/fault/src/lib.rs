@@ -32,6 +32,11 @@
 //! * [`shard`] — shard-scoped fault modes ([`ShardFault`]) for the sharded
 //!   executor's fault-isolation domains, and the [`classify_sharded`]
 //!   mapping into this taxonomy (including [`Outcome::Degraded`]).
+//! * [`replica`] — replica-scoped fault modes ([`ReplicaFaultSpec`]:
+//!   crash / hang / activation storm across the duration taxonomy) for
+//!   the cross-replica failover runtime, and the typed
+//!   [`ReplicaHangAbort`] panic payload behind its hang classification
+//!   (mapping into [`Outcome::FailedOver`]).
 
 pub mod campaign;
 pub mod checkpoint;
@@ -39,6 +44,7 @@ pub mod dmr;
 pub mod inject;
 pub mod model;
 pub mod outcome;
+pub mod replica;
 pub mod shard;
 pub mod site;
 pub mod trace;
@@ -53,6 +59,7 @@ pub use dmr::{run_dmr_campaign, DmrReport};
 pub use inject::{FaultInjector, StateFaultInjector};
 pub use model::{FaultDuration, FaultModel, FaultTarget};
 pub use outcome::{ExactJudge, Outcome, OutcomeCounts, OutcomeJudge};
+pub use replica::{ReplicaFaultKind, ReplicaFaultSpec, ReplicaHangAbort};
 pub use shard::{classify_sharded, ShardFault, ShardFaultInjector, ShardFaultSpec};
 pub use site::{FaultSite, SiteSampler, StepFilter, StepWeighting};
 pub use trace::{TraceEvent, TraceTap};

@@ -57,6 +57,15 @@ pub enum Outcome {
         /// Shards evicted during the generation.
         shards_lost: u32,
     },
+    /// The serving replica handling the request crashed, hung, or was
+    /// quarantined mid-generation and a survivor took over. Accepted
+    /// tokens were kept and the handoff re-prefill is bit-identical to
+    /// solo generation, so the final output is masked — but the failover
+    /// is never silent: the replica loss is always reported and priced.
+    FailedOver {
+        /// Replica failovers the request survived.
+        failovers: u32,
+    },
 }
 
 impl Outcome {
@@ -69,6 +78,7 @@ impl Outcome {
                 | Outcome::MaskedSemantic
                 | Outcome::Recovered { .. }
                 | Outcome::Repaired { .. }
+                | Outcome::FailedOver { .. }
         )
     }
 
@@ -105,6 +115,9 @@ pub struct OutcomeCounts {
     /// Trials that kept serving after evicting failed shards (degraded
     /// mode — available but not claimed masked).
     pub degraded: u64,
+    /// Requests handed off to a surviving replica mid-generation with a
+    /// bit-identical continuation (masked; the replica loss is reported).
+    pub failed_over: u64,
 }
 
 impl OutcomeCounts {
@@ -120,6 +133,7 @@ impl OutcomeCounts {
             Outcome::RecoveryFailed { .. } => self.recovery_failed += 1,
             Outcome::Repaired { .. } => self.repaired += 1,
             Outcome::Degraded { .. } => self.degraded += 1,
+            Outcome::FailedOver { .. } => self.failed_over += 1,
         }
     }
 
@@ -134,6 +148,7 @@ impl OutcomeCounts {
         self.recovery_failed += other.recovery_failed;
         self.repaired += other.repaired;
         self.degraded += other.degraded;
+        self.failed_over += other.failed_over;
     }
 
     /// Total trials recorded.
@@ -147,6 +162,7 @@ impl OutcomeCounts {
             + self.recovery_failed
             + self.repaired
             + self.degraded
+            + self.failed_over
     }
 
     /// Detected unrecoverable errors (crashes + hangs + exhausted
@@ -237,6 +253,7 @@ mod tests {
             recovery_failed: 7,
             repaired: 8,
             degraded: 9,
+            failed_over: 10,
         };
         let b = OutcomeCounts {
             masked_identical: 10,
@@ -248,6 +265,7 @@ mod tests {
             recovery_failed: 70,
             repaired: 80,
             degraded: 90,
+            failed_over: 100,
         };
         a.merge(&b);
         assert_eq!(a.masked_identical, 11);
@@ -259,7 +277,8 @@ mod tests {
         assert_eq!(a.recovery_failed, 77);
         assert_eq!(a.repaired, 88);
         assert_eq!(a.degraded, 99);
-        assert_eq!(a.total(), 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88 + 99);
+        assert_eq!(a.failed_over, 110);
+        assert_eq!(a.total(), 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88 + 99 + 110);
     }
 
     #[test]
@@ -272,6 +291,19 @@ mod tests {
         assert_eq!(c.degraded, 1);
         assert_eq!(c.total(), 1);
         assert_eq!(c.due(), 0);
+    }
+
+    #[test]
+    fn failed_over_outcome_is_masked_not_due() {
+        let f = Outcome::FailedOver { failovers: 1 };
+        assert!(f.is_masked(), "handoff continuation is bit-identical");
+        assert!(!f.is_due(), "the request was served to completion");
+        let mut c = OutcomeCounts::default();
+        c.record(&f);
+        assert_eq!(c.failed_over, 1);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.due(), 0);
+        assert_eq!(c.sdc_rate(), 0.0);
     }
 
     #[test]

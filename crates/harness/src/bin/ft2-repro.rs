@@ -40,6 +40,18 @@
 //!   Knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN,
 //!   FT2_QUICK=1.
 //!
+//! ft2-repro replicas [--json] [--out PATH] [--smoke]
+//!   cross-replica failover gate: a replica crash mid-batch hands its
+//!   in-flight requests over with zero accepted-token loss and
+//!   bit-identical continuations (typed FailedOver outcomes), a
+//!   persistent one-replica activation storm trips the breaker into
+//!   quarantine while clean requests stay identical (clean-replica p99
+//!   inflation reported), and the quarantined replica rebuilds its
+//!   weights live from the golden copy and rejoins faster than a full
+//!   restart. --json writes the schema-stable BENCH_replicas.json
+//!   baseline. Knobs: FT2_REPLICAS, FT2_REPLICA_RETRY_BUDGET,
+//!   FT2_REPLICA_BACKOFF_MS, FT2_REPLICA_QUARANTINE_ERRS, FT2_QUICK=1.
+//!
 //! ft2-repro lint [--json] [--root PATH]
 //!   static analysis: the repo-specific source lints (unsafe-safety,
 //!   nan-comparison, env-knob, zero-skip) plus the protection-coverage
@@ -64,7 +76,8 @@
 use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
 use ft2_harness::{
-    bench, lint, serve, shards, BENCH_BASELINE_PATH, SERVE_BASELINE_PATH, SHARDS_BASELINE_PATH,
+    bench, lint, replicas, serve, shards, BENCH_BASELINE_PATH, REPLICAS_BASELINE_PATH,
+    SERVE_BASELINE_PATH, SHARDS_BASELINE_PATH,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -243,6 +256,35 @@ fn run_serve(args: &[String]) -> Result<bool, String> {
     Ok(report.ok())
 }
 
+fn run_replicas(args: &[String]) -> Result<bool, String> {
+    let mut json = false;
+    let mut smoke = false;
+    let mut out = PathBuf::from(REPLICAS_BASELINE_PATH);
+    let mut rest = args.iter();
+    while let Some(key) = rest.next() {
+        match key.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = PathBuf::from(
+                    rest.next().ok_or("option --out needs a value")?,
+                );
+            }
+            other => return Err(format!("unknown replicas option {other}")),
+        }
+    }
+    let pool = ft2_parallel::WorkStealingPool::with_default_threads();
+    let t0 = Instant::now();
+    let report = replicas::run(&pool, smoke);
+    eprintln!("### replicas done in {:.1?}", t0.elapsed());
+    println!("{}", report.summary());
+    if json {
+        replicas::write_json(&report, &out)?;
+        println!("wrote {}", out.display());
+    }
+    Ok(report.ok())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -268,6 +310,13 @@ fn main() {
         println!("         and clean-request p99 inflation under a per-request fault storm;");
         println!("         --json writes the schema-stable {SERVE_BASELINE_PATH} baseline;");
         println!("         knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN");
+        println!("       ft2-repro replicas [--json] [--out PATH] [--smoke]");
+        println!("         cross-replica failover gate: zero-token-loss bit-identical");
+        println!("         crash handoff, breaker-driven quarantine under a one-replica");
+        println!("         storm, and live golden-copy rebuild that beats a full restart;");
+        println!("         --json writes the schema-stable {REPLICAS_BASELINE_PATH} baseline;");
+        println!("         knobs: FT2_REPLICAS, FT2_REPLICA_RETRY_BUDGET,");
+        println!("         FT2_REPLICA_BACKOFF_MS, FT2_REPLICA_QUARANTINE_ERRS");
         println!("experiments: {}", EXPERIMENTS.join(" "));
         println!("sizing via env: FT2_INPUTS, FT2_TRIALS, FT2_SEED, FT2_QUICK=1");
         println!("resilience: --resume (or FT2_RESUME=1) resumes interrupted campaigns;");
@@ -317,6 +366,20 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("serve failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args[0] == "replicas" {
+        match run_replicas(&args[1..]) {
+            Ok(true) => return,
+            Ok(false) => {
+                eprintln!("replicas gate failed a guarantee — see the summary above");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("replicas failed: {e}");
                 std::process::exit(2);
             }
         }

@@ -14,12 +14,14 @@
 pub mod bench;
 pub mod experiments;
 pub mod lint;
+pub mod replicas;
 pub mod report;
 pub mod serve;
 pub mod settings;
 pub mod shards;
 
 pub use bench::{BenchReport, BENCH_BASELINE_PATH, BENCH_SCHEMA_VERSION};
+pub use replicas::{ReplicasReport, REPLICAS_BASELINE_PATH, REPLICAS_SCHEMA_VERSION};
 pub use serve::{ServeBatchPoint, ServeReport, SERVE_BASELINE_PATH, SERVE_SCHEMA_VERSION};
 pub use shards::{ShardsEntry, ShardsReport, SHARDS_BASELINE_PATH, SHARDS_SCHEMA_VERSION};
 pub use report::{format_pct, Csv, Table};

@@ -1,0 +1,561 @@
+//! The cross-replica failover gate behind `ft2-repro replicas`.
+//!
+//! Exercises `ft2-serve`'s [`ReplicaSet`] end to end on the bench fixtures
+//! (OPT-6.7B stand-in, deterministic SQuAD-style prompts) and proves the
+//! three replication guarantees:
+//!
+//! * **zero-token-loss handoff** — a replica crash mid-batch fails its
+//!   in-flight requests over to a survivor with their accepted-token
+//!   prefixes intact; every request completes **bit-identical** to its
+//!   single-sequence generation, and at least one handoff carried accepted
+//!   tokens across. Handoffs are typed: the drill records an
+//!   [`ft2_fault::Outcome::FailedOver`] per failed-over request (the
+//!   masked-but-priced outcome the analyzer and checkpoint carry).
+//! * **blast-radius isolation** — a persistent activation storm on one
+//!   replica trips the error-rate breaker (quarantine) while the clean
+//!   replica's requests stay token-identical; the clean replica's p99
+//!   token latency is reported as an inflation ratio over a fault-free run
+//!   (informational).
+//! * **rebuild beats restart** — a quarantined replica with corrupted
+//!   weights rebuilds live (incremental checksum sweep against the golden
+//!   copy, survivors keep serving) and rejoins; the measured
+//!   quarantine→rebuild→rejoin wall time must beat building a fresh
+//!   replica from scratch.
+//!
+//! With `--json` the report is written as the schema-stable
+//! `BENCH_replicas.json` (committed as a baseline; CI greps its keys).
+//! `ok` gates correctness (identity, zero loss, typed failovers,
+//! quarantine, rebuild-beats-restart); timings beyond that are
+//! informational. Sizing: `FT2_BENCH_GEN`, `FT2_QUICK=1` / `--smoke`.
+//! Knobs: `FT2_REPLICAS`, `FT2_REPLICA_RETRY_BUDGET`,
+//! `FT2_REPLICA_BACKOFF_MS`, `FT2_REPLICA_QUARANTINE_ERRS`.
+
+use crate::settings::{env_usize, quick_mode};
+use ft2_fault::{Outcome as FaultOutcome, OutcomeCounts, ReplicaFaultKind, ReplicaFaultSpec};
+use ft2_model::{Model, TapList, ZooModel};
+use ft2_parallel::WorkStealingPool;
+use ft2_serve::replica::{ReplicaCompletion, ReplicaConfig, ReplicaHealth, ReplicaSet, RetryPolicy};
+use ft2_serve::scheduler::{Outcome, Request};
+use ft2_tasks::datasets::generate_prompts;
+use ft2_tasks::DatasetId;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Version of the JSON report schema. Bump when a key changes meaning.
+pub const REPLICAS_SCHEMA_VERSION: u64 = 1;
+
+/// Default output path for the JSON report.
+pub const REPLICAS_BASELINE_PATH: &str = "BENCH_replicas.json";
+
+/// The full replication report.
+#[derive(Clone, Debug)]
+pub struct ReplicasReport {
+    /// Benchmarked model name.
+    pub model: String,
+    /// Decode-pool worker threads.
+    pub threads: usize,
+    /// Tokens generated per request.
+    pub gen_tokens: usize,
+    /// Replicas per set (`FT2_REPLICAS`).
+    pub replicas: usize,
+    /// Failover budget per request (`FT2_REPLICA_RETRY_BUDGET`).
+    pub retry_budget: u32,
+    /// Base failover backoff (`FT2_REPLICA_BACKOFF_MS`).
+    pub backoff_ms: u64,
+    /// Breaker threshold (`FT2_REPLICA_QUARANTINE_ERRS`).
+    pub quarantine_errs: u32,
+
+    /// Crash drill: requests served across the crash.
+    pub crash_requests: usize,
+    /// Every crash-drill request completed with its full token budget and
+    /// bit-identical to solo generation — no accepted token lost.
+    pub crash_identity_ok: bool,
+    /// Failovers the crash forced (≥ 1 or the drill never armed).
+    pub crash_failovers: u64,
+    /// Accepted tokens carried across handoffs (≥ 1 proves a
+    /// mid-generation handoff, not just a queue re-route).
+    pub handoff_tokens: u64,
+    /// Requests whose completion was typed `FailedOver` (masked, priced).
+    pub crash_failed_over: u64,
+    /// Requests served without ever failing over (`MaskedIdentical`).
+    pub crash_masked_identical: u64,
+
+    /// Storm drill: the degenerate replica was quarantined by the breaker.
+    pub storm_quarantined: bool,
+    /// Storm-caused evictions retried clean on a survivor.
+    pub storm_evictions: u64,
+    /// Every storm-drill request still completed bit-identical to solo.
+    pub storm_identity_ok: bool,
+    /// Clean requests' p99 token latency under the one-replica storm, ms.
+    pub storm_clean_p99_ms: f64,
+    /// Fault-free p99 token latency baseline, ms.
+    pub clean_p99_ms: f64,
+    /// `storm_clean_p99_ms / clean_p99_ms` (informational).
+    pub clean_p99_inflation: f64,
+
+    /// Rebuild drill: weight tiles the sweep restored from golden.
+    pub tiles_repaired: u64,
+    /// Quarantine→rebuild→rejoin wall time, milliseconds.
+    pub rebuild_ms: f64,
+    /// Building a replacement replica from scratch, milliseconds.
+    pub restart_ms: f64,
+    /// The live rebuild beat the full restart.
+    pub rebuild_beats_restart: bool,
+    /// The rebuilt replica rejoined `Healthy` and served identically.
+    pub rejoin_ok: bool,
+}
+
+impl ReplicasReport {
+    /// Correctness gate: bit-identical zero-loss handoff with at least one
+    /// real mid-generation failover, breaker-driven quarantine under a
+    /// one-replica storm with clean-replica identity intact, and a live
+    /// rebuild that repairs the corruption, beats a full restart, and
+    /// rejoins. Latency inflation is informational and never gates.
+    pub fn ok(&self) -> bool {
+        self.crash_requests > 0
+            && self.crash_identity_ok
+            && self.crash_failovers >= 1
+            && self.handoff_tokens >= 1
+            && self.crash_failed_over >= 1
+            && self.storm_quarantined
+            && self.storm_evictions >= 1
+            && self.storm_identity_ok
+            && self.tiles_repaired >= 1
+            && self.rebuild_beats_restart
+            && self.rejoin_ok
+    }
+
+    /// Serialise as the schema-stable JSON document (one key per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {REPLICAS_SCHEMA_VERSION},");
+        let _ = writeln!(s, "  \"model\": \"{}\",", self.model);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"gen_tokens\": {},", self.gen_tokens);
+        let _ = writeln!(s, "  \"replicas\": {},", self.replicas);
+        let _ = writeln!(s, "  \"retry_budget\": {},", self.retry_budget);
+        let _ = writeln!(s, "  \"backoff_ms\": {},", self.backoff_ms);
+        let _ = writeln!(s, "  \"quarantine_errs\": {},", self.quarantine_errs);
+        let _ = writeln!(s, "  \"crash_requests\": {},", self.crash_requests);
+        let _ = writeln!(s, "  \"crash_identity_ok\": {},", self.crash_identity_ok);
+        let _ = writeln!(s, "  \"crash_failovers\": {},", self.crash_failovers);
+        let _ = writeln!(s, "  \"handoff_tokens\": {},", self.handoff_tokens);
+        let _ = writeln!(s, "  \"crash_failed_over\": {},", self.crash_failed_over);
+        let _ = writeln!(
+            s,
+            "  \"crash_masked_identical\": {},",
+            self.crash_masked_identical
+        );
+        let _ = writeln!(s, "  \"storm_quarantined\": {},", self.storm_quarantined);
+        let _ = writeln!(s, "  \"storm_evictions\": {},", self.storm_evictions);
+        let _ = writeln!(s, "  \"storm_identity_ok\": {},", self.storm_identity_ok);
+        let _ = writeln!(s, "  \"storm_clean_p99_ms\": {:.3},", self.storm_clean_p99_ms);
+        let _ = writeln!(s, "  \"clean_p99_ms\": {:.3},", self.clean_p99_ms);
+        let _ = writeln!(s, "  \"clean_p99_inflation\": {:.3},", self.clean_p99_inflation);
+        let _ = writeln!(s, "  \"tiles_repaired\": {},", self.tiles_repaired);
+        let _ = writeln!(s, "  \"rebuild_ms\": {:.3},", self.rebuild_ms);
+        let _ = writeln!(s, "  \"restart_ms\": {:.3},", self.restart_ms);
+        let _ = writeln!(
+            s,
+            "  \"rebuild_beats_restart\": {},",
+            self.rebuild_beats_restart
+        );
+        let _ = writeln!(s, "  \"rejoin_ok\": {},", self.rejoin_ok);
+        let _ = writeln!(s, "  \"ok\": {}", self.ok());
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "replica failover | model {} | threads {} | {} tokens/request | {} replicas \
+             (budget {}, backoff {} ms, breaker {} errs)\n",
+            self.model,
+            self.threads,
+            self.gen_tokens,
+            self.replicas,
+            self.retry_budget,
+            self.backoff_ms,
+            self.quarantine_errs
+        );
+        let _ = writeln!(
+            s,
+            "crash handoff: {} requests, {} failovers, {} tokens carried, typed \
+             FailedOver {} / MaskedIdentical {}, identity {}",
+            self.crash_requests,
+            self.crash_failovers,
+            self.handoff_tokens,
+            self.crash_failed_over,
+            self.crash_masked_identical,
+            if self.crash_identity_ok { "ok" } else { "DRIFT" }
+        );
+        let _ = writeln!(
+            s,
+            "one-replica storm: quarantined {}, {} evictions retried clean, clean p99 \
+             {:.3} ms = {:.2}x fault-free, identity {}",
+            self.storm_quarantined,
+            self.storm_evictions,
+            self.storm_clean_p99_ms,
+            self.clean_p99_inflation,
+            if self.storm_identity_ok { "ok" } else { "DRIFT" }
+        );
+        let _ = writeln!(
+            s,
+            "live rebuild: {} tiles repaired, rejoin in {:.2} ms vs {:.2} ms full \
+             restart ({}), rejoin {}",
+            self.tiles_repaired,
+            self.rebuild_ms,
+            self.restart_ms,
+            if self.rebuild_beats_restart {
+                "rebuild wins"
+            } else {
+                "RESTART WINS"
+            },
+            if self.rejoin_ok { "ok" } else { "FAIL" }
+        );
+        let _ = write!(s, "overall: {}", if self.ok() { "ok" } else { "FAIL" });
+        s
+    }
+}
+
+/// Percentile (0..=100) of per-token latencies, in milliseconds.
+fn percentile_ms(mut ns: Vec<u64>, p: f64) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    ns.sort_unstable();
+    let idx = ((p / 100.0) * (ns.len() - 1) as f64).round() as usize;
+    ns[idx.min(ns.len() - 1)] as f64 / 1e6
+}
+
+/// Per-token latency gaps of one completion.
+fn token_latencies_ns(c: &ReplicaCompletion) -> Vec<u64> {
+    let mut out = Vec::with_capacity(c.inner.token_ns.len());
+    let mut prev = 0u64;
+    for &t in &c.inner.token_ns {
+        out.push(t.saturating_sub(prev));
+        prev = t;
+    }
+    out
+}
+
+fn replica_config(replicas: usize, retry: RetryPolicy, quarantine_errs: u32) -> ReplicaConfig {
+    ReplicaConfig {
+        replicas,
+        retry,
+        quarantine_errs,
+        heartbeat: std::time::Duration::from_millis(20),
+        ..ReplicaConfig::default()
+    }
+}
+
+/// Serve `requests` clean requests through a replica set with `fault`
+/// injected (if any); returns completions sorted by id.
+fn replica_wave(
+    model: &Model,
+    pool: &WorkStealingPool,
+    config: ReplicaConfig,
+    prompts: &[Vec<u32>],
+    gen_tokens: usize,
+    requests: usize,
+    fault: Option<ReplicaFaultSpec>,
+) -> (Vec<ReplicaCompletion>, ReplicaSet) {
+    let mut set = ReplicaSet::new(model, config);
+    if let Some(f) = fault {
+        set.inject(f);
+    }
+    for i in 0..requests {
+        set.try_submit(Request {
+            id: i as u64,
+            prompt: prompts[i % prompts.len()].clone(),
+            gen_tokens,
+            tap: None,
+        })
+        .expect("bench request rejected at admission");
+    }
+    let mut done = set.run(pool);
+    done.sort_by_key(|c| c.inner.id);
+    (done, set)
+}
+
+/// Run the replication gate. `smoke` (or `FT2_QUICK=1`) shrinks request
+/// counts and generation length for CI.
+pub fn run(pool: &WorkStealingPool, smoke: bool) -> ReplicasReport {
+    let quick = smoke || quick_mode();
+    let gen_tokens = env_usize("FT2_BENCH_GEN")
+        .unwrap_or(if quick { 8 } else { 16 })
+        .max(4);
+    let replicas = env_usize("FT2_REPLICAS").unwrap_or(2).max(2);
+    let retry = RetryPolicy {
+        budget: env_usize("FT2_REPLICA_RETRY_BUDGET").unwrap_or(3).max(1) as u32,
+        backoff_ms: env_usize("FT2_REPLICA_BACKOFF_MS").unwrap_or(1) as u64,
+        deadline_ms: 0,
+    };
+    let quarantine_errs = env_usize("FT2_REPLICA_QUARANTINE_ERRS").unwrap_or(3).max(1) as u32;
+    let requests = if quick { 6 } else { 12 };
+
+    let model = ZooModel::Opt6_7B.spec().build();
+    let prompts = generate_prompts(DatasetId::Squad, requests.min(8), 0xF41);
+    let solo: Vec<Vec<u32>> = prompts
+        .iter()
+        .map(|p| {
+            let mut taps = TapList::new();
+            model.generate(p, gen_tokens, &mut taps).tokens
+        })
+        .collect();
+    let identical = |c: &ReplicaCompletion| {
+        c.inner.outcome == Outcome::Completed
+            && c.inner.tokens == solo[c.inner.id as usize % prompts.len()]
+    };
+
+    // Fault-free baseline (also the p99 reference for the storm drill).
+    let (clean_done, _) = replica_wave(
+        &model,
+        pool,
+        replica_config(replicas, retry, quarantine_errs),
+        &prompts,
+        gen_tokens,
+        requests,
+        None,
+    );
+    let clean_p99_ms = percentile_ms(
+        clean_done.iter().flat_map(token_latencies_ns).collect(),
+        99.0,
+    );
+
+    // Drill (a): replica 0 crashes mid-batch; zero-token-loss handoff.
+    let (crash_done, crash_set) = replica_wave(
+        &model,
+        pool,
+        replica_config(replicas, retry, quarantine_errs),
+        &prompts,
+        gen_tokens,
+        requests,
+        Some(ReplicaFaultSpec::transient(
+            0,
+            ReplicaFaultKind::Crash,
+            (gen_tokens as u64 / 2).max(1),
+        )),
+    );
+    let crash_identity_ok = crash_done.len() == requests && crash_done.iter().all(identical);
+    // Typed outcome accounting: the same counts the campaign checkpoint
+    // persists and the analyzer prices.
+    let mut counts = OutcomeCounts::default();
+    for c in &crash_done {
+        if identical(c) {
+            counts.record(&if c.failovers > 0 {
+                FaultOutcome::FailedOver {
+                    failovers: c.failovers,
+                }
+            } else {
+                FaultOutcome::MaskedIdentical
+            });
+        } else {
+            counts.record(&FaultOutcome::Sdc);
+        }
+    }
+    let crash_stats = *crash_set.stats();
+
+    // Drill (b): a persistent activation storm on replica 0; the breaker
+    // quarantines it and its requests retry clean on survivors.
+    let (storm_done, storm_set) = replica_wave(
+        &model,
+        pool,
+        replica_config(replicas, retry, quarantine_errs),
+        &prompts,
+        gen_tokens,
+        requests,
+        Some(ReplicaFaultSpec::persistent(0, ReplicaFaultKind::ActStorm, 0)),
+    );
+    let storm_identity_ok = storm_done.len() == requests && storm_done.iter().all(identical);
+    let storm_stats = *storm_set.stats();
+    // Tail of requests that never touched the storming replica: served
+    // end-to-end by a clean survivor (failovers == 0).
+    let storm_clean_ns: Vec<u64> = storm_done
+        .iter()
+        .filter(|c| c.failovers == 0)
+        .flat_map(token_latencies_ns)
+        .collect();
+    let storm_clean_p99_ms = percentile_ms(storm_clean_ns, 99.0);
+
+    // Drill (c): quarantine a replica, corrupt its weights, and measure
+    // quarantine→rebuild→rejoin against building a replacement replica
+    // from scratch. Survivors keep the set serving throughout.
+    let mut set = ReplicaSet::new(&model, replica_config(replicas, retry, quarantine_errs));
+    set.quarantine(0);
+    set.with_replica_weights(0, |w| {
+        for b in 0..w.blocks.len() {
+            for kind in [ft2_model::LayerKind::QProj, ft2_model::LayerKind::VProj] {
+                if let Some(layer) = w.blocks[b].layer_mut(kind) {
+                    let len = layer.weight.as_slice().len();
+                    layer.weight.as_mut_slice()[(b * 131) % len] += 1.0e4;
+                }
+            }
+        }
+    })
+    .expect("quarantined replica weights must be reachable");
+    let t0 = Instant::now();
+    while set.health(0) != ReplicaHealth::Healthy {
+        set.step(pool);
+    }
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let rebuild_stats = *set.stats();
+    // Full restart: synthesise a replacement replica from the checkpoint
+    // config AND attest it — a replica can only join the set once its
+    // weight-tile checksums exist (the integrity contract every sweep and
+    // scrub relies on). Rebuild gets that attestation for free: its sweep
+    // IS the checksum pass.
+    let t0 = Instant::now();
+    let fresh = Model::new(model.config().clone());
+    let attestation = ft2_core::WeightChecksums::build(fresh.config(), fresh.weights());
+    let restart_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(attestation);
+    drop(fresh);
+    // The rebuilt replica must serve bit-identically again.
+    for i in 0..2usize {
+        set.try_submit(Request {
+            id: i as u64,
+            prompt: prompts[i % prompts.len()].clone(),
+            gen_tokens,
+            tap: None,
+        })
+        .expect("post-rejoin request rejected");
+    }
+    let rejoined = set.run(pool);
+    let rejoin_ok = rejoined.len() == 2 && rejoined.iter().all(identical);
+
+    ReplicasReport {
+        model: model.config().name.to_string(),
+        threads: pool.threads(),
+        gen_tokens,
+        replicas,
+        retry_budget: retry.budget,
+        backoff_ms: retry.backoff_ms,
+        quarantine_errs,
+        crash_requests: requests,
+        crash_identity_ok,
+        crash_failovers: crash_stats.failovers,
+        handoff_tokens: crash_stats.handoff_tokens,
+        crash_failed_over: counts.failed_over,
+        crash_masked_identical: counts.masked_identical,
+        storm_quarantined: storm_stats.quarantines >= 1,
+        storm_evictions: storm_stats.storm_evictions,
+        storm_identity_ok,
+        storm_clean_p99_ms,
+        clean_p99_ms,
+        clean_p99_inflation: storm_clean_p99_ms / clean_p99_ms.max(1e-9),
+        tiles_repaired: rebuild_stats.tiles_repaired,
+        rebuild_ms,
+        restart_ms,
+        rebuild_beats_restart: rebuild_ms < restart_ms,
+        rejoin_ok,
+    }
+}
+
+/// Write the JSON report atomically (temp file + rename), like the other
+/// baselines.
+pub fn write_json(report: &ReplicasReport, path: &Path) -> Result<(), String> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, report.to_json())
+        .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming to {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReplicasReport {
+        ReplicasReport {
+            model: "OPT-6.7B".to_string(),
+            threads: 4,
+            gen_tokens: 16,
+            replicas: 2,
+            retry_budget: 3,
+            backoff_ms: 1,
+            quarantine_errs: 3,
+            crash_requests: 12,
+            crash_identity_ok: true,
+            crash_failovers: 4,
+            handoff_tokens: 23,
+            crash_failed_over: 4,
+            crash_masked_identical: 8,
+            storm_quarantined: true,
+            storm_evictions: 6,
+            storm_identity_ok: true,
+            storm_clean_p99_ms: 2.5,
+            clean_p99_ms: 2.0,
+            clean_p99_inflation: 1.25,
+            tiles_repaired: 8,
+            rebuild_ms: 1.75,
+            restart_ms: 6.5,
+            rebuild_beats_restart: true,
+            rejoin_ok: true,
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let json = sample().to_json();
+        for key in [
+            "\"schema\": 1",
+            "\"model\": \"OPT-6.7B\"",
+            "\"replicas\": 2",
+            "\"retry_budget\": 3",
+            "\"backoff_ms\": 1",
+            "\"quarantine_errs\": 3",
+            "\"crash_identity_ok\": true",
+            "\"crash_failovers\": 4",
+            "\"handoff_tokens\": 23",
+            "\"crash_failed_over\": 4",
+            "\"storm_quarantined\": true",
+            "\"storm_evictions\": 6",
+            "\"storm_identity_ok\": true",
+            "\"clean_p99_inflation\": 1.250",
+            "\"tiles_repaired\": 8",
+            "\"rebuild_ms\": 1.750",
+            "\"restart_ms\": 6.500",
+            "\"rebuild_beats_restart\": true",
+            "\"rejoin_ok\": true",
+            "\"ok\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn ok_gates_correctness_not_latency() {
+        let report = sample();
+        assert!(report.ok());
+        let mut drift = report.clone();
+        drift.crash_identity_ok = false;
+        assert!(!drift.ok(), "handoff identity drift must fail the gate");
+        let mut lost = report.clone();
+        lost.handoff_tokens = 0;
+        assert!(!lost.ok(), "a handoff that carried nothing proves nothing");
+        let mut untripped = report.clone();
+        untripped.storm_quarantined = false;
+        assert!(!untripped.ok(), "the breaker must trip under the storm");
+        let mut slow_restart = report.clone();
+        slow_restart.rebuild_beats_restart = false;
+        assert!(!slow_restart.ok(), "rebuild must beat the full restart");
+        let mut slow = report;
+        slow.clean_p99_inflation = 50.0;
+        assert!(slow.ok(), "latency inflation is informational, never a gate");
+    }
+
+    #[test]
+    fn smoke_run_upholds_the_three_replication_guarantees() {
+        let pool = WorkStealingPool::new(3);
+        let report = run(&pool, true);
+        assert!(report.ok(), "replicas gate failed:\n{}", report.summary());
+        assert!(report.crash_failovers >= 1);
+        assert!(report.handoff_tokens >= 1);
+        assert!(report.storm_quarantined);
+    }
+}

@@ -34,6 +34,7 @@ use ft2_tasks::datasets::generate_prompts;
 use ft2_tasks::DatasetId;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Version of the JSON report schema. Bump when a key changes meaning.
@@ -205,7 +206,7 @@ struct RunStats {
 /// Serve `requests` clean requests (prompt i, cycling) at one batch size.
 #[allow(clippy::too_many_arguments)]
 fn serve_wave(
-    model: &Model,
+    model: &Arc<Model>,
     pool: &WorkStealingPool,
     prompts: &[Vec<u32>],
     gen_tokens: usize,
@@ -220,7 +221,7 @@ fn serve_wave(
         recovery: RecoveryPolicy::retries(2).with_repair(),
         kv_guard: true,
     };
-    let mut sched = Scheduler::new(model, config);
+    let mut sched = Scheduler::new(Arc::clone(model), config);
     for i in 0..requests {
         let tap: Option<Box<dyn ft2_model::LayerTap + Send>> = (storm_first && i == 0)
             .then(|| Box::new(StormTap::transient(3, 1)) as _);
@@ -251,7 +252,7 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ServeReport {
     let queue_depth = env_usize("FT2_SERVE_QUEUE_DEPTH").unwrap_or(64).max(1);
     let waves = if quick { 1 } else { 2 };
 
-    let model: Model = ZooModel::Opt6_7B.spec().build();
+    let model = Arc::new(ZooModel::Opt6_7B.spec().build());
     let batch_sizes: Vec<usize> = [1usize, 4, 8]
         .into_iter()
         .filter(|&b| b <= max_batch)
@@ -320,6 +321,7 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ServeReport {
     let storm_outcome = match stormer.map(|c| c.outcome) {
         Some(Outcome::Completed) => "Completed",
         Some(Outcome::Evicted(_)) => "Evicted",
+        Some(Outcome::Rejected(_)) => "Rejected",
         None => "Missing",
     };
     let storm_rollbacks = stormer.map(|c| c.rollbacks).unwrap_or(0);

@@ -132,6 +132,34 @@ pub const KNOB_REGISTRY: &[KnobSpec] = &[
         site: "ft2-harness",
     },
     KnobSpec {
+        name: "FT2_REPLICAS",
+        kind: KnobKind::Integer,
+        default: "2",
+        doc: "replicas in the `ft2-repro replicas` failover gate (min 2)",
+        site: "ft2-serve",
+    },
+    KnobSpec {
+        name: "FT2_REPLICA_BACKOFF_MS",
+        kind: KnobKind::Integer,
+        default: "1",
+        doc: "base failover backoff in ms (exponential, deterministically jittered per request)",
+        site: "ft2-serve",
+    },
+    KnobSpec {
+        name: "FT2_REPLICA_QUARANTINE_ERRS",
+        kind: KnobKind::Integer,
+        default: "3",
+        doc: "consecutive replica errors before the breaker quarantines it for rebuild",
+        site: "ft2-serve",
+    },
+    KnobSpec {
+        name: "FT2_REPLICA_RETRY_BUDGET",
+        kind: KnobKind::Integer,
+        default: "3",
+        doc: "failovers per request before a typed FailoverBudgetExhausted rejection",
+        site: "ft2-serve",
+    },
+    KnobSpec {
         name: "FT2_RESUME",
         kind: KnobKind::Flag,
         default: "off",

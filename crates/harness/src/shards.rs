@@ -191,6 +191,7 @@ fn outcome_label(o: &Outcome) -> &'static str {
         Outcome::Repaired { .. } => "Repaired",
         Outcome::RecoveryFailed { .. } => "RecoveryFailed",
         Outcome::Degraded { .. } => "Degraded",
+        Outcome::FailedOver { .. } => "FailedOver",
     }
 }
 

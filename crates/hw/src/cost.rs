@@ -276,6 +276,34 @@ impl CostModel {
         weight_bytes / self.host_link_bw + self.prefill_time(shape, prompt)
     }
 
+    /// Cross-replica failover time for one in-flight request: the
+    /// surviving replica re-prefills the prompt and replays the
+    /// `tokens_done` already-accepted tokens as single-token steps (the
+    /// bit-identity handoff shape — a joint replay would perturb the
+    /// continuation). No weights move: the survivor is warm, which is why
+    /// failing over beats restarting the dead replica and waiting.
+    pub fn failover_time(&self, shape: &WorkloadShape, prompt: usize, tokens_done: usize) -> f64 {
+        let mut t = self.prefill_time(shape, prompt);
+        for j in 0..tokens_done {
+            t += self.decode_step_time(shape, prompt + j);
+        }
+        t
+    }
+
+    /// Replica-rebuild time: CRC-verify every weight tile of the
+    /// quarantined replica against the golden checksums (one streaming
+    /// read at device bandwidth) and restore the corrupt fraction from
+    /// the on-device golden copy (a read plus a write). Measured against
+    /// [`CostModel::full_restart_time`], which re-stages every weight
+    /// over the far slower host link — the gap is why
+    /// quarantine→rebuild→rejoin beats a full restart.
+    pub fn rebuild_time(&self, shape: &WorkloadShape, corrupt_fraction: f64) -> f64 {
+        let weight_bytes = shape.total_params() * shape.bytes_per_element as f64;
+        let verify = weight_bytes / self.profile.mem_bw;
+        let restore = 2.0 * corrupt_fraction.clamp(0.0, 1.0) * weight_bytes / self.profile.mem_bw;
+        self.profile.kernel_overhead + verify + restore
+    }
+
     /// Offline bound-profiling time for `n_inputs` full generations
     /// (the Fig. 4 quantity), in seconds.
     pub fn profiling_time(
@@ -411,6 +439,46 @@ mod tests {
             }
             // More shards -> smaller slices -> cheaper repair.
             assert!(model.shard_repair_time(&s, 8) < model.shard_repair_time(&s, 2));
+        }
+    }
+
+    #[test]
+    fn replica_rebuild_and_failover_beat_full_restart_on_every_zoo_shape() {
+        let model = CostModel::new(A100);
+        for spec in ft2_model::model_zoo() {
+            let s = WorkloadShape::from_spec(&spec);
+            let restart = model.full_restart_time(&s, 150);
+            for corrupt in [0.0, 0.01, 0.1] {
+                let rebuild = model.rebuild_time(&s, corrupt);
+                assert!(rebuild > 0.0 && rebuild.is_finite());
+                assert!(
+                    rebuild < restart,
+                    "{}: rebuild {rebuild}s !< restart {restart}s at {corrupt} corrupt",
+                    spec.name()
+                );
+            }
+            // More corruption -> more restore writes -> slower rebuild.
+            assert!(model.rebuild_time(&s, 0.1) > model.rebuild_time(&s, 0.0));
+            for tokens_done in [0usize, 10, 30] {
+                let failover = model.failover_time(&s, 150, tokens_done);
+                assert!(failover > 0.0 && failover.is_finite());
+                // A restart doesn't just restage weights and re-prefill:
+                // it also lost the accepted tokens, which must be
+                // re-decoded before the request is back where it was.
+                // Failover replays them on a warm survivor instead.
+                let restart_to_parity = restart
+                    + (0..tokens_done)
+                        .map(|j| model.decode_step_time(&s, 150 + j))
+                        .sum::<f64>();
+                assert!(
+                    failover < restart_to_parity,
+                    "{}: failover {failover}s !< restart-to-parity {restart_to_parity}s \
+                     at {tokens_done} tokens",
+                    spec.name()
+                );
+            }
+            // Replaying more accepted tokens costs more.
+            assert!(model.failover_time(&s, 150, 30) > model.failover_time(&s, 150, 0));
         }
     }
 

@@ -19,6 +19,19 @@ pub struct Model {
     rope: Option<RopeTable>,
 }
 
+impl Clone for Model {
+    /// A bit-identical copy of the model (weights are plain `f32` buffers),
+    /// so replica sets can stamp out N instances from one prototype without
+    /// re-deriving the synthetic checkpoint N times.
+    fn clone(&self) -> Model {
+        Model {
+            config: self.config.clone(),
+            weights: self.weights.clone(),
+            rope: self.rope.clone(),
+        }
+    }
+}
+
 /// How the engine reacts to a [`AnomalyVerdict::Storm`] during decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoveryPolicy {
@@ -247,6 +260,13 @@ impl Model {
     /// The model's weights (read-only).
     pub fn weights(&self) -> &ModelWeights {
         &self.weights
+    }
+
+    /// Mutable access to the model's weights — the repair surface for the
+    /// replica-rebuild path (restore corrupted tiles from a golden copy)
+    /// and for fault drills that corrupt stored weights in place.
+    pub fn weights_mut(&mut self) -> &mut ModelWeights {
+        &mut self.weights
     }
 
     /// Precomputed RoPE table (Llama-style models; the sharded executor and

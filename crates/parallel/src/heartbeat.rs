@@ -21,6 +21,13 @@
 //!    which the pool's per-task panic isolation converts into a
 //!    [`crate::TaskPanic`] naming the shard — a *shard-scoped* failure the
 //!    executor can isolate, not a trial-scoped deadline burn.
+//!
+//! The same monitor doubles as the **replica liveness** detector for
+//! `ft2-serve`'s cross-replica failover: one slot per replica, armed
+//! around each replica's scheduler step. A replica whose step stops
+//! beating is cancelled by this monitor and aborts with a typed hang
+//! payload the failover router downcasts — one watchdog for both
+//! granularities, never two competing ones.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

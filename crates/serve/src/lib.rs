@@ -24,21 +24,32 @@
 //!   [`scheduler::Outcome`], never stalling the batch.
 //! * [`server`] — a threaded front door: submissions from any thread,
 //!   bounded admission queue with backpressure, one worker owning the
-//!   scheduler and decode pool.
+//!   scheduler and decode pool, graceful drain on shutdown.
+//! * [`replica`] — cross-replica failover: [`replica::ReplicaSet`] runs N
+//!   independent replicas behind a health-gated router
+//!   (`Healthy → Suspect → Quarantined → Rebuilding → Healthy`), fails
+//!   in-flight requests over with their accepted-token prefixes intact
+//!   (bit-identical continuation), and rebuilds quarantined replicas'
+//!   weights live from a golden copy while survivors keep serving.
 //! * [`storm`] — a per-request fault-storm injector
 //!   ([`storm::StormTap`]) driving tests and the serving bench's
 //!   fault-storm drill, scheduled by [`ft2_fault::FaultDuration`].
 
 pub mod arena;
 pub mod engine;
+pub mod replica;
 pub mod scheduler;
 pub mod server;
 pub mod storm;
 
 pub use arena::{KvArena, KvGuard, KvSeq, KV_PAGE};
 pub use engine::{batch_step, BatchLane, BatchScratch};
+pub use replica::{
+    HealthTracker, ReplicaCompletion, ReplicaConfig, ReplicaHealth, ReplicaSet, ReplicaSetStats,
+    RetryPolicy,
+};
 pub use scheduler::{
-    Completion, EvictReason, Outcome, Request, Scheduler, ServeConfig, SubmitError,
+    Completion, EvictReason, Outcome, RejectReason, Request, Scheduler, ServeConfig, SubmitError,
 };
 pub use server::Server;
 pub use storm::StormTap;

@@ -31,6 +31,7 @@
 //! parity), and prefill (step 0) is never rolled back.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::arena::{KvArena, KvGuard, KvSeq};
@@ -94,6 +95,8 @@ pub enum SubmitError {
         /// The model's maximum.
         max_seq: usize,
     },
+    /// The server has begun a graceful drain and admits nothing new.
+    ShuttingDown,
 }
 
 /// Why a request was evicted from the batch.
@@ -109,6 +112,26 @@ pub enum EvictReason {
     },
 }
 
+/// Why a request was rejected without (fully) running — carried by
+/// [`Outcome::Rejected`]. Unlike eviction, rejection is a router or
+/// runtime decision, not a recovery-ladder verdict, and it is always
+/// typed: queued work is never silently dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The server is shutting down; queued requests are drained with this
+    /// typed outcome instead of being dropped on the floor.
+    Shutdown,
+    /// The request's per-request deadline elapsed before any replica
+    /// could finish it.
+    DeadlineExceeded,
+    /// The cross-replica retry budget was exhausted by repeated
+    /// failovers.
+    FailoverBudgetExhausted {
+        /// Failovers spent on the request.
+        failovers: u32,
+    },
+}
+
 /// Terminal state of a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -116,6 +139,10 @@ pub enum Outcome {
     Completed,
     /// The request was removed from the batch before completing.
     Evicted(EvictReason),
+    /// The request was refused by the runtime (shutdown, deadline, or an
+    /// exhausted failover budget); any accepted-token prefix is returned
+    /// in the completion.
+    Rejected(RejectReason),
 }
 
 /// Everything the caller gets back for one request.
@@ -184,25 +211,39 @@ impl ActiveRequest {
     }
 }
 
+/// A queue entry: a fresh submission carries an empty `resume` prefix; a
+/// request handed off from a failed replica carries the tokens it had
+/// already been granted, which admission replays instead of re-deriving.
+struct Queued {
+    req: Request,
+    resume: Vec<u32>,
+}
+
 /// Continuous-batching scheduler over one model and one KV arena.
-pub struct Scheduler<'m> {
-    model: &'m Model,
+///
+/// The scheduler *owns* its model handle (`Arc<Model>`) rather than
+/// borrowing it, so a replica can be torn down, its weights rebuilt in
+/// place, and a fresh scheduler started — without any lifetime tying the
+/// scheduler to an enclosing scope.
+pub struct Scheduler {
+    model: Arc<Model>,
     config: ServeConfig,
     arena: KvArena,
-    queue: VecDeque<Request>,
+    queue: VecDeque<Queued>,
     active: Vec<ActiveRequest>,
     completions: Vec<Completion>,
     scratch: BatchScratch,
 }
 
-impl<'m> Scheduler<'m> {
+impl Scheduler {
     /// New scheduler serving `model` under `config`.
-    pub fn new(model: &'m Model, config: ServeConfig) -> Scheduler<'m> {
+    pub fn new(model: Arc<Model>, config: ServeConfig) -> Scheduler {
         let c = model.config();
+        let arena = KvArena::new(c.blocks, c.hidden);
         Scheduler {
             model,
             config,
-            arena: KvArena::new(c.blocks, c.hidden),
+            arena,
             queue: VecDeque::new(),
             active: Vec::new(),
             completions: Vec::new(),
@@ -251,8 +292,96 @@ impl<'m> Scheduler<'m> {
         if self.queue.len() >= self.config.queue_depth {
             return Err(SubmitError::QueueFull);
         }
-        self.queue.push_back(req);
+        self.queue.push_back(Queued {
+            req,
+            resume: Vec::new(),
+        });
         Ok(())
+    }
+
+    /// Admit a handed-off request: `accepted` tokens it was already
+    /// granted elsewhere are kept verbatim, and admission rebuilds its KV
+    /// by the exact replay shape the repair rung uses, so the continuation
+    /// is bit-identical to the request's solo generation. A request whose
+    /// prefix already covers `gen_tokens` completes immediately.
+    pub fn try_resume(&mut self, req: Request, accepted: Vec<u32>) -> Result<(), SubmitError> {
+        if req.prompt.is_empty() {
+            return Err(SubmitError::EmptyPrompt);
+        }
+        let requested = req.prompt.len() + req.gen_tokens;
+        let max_seq = self.model.config().max_seq;
+        if requested > max_seq {
+            return Err(SubmitError::TooLong { requested, max_seq });
+        }
+        if self.queue.len() >= self.config.queue_depth {
+            return Err(SubmitError::QueueFull);
+        }
+        if accepted.len() >= req.gen_tokens {
+            self.completions.push(Completion {
+                id: req.id,
+                outcome: Outcome::Completed,
+                tokens: accepted,
+                rollbacks: 0,
+                storms: 0,
+                kv_repairs: 0,
+                repair_retries: 0,
+                token_ns: Vec::new(),
+            });
+            return Ok(());
+        }
+        self.queue.push_back(Queued {
+            req,
+            resume: accepted,
+        });
+        Ok(())
+    }
+
+    /// Reject every queued (not yet admitted) request with a typed
+    /// [`Outcome::Rejected`] completion — accepted-token prefixes of
+    /// resumed requests ride along in the completion rather than being
+    /// dropped. Active lanes are untouched. Returns how many requests
+    /// were rejected.
+    pub fn drain_queue_rejected(&mut self, reason: RejectReason) -> usize {
+        let n = self.queue.len();
+        for q in self.queue.drain(..) {
+            self.completions.push(Completion {
+                id: q.req.id,
+                outcome: Outcome::Rejected(reason),
+                tokens: q.resume,
+                rollbacks: 0,
+                storms: 0,
+                kv_repairs: 0,
+                repair_retries: 0,
+                token_ns: Vec::new(),
+            });
+        }
+        n
+    }
+
+    /// Tear the scheduler down for cross-replica failover. Returns every
+    /// in-flight and queued request together with its accepted-token
+    /// prefix (the scheduler only appends a token *after* the decode step
+    /// and recovery ladder accept it, so a panic mid-step can never lose
+    /// or corrupt this prefix), plus any finished completions not yet
+    /// drained. All KV state is discarded with the scheduler — a survivor
+    /// re-prefills from the prefix via [`Scheduler::try_resume`].
+    pub fn into_failover(mut self) -> (Vec<(Request, Vec<u32>)>, Vec<Completion>) {
+        let mut inflight = Vec::with_capacity(self.active.len() + self.queue.len());
+        for ar in self.active.drain(..) {
+            inflight.push((
+                Request {
+                    id: ar.id,
+                    prompt: ar.prompt,
+                    gen_tokens: ar.gen_tokens,
+                    tap: ar.tap,
+                },
+                ar.tokens,
+            ));
+        }
+        for q in self.queue.drain(..) {
+            inflight.push((q.req, q.resume));
+        }
+        (inflight, std::mem::take(&mut self.completions))
     }
 
     /// Drain completed requests accumulated since the last call.
@@ -265,7 +394,17 @@ impl<'m> Scheduler<'m> {
     /// would fire), copy the KV rows into the arena, and record the first
     /// token. Prefill is never rolled back (engine parity) — a storm is
     /// counted and the token accepted.
-    fn admit(&mut self, req: Request) {
+    ///
+    /// A resumed request (non-empty handoff prefix) replays tap-less
+    /// instead: the joint prompt prefill plus one single-token step per
+    /// accepted token — exactly the [`Scheduler::rebuild_kv`] shape, and
+    /// exactly how the accepted rows were first produced — so the KV it
+    /// rebuilds is bit-identical to the failed replica's accepted state
+    /// and the continuation matches solo generation. The tap's own state
+    /// (rollback escalation etc.) travelled with the request and is not
+    /// re-fired for steps it already saw.
+    fn admit(&mut self, q: Queued) {
+        let Queued { req, resume } = q;
         let admitted_at = Instant::now();
         let mut ar = ActiveRequest {
             id: req.id,
@@ -284,20 +423,42 @@ impl<'m> Scheduler<'m> {
             kv_repairs: 0,
             repair_retries: 0,
         };
+        let resuming = !resume.is_empty();
         let mut cache = KvCache::new(self.model.config());
         let mut taps = TapList::new();
-        if let Some(tap) = ar.tap.as_deref_mut() {
-            taps.push(tap);
+        if !resuming {
+            if let Some(tap) = ar.tap.as_deref_mut() {
+                taps.push(tap);
+            }
         }
         let hidden = self
             .model
             .forward_step(&ar.prompt, 0, 0, &mut cache, &mut taps);
         let report = taps.end_step(0);
         drop(taps);
-        if report.verdict == AnomalyVerdict::Storm {
+        if !resuming && report.verdict == AnomalyVerdict::Storm {
             ar.storms += 1;
         }
-        for j in 0..ar.prompt.len() {
+        if resuming {
+            // Replay each accepted token but the last as a single-token
+            // step; the last accepted token is the next lane input, so
+            // its KV row is written by the coming batch step, preserving
+            // the invariant `seq.len() == prompt.len() + tokens.len() - 1`.
+            ar.tokens = resume;
+            let plen = ar.prompt.len();
+            let mut replay_taps = TapList::new();
+            for j in 0..ar.tokens.len() - 1 {
+                let _ = self.model.forward_step(
+                    &[ar.tokens[j]],
+                    plen + j,
+                    j + 1,
+                    &mut cache,
+                    &mut replay_taps,
+                );
+            }
+        }
+        let kv_rows = ar.prompt.len() + ar.tokens.len().saturating_sub(1);
+        for j in 0..kv_rows {
             let row = ar.seq.push(&mut self.arena);
             for b in 0..cache.num_blocks() {
                 self.arena
@@ -311,10 +472,15 @@ impl<'m> Scheduler<'m> {
                 guard.seal(&self.arena, &ar.seq, j);
             }
         }
-        let last = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
-        let first = argmax(&self.model.logits(&last)) as u32;
-        ar.tokens.push(first);
-        ar.token_ns.push(admitted_at.elapsed().as_nanos() as u64);
+        if resuming {
+            let now = admitted_at.elapsed().as_nanos() as u64;
+            ar.token_ns.resize(ar.tokens.len(), now);
+        } else {
+            let last = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
+            let first = argmax(&self.model.logits(&last)) as u32;
+            ar.tokens.push(first);
+            ar.token_ns.push(admitted_at.elapsed().as_nanos() as u64);
+        }
         if ar.tokens.len() >= ar.gen_tokens {
             ar.seq.release(&mut self.arena);
             self.completions.push(ar.into_completion(Outcome::Completed));
@@ -368,7 +534,7 @@ impl<'m> Scheduler<'m> {
     pub fn step(&mut self, pool: &WorkStealingPool) -> bool {
         while self.active.len() < self.config.max_batch {
             match self.queue.pop_front() {
-                Some(req) => self.admit(req),
+                Some(q) => self.admit(q),
                 None => break,
             }
         }
@@ -431,7 +597,7 @@ impl<'m> Scheduler<'m> {
                         .as_ref()
                         .and_then(|g| g.verify(&self.arena, &ar.seq));
                     if let Some(bad) = bad {
-                        ar.kv_repairs += Self::rebuild_kv(self.model, &mut self.arena, ar, bad);
+                        ar.kv_repairs += Self::rebuild_kv(&self.model, &mut self.arena, ar, bad);
                     }
                     ar.repair_retries += 1;
                     ar.repaired_this_step = true;

@@ -8,13 +8,23 @@
 //! control is enforced here — a full queue rejects the submission
 //! immediately with [`SubmitError::QueueFull`] rather than blocking the
 //! caller, so backpressure is visible to the submitter.
+//!
+//! Shutdown is a *graceful drain*: in-flight requests finish normally,
+//! every queued request is returned as a typed
+//! [`Outcome::Rejected`]`(`[`RejectReason::Shutdown`]`)` completion
+//! (never silently dropped), new submissions are refused with
+//! [`SubmitError::ShuttingDown`], and the worker thread — plus the decode
+//! pool it owns — is joined, so repeated start/stop cycles leak no
+//! threads.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::scheduler::{Completion, Request, Scheduler, ServeConfig, SubmitError};
+use crate::scheduler::{
+    Completion, Outcome, RejectReason, Request, Scheduler, ServeConfig, SubmitError,
+};
 use ft2_model::hooks::LayerTap;
 use ft2_model::Model;
 use ft2_parallel::WorkStealingPool;
@@ -33,8 +43,24 @@ struct Shared {
     queue_depth: usize,
 }
 
-/// Handle to a running serving worker. Dropping the server shuts the
-/// worker down after it drains all admitted work.
+/// A typed shutdown rejection for a request that never reached the
+/// scheduler.
+fn rejection(req: Request) -> Completion {
+    Completion {
+        id: req.id,
+        outcome: Outcome::Rejected(RejectReason::Shutdown),
+        tokens: Vec::new(),
+        rollbacks: 0,
+        storms: 0,
+        kv_repairs: 0,
+        repair_retries: 0,
+        token_ns: Vec::new(),
+    }
+}
+
+/// Handle to a running serving worker. Dropping the server performs the
+/// same graceful drain as [`Server::shutdown`] (minus returning the
+/// completions).
 pub struct Server {
     shared: Arc<Shared>,
     model: Arc<Model>,
@@ -67,30 +93,47 @@ impl Server {
                 ..config
             };
             let pool = WorkStealingPool::new(threads);
-            let mut sched = Scheduler::new(&worker_model, inner);
+            let mut sched = Scheduler::new(worker_model, inner);
             loop {
+                let mut rejected: Vec<Completion> = Vec::new();
+                let draining;
                 {
                     let mut st = worker_shared.state.lock().unwrap();
                     while st.pending.is_empty() && !st.shutdown && sched.is_idle() {
                         st = worker_shared.cv.wait(st).unwrap();
                     }
-                    if st.shutdown && st.pending.is_empty() && sched.is_idle() {
-                        break;
-                    }
-                    for req in st.pending.drain(..) {
-                        // Submissions were validated on the caller's side
-                        // and the inner queue is unbounded.
-                        let admitted = sched.try_submit(req);
-                        debug_assert!(admitted.is_ok(), "pre-validated request rejected");
+                    draining = st.shutdown;
+                    if draining {
+                        // Graceful drain: stop admitting; everything still
+                        // pending gets a typed rejection.
+                        for req in st.pending.drain(..) {
+                            rejected.push(rejection(req));
+                        }
+                    } else {
+                        for req in st.pending.drain(..) {
+                            // Submissions were validated on the caller's
+                            // side and the inner queue is unbounded.
+                            let admitted = sched.try_submit(req);
+                            debug_assert!(admitted.is_ok(), "pre-validated request rejected");
+                        }
                     }
                 }
+                if draining {
+                    // Admitted-but-not-active requests are rejected too;
+                    // active lanes keep decoding until they finish.
+                    sched.drain_queue_rejected(RejectReason::Shutdown);
+                }
                 sched.step(&pool);
-                let done = sched.drain_completions();
+                let mut done = sched.drain_completions();
+                done.append(&mut rejected);
                 if !done.is_empty() {
                     let mut st = worker_shared.state.lock().unwrap();
                     st.completed += done.len() as u64;
                     st.done.extend(done);
                     worker_shared.cv.notify_all();
+                }
+                if draining && sched.is_idle() {
+                    break;
                 }
             }
         });
@@ -103,8 +146,8 @@ impl Server {
     }
 
     /// Submit a request; returns its id, or the admission error when the
-    /// prompt is invalid or the queue is full (backpressure — resubmit
-    /// later).
+    /// prompt is invalid, the queue is full (backpressure — resubmit
+    /// later), or the server is draining.
     pub fn submit(
         &self,
         prompt: Vec<u32>,
@@ -120,6 +163,9 @@ impl Server {
             return Err(SubmitError::TooLong { requested, max_seq });
         }
         let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
         if st.pending.len() >= self.shared.queue_depth {
             return Err(SubmitError::QueueFull);
         }
@@ -136,8 +182,8 @@ impl Server {
         Ok(id)
     }
 
-    /// Block until every submitted request has completed or been evicted,
-    /// then drain and return the completions.
+    /// Block until every submitted request has completed, been evicted,
+    /// or been rejected, then drain and return the completions.
     pub fn wait_all(&self) -> Vec<Completion> {
         let mut st = self.shared.state.lock().unwrap();
         while st.completed < st.submitted {
@@ -145,10 +191,18 @@ impl Server {
         }
         std::mem::take(&mut st.done)
     }
-}
 
-impl Drop for Server {
-    fn drop(&mut self) {
+    /// Gracefully drain and join the worker, returning every completion
+    /// not yet collected with [`Server::wait_all`] — typed shutdown
+    /// rejections included, so callers can account for every submitted
+    /// request.
+    pub fn shutdown(mut self) -> Vec<Completion> {
+        self.stop();
+        let mut st = self.shared.state.lock().unwrap();
+        std::mem::take(&mut st.done)
+    }
+
+    fn stop(&mut self) {
         {
             let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
@@ -157,5 +211,11 @@ impl Drop for Server {
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
     }
 }

@@ -1,0 +1,192 @@
+//! Property: cross-replica failover is invisible in the token stream.
+//!
+//! For every zoo config, replica count, decode-pool width, and crash
+//! schedule, a request that fails over mid-generation must produce exactly
+//! the token sequence its solo generation produces — the accepted prefix
+//! is carried across verbatim and the survivor's re-prefill rebuilds KV by
+//! the bit-identical replay shape. Includes failover striking while a lane
+//! is mid-rollback (its own transient storm still unhealed).
+
+use std::time::Duration;
+
+use ft2_fault::{ReplicaFaultKind, ReplicaFaultSpec};
+use ft2_model::zoo::ZooModel;
+use ft2_model::{Model, TapList};
+use ft2_parallel::WorkStealingPool;
+use ft2_serve::replica::{ReplicaConfig, ReplicaSet, RetryPolicy};
+use ft2_serve::scheduler::{Outcome, Request};
+use ft2_serve::StormTap;
+use proptest::prelude::*;
+
+fn solo_tokens(model: &Model, prompt: &[u32], gen: usize) -> Vec<u32> {
+    let mut taps = TapList::new();
+    model.generate(prompt, gen, &mut taps).tokens
+}
+
+fn config(replicas: usize) -> ReplicaConfig {
+    ReplicaConfig {
+        replicas,
+        retry: RetryPolicy {
+            budget: 8,
+            backoff_ms: 1,
+            deadline_ms: 0,
+        },
+        heartbeat: Duration::from_millis(10),
+        ..ReplicaConfig::default()
+    }
+}
+
+/// Four deterministic prompts derived from a seed, valid for every zoo
+/// vocab (512).
+fn prompts(seed: u64) -> Vec<Vec<u32>> {
+    (0..4u64)
+        .map(|i| {
+            let len = 3 + ((seed ^ i) % 4) as usize;
+            (0..len)
+                .map(|j| ((seed.wrapping_mul(31).wrapping_add(i * 7 + j as u64 * 13)) % 512) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// Run four requests against a replica set with `fault` injected and
+/// assert every completion is bit-identical to solo generation on the
+/// prototype.
+fn assert_failover_identity(
+    zoo: ZooModel,
+    replicas: usize,
+    threads: usize,
+    seed: u64,
+    gen: usize,
+    fault: ReplicaFaultSpec,
+) {
+    let prototype = zoo.spec().build();
+    let pool = WorkStealingPool::new(threads);
+    let mut set = ReplicaSet::new(&prototype, config(replicas));
+    set.inject(fault);
+    let prompts = prompts(seed);
+    for (i, p) in prompts.iter().enumerate() {
+        set.try_submit(Request {
+            id: i as u64,
+            prompt: p.clone(),
+            gen_tokens: gen,
+            tap: None,
+        })
+        .unwrap();
+    }
+    let mut done = set.run(&pool);
+    assert_eq!(done.len(), 4, "zoo {zoo:?}: every request must complete");
+    done.sort_by_key(|c| c.inner.id);
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(
+            c.inner.outcome,
+            Outcome::Completed,
+            "zoo {zoo:?} request {i}"
+        );
+        assert_eq!(
+            c.inner.tokens,
+            solo_tokens(&prototype, &prompts[i], gen),
+            "zoo {zoo:?} request {i}: failover changed the token stream \
+             (replicas={replicas}, threads={threads}, seed={seed})"
+        );
+    }
+}
+
+/// Exhaustive sweep: every zoo config survives a mid-generation crash with
+/// a bit-identical handoff. Deterministic (no sampling) so a regression
+/// names the exact config.
+#[test]
+fn every_zoo_config_hands_off_bit_identically() {
+    for zoo in ZooModel::ALL {
+        assert_failover_identity(
+            zoo,
+            2,
+            2,
+            0xF72,
+            6,
+            ReplicaFaultSpec::transient(0, ReplicaFaultKind::Crash, 2),
+        );
+    }
+}
+
+proptest! {
+    /// Sampled: any (config, replica count, thread count, crash step)
+    /// combination preserves token identity across a crash failover.
+    #[test]
+    fn crash_failover_preserves_token_identity(
+        shape in (0usize..7, 2usize..4, 1usize..5),
+        schedule in (0u64..6, 0u64..1024),
+    ) {
+        let (zoo_i, replicas, threads) = shape;
+        let (at_step, seed) = schedule;
+        assert_failover_identity(
+            ZooModel::ALL[zoo_i],
+            replicas,
+            threads,
+            seed,
+            5,
+            ReplicaFaultSpec::transient(0, ReplicaFaultKind::Crash, at_step),
+        );
+    }
+
+    /// Sampled: a watchdog-aborted hang hands off exactly like a crash.
+    #[test]
+    fn hang_failover_preserves_token_identity(
+        shape in (0usize..7, 1usize..4, 0u64..5, 0u64..1024),
+    ) {
+        let (zoo_i, threads, at_step, seed) = shape;
+        assert_failover_identity(
+            ZooModel::ALL[zoo_i],
+            2,
+            threads,
+            seed,
+            5,
+            ReplicaFaultSpec::transient(0, ReplicaFaultKind::Hang, at_step),
+        );
+    }
+}
+
+/// Failover striking while a lane is mid-rollback: the request's own
+/// transient storm is still unhealed when its replica crashes, so the
+/// contested token's redecode finishes on the survivor. The accepted
+/// prefix excludes the contested token by construction (tokens are pushed
+/// only after the ladder accepts), so the continuation still matches solo
+/// generation exactly.
+#[test]
+fn failover_mid_rollback_is_bit_identical() {
+    for crash_step in 2u64..6 {
+        let prototype = ZooModel::Qwen2_1_5B.spec().build();
+        let pool = WorkStealingPool::new(2);
+        let mut set = ReplicaSet::new(&prototype, config(2));
+        set.inject(ReplicaFaultSpec::transient(
+            0,
+            ReplicaFaultKind::Crash,
+            crash_step,
+        ));
+        let prompts = prompts(0xA11);
+        for (i, p) in prompts.iter().enumerate() {
+            // Every request storms its own step 2 and needs 3 rollbacks to
+            // heal, so some lane is mid-rollback at every crash_step in
+            // the sweep.
+            set.try_submit(Request {
+                id: i as u64,
+                prompt: p.clone(),
+                gen_tokens: 6,
+                tap: Some(Box::new(StormTap::transient(2, 3))),
+            })
+            .unwrap();
+        }
+        let mut done = set.run(&pool);
+        assert_eq!(done.len(), 4);
+        done.sort_by_key(|c| c.inner.id);
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.inner.outcome, Outcome::Completed, "request {i}");
+            assert_eq!(
+                c.inner.tokens,
+                solo_tokens(&prototype, &prompts[i], 6),
+                "crash at step {crash_step}, request {i}: mid-rollback \
+                 failover changed the token stream"
+            );
+        }
+    }
+}

@@ -8,9 +8,9 @@ use ft2_parallel::WorkStealingPool;
 use ft2_serve::scheduler::{EvictReason, Outcome, Request, Scheduler, ServeConfig, SubmitError};
 use ft2_serve::{Server, StormTap};
 
-fn model() -> &'static Model {
-    static MODEL: OnceLock<Model> = OnceLock::new();
-    MODEL.get_or_init(|| Model::new(ModelConfig::tiny_llama()))
+fn model() -> Arc<Model> {
+    static MODEL: OnceLock<Arc<Model>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| Arc::new(Model::new(ModelConfig::tiny_llama()))))
 }
 
 fn solo_tokens(model: &Model, prompt: &[u32], gen: usize) -> Vec<u32> {
@@ -39,7 +39,7 @@ fn request(i: usize, tap: Option<Box<dyn ft2_model::LayerTap + Send>>) -> Reques
 fn fault_free_batch_matches_single_sequence_generation() {
     let model = model();
     let pool = WorkStealingPool::new(3);
-    let mut sched = Scheduler::new(model, ServeConfig::default());
+    let mut sched = Scheduler::new(model.clone(), ServeConfig::default());
     for i in 0..4 {
         sched.try_submit(request(i, None)).unwrap();
     }
@@ -48,7 +48,7 @@ fn fault_free_batch_matches_single_sequence_generation() {
     done.sort_by_key(|c| c.id);
     for (i, c) in done.iter().enumerate() {
         assert_eq!(c.outcome, Outcome::Completed);
-        assert_eq!(c.tokens, solo_tokens(model, PROMPTS[i], GEN), "request {i}");
+        assert_eq!(c.tokens, solo_tokens(&model, PROMPTS[i], GEN), "request {i}");
         assert_eq!(c.rollbacks, 0);
         assert_eq!(c.token_ns.len(), GEN);
     }
@@ -63,7 +63,7 @@ fn transient_storm_is_isolated_to_the_storming_request() {
         recovery: RecoveryPolicy::retries(2),
         ..ServeConfig::default()
     };
-    let mut sched = Scheduler::new(model, config);
+    let mut sched = Scheduler::new(model.clone(), config);
     for i in 0..4 {
         let tap: Option<Box<dyn ft2_model::LayerTap + Send>> =
             (i == 0).then(|| Box::new(StormTap::transient(3, 1)) as _);
@@ -76,7 +76,7 @@ fn transient_storm_is_isolated_to_the_storming_request() {
         assert_eq!(c.outcome, Outcome::Completed, "request {i}");
         // Rollback discards the storm entirely: every request — including
         // the storming one — matches its clean solo generation.
-        assert_eq!(c.tokens, solo_tokens(model, PROMPTS[i], GEN), "request {i}");
+        assert_eq!(c.tokens, solo_tokens(&model, PROMPTS[i], GEN), "request {i}");
         if i == 0 {
             assert_eq!(c.storms, 1, "one storming step");
             assert_eq!(c.rollbacks, 1, "healed after one rollback");
@@ -95,7 +95,7 @@ fn persistent_storm_is_evicted_without_stalling_batchmates() {
         recovery: RecoveryPolicy::retries(2).with_repair(),
         ..ServeConfig::default()
     };
-    let mut sched = Scheduler::new(model, config);
+    let mut sched = Scheduler::new(model.clone(), config);
     for i in 0..4 {
         let tap: Option<Box<dyn ft2_model::LayerTap + Send>> =
             (i == 0).then(|| Box::new(StormTap::persistent(2)) as _);
@@ -115,7 +115,7 @@ fn persistent_storm_is_evicted_without_stalling_batchmates() {
     assert!(done[0].repair_retries >= 1, "repair rung was attempted");
     for (i, c) in done.iter().enumerate().skip(1) {
         assert_eq!(c.outcome, Outcome::Completed, "batchmate {i} completes");
-        assert_eq!(c.tokens, solo_tokens(model, PROMPTS[i], GEN), "batchmate {i}");
+        assert_eq!(c.tokens, solo_tokens(&model, PROMPTS[i], GEN), "batchmate {i}");
     }
     assert_eq!(sched.arena_mut().pages_in_use(), 0, "evicted pages returned");
 }
@@ -128,7 +128,7 @@ fn disabled_policy_accepts_storming_tokens() {
         recovery: RecoveryPolicy::disabled(),
         ..ServeConfig::default()
     };
-    let mut sched = Scheduler::new(model, config);
+    let mut sched = Scheduler::new(model.clone(), config);
     let tap: Box<dyn ft2_model::LayerTap + Send> = Box::new(StormTap::persistent(2));
     sched.try_submit(request(0, Some(tap))).unwrap();
     let done = sched.run(&pool);
@@ -146,7 +146,7 @@ fn admission_control_backpressures_and_validates() {
         queue_depth: 2,
         ..ServeConfig::default()
     };
-    let mut sched = Scheduler::new(model, config);
+    let mut sched = Scheduler::new(model.clone(), config);
     sched.try_submit(request(0, None)).unwrap();
     sched.try_submit(request(1, None)).unwrap();
     assert_eq!(
@@ -188,7 +188,7 @@ fn repair_rung_rebuilds_corrupted_kv_and_recovers_the_tokens() {
         kv_guard: true,
         ..ServeConfig::default()
     };
-    let mut sched = Scheduler::new(model, config);
+    let mut sched = Scheduler::new(model.clone(), config);
     // Storm strikes step 4 and survives the single rollback; only the
     // repair rung's extra re-decode (heal_after = 2) clears it.
     let tap: Box<dyn ft2_model::LayerTap + Send> = Box::new(StormTap::transient(4, 2));
@@ -212,7 +212,7 @@ fn repair_rung_rebuilds_corrupted_kv_and_recovers_the_tokens() {
     assert!(c.kv_repairs > 0, "the corrupted position was rebuilt");
     // Post-repair decode runs on rebuilt (clean) state: the tokens match
     // the clean solo generation bit-for-bit.
-    assert_eq!(c.tokens, solo_tokens(model, PROMPTS[0], GEN));
+    assert_eq!(c.tokens, solo_tokens(&model, PROMPTS[0], GEN));
 }
 
 #[test]
@@ -234,4 +234,101 @@ fn server_serves_concurrent_submissions_end_to_end() {
         assert_eq!(&c.tokens, toks, "request {id}");
     }
     assert_eq!(server.submit(vec![], 4, None), Err(SubmitError::EmptyPrompt));
+}
+
+/// Threads currently alive in this process (Linux: /proc/self/task).
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
+}
+
+#[test]
+fn shutdown_gracefully_drains_every_submitted_request() {
+    let model = model();
+    // One lane: later submissions sit in the queue when shutdown lands.
+    let config = ServeConfig {
+        max_batch: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(Arc::clone(&model), config, 2);
+    const DRAIN_GEN: usize = 48;
+    let mut ids = Vec::new();
+    ids.push(server.submit(PROMPTS[0].to_vec(), DRAIN_GEN, None).unwrap());
+    // Let the worker admit request 0 (it is active or already complete by
+    // the time the drain lands), then pile four more behind the single
+    // lane so the drain must reject them.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    for i in 1..5 {
+        ids.push(
+            server
+                .submit(PROMPTS[i % 4].to_vec(), DRAIN_GEN, None)
+                .unwrap(),
+        );
+    }
+    let mut done = server.shutdown();
+    assert_eq!(done.len(), 5, "every submission is accounted for");
+    done.sort_by_key(|c| c.id);
+    let mut completed = 0;
+    for c in &done {
+        assert!(ids.contains(&c.id));
+        match c.outcome {
+            Outcome::Completed => {
+                completed += 1;
+                let p = PROMPTS[c.id as usize % 4];
+                assert_eq!(
+                    c.tokens,
+                    solo_tokens(&model, p, DRAIN_GEN),
+                    "drained in-flight request must finish normally"
+                );
+            }
+            Outcome::Rejected(reason) => {
+                assert_eq!(
+                    reason,
+                    ft2_serve::RejectReason::Shutdown,
+                    "queued work gets the typed shutdown rejection"
+                );
+                assert!(c.tokens.is_empty(), "never-admitted request has no tokens");
+            }
+            Outcome::Evicted(_) => panic!("nothing faulted in this test"),
+        }
+    }
+    assert!(
+        completed >= 1,
+        "at least the active lane must finish normally, got {done:?}"
+    );
+    assert!(
+        done.iter()
+            .any(|c| matches!(c.outcome, Outcome::Rejected(_))),
+        "with one lane and five requests, some must be rejected at drain"
+    );
+}
+
+#[test]
+fn idle_shutdown_joins_cleanly() {
+    let model = model();
+    let server = Server::spawn(Arc::clone(&model), ServeConfig::default(), 2);
+    assert!(server.shutdown().is_empty());
+}
+
+#[test]
+fn repeated_start_stop_cycles_leak_no_threads() {
+    let model = model();
+    // Warm up once so lazily-spawned process-wide threads don't skew the
+    // baseline.
+    drop(Server::spawn(Arc::clone(&model), ServeConfig::default(), 2));
+    let baseline = live_threads();
+    for cycle in 0..8 {
+        let server = Server::spawn(Arc::clone(&model), ServeConfig::default(), 2);
+        let id = server.submit(PROMPTS[0].to_vec(), 3, None).unwrap();
+        let done = server.shutdown();
+        assert!(
+            done.iter().any(|c| c.id == id),
+            "cycle {cycle}: request accounted for"
+        );
+    }
+    // Worker + pool threads must all be joined each cycle.
+    let after = live_threads();
+    assert!(
+        after <= baseline,
+        "start/stop cycles leaked threads: {baseline} -> {after}"
+    );
 }

@@ -108,4 +108,27 @@ for key in '"schema": 1' '"requests_s"' '"p50_token_ms"' '"p99_token_ms"' \
 done
 rm -f "$SERVE_TMP"
 
+echo "== replicas smoke (cross-replica failover + JSON baseline) =="
+# CI-sized pass through the replication gate: a replica crash mid-batch
+# must hand its requests over with zero accepted-token loss and
+# bit-identical continuations, a persistent one-replica storm must trip
+# the breaker into quarantine with clean requests unaffected, and the
+# quarantined replica must rebuild from the golden copy and rejoin faster
+# than a full restart. Pins the BENCH_replicas.json schema. The
+# subcommand itself exits non-zero if any guarantee fails.
+REPLICAS_TMP="$(mktemp -d)/BENCH_replicas.json"
+./target/release/ft2-repro replicas --smoke --json --out "$REPLICAS_TMP"
+for key in '"schema": 1' '"crash_identity_ok": true' '"handoff_tokens"' \
+           '"crash_failed_over"' '"storm_quarantined": true' \
+           '"storm_identity_ok": true' '"clean_p99_inflation"' \
+           '"rebuild_beats_restart": true' '"rejoin_ok": true' \
+           '"ok": true'; do
+    grep -q "$key" "$REPLICAS_TMP" || {
+        echo "verify: replicas JSON is missing $key" >&2
+        cat "$REPLICAS_TMP" >&2
+        exit 1
+    }
+done
+rm -f "$REPLICAS_TMP"
+
 echo "verify: OK"
