@@ -124,6 +124,8 @@ pub struct Protector {
     step_clamps: u64,
     step_nans: u64,
     step_severe: u64,
+    /// Per-block correction counts for this step (feeds the live heatmap).
+    step_block_hits: [u32; ft2_model::MAX_BLOCK_HITS],
     /// Activity counters (exposed for tests/overhead analysis).
     pub stats: ProtectionStats,
 }
@@ -146,6 +148,7 @@ impl Protector {
             step_clamps: 0,
             step_nans: 0,
             step_severe: 0,
+            step_block_hits: [0; ft2_model::MAX_BLOCK_HITS],
             stats: ProtectionStats::default(),
         }
     }
@@ -167,6 +170,7 @@ impl Protector {
             step_clamps: 0,
             step_nans: 0,
             step_severe: 0,
+            step_block_hits: [0; ft2_model::MAX_BLOCK_HITS],
             stats: ProtectionStats::default(),
         }
     }
@@ -208,7 +212,14 @@ impl Protector {
         }
     }
 
-    fn correct(&mut self, data: &mut Matrix, bounds: Option<LayerBounds>) {
+    /// Record one per-step correction against `block` for the heatmap.
+    fn hit_block(&mut self, block: usize) {
+        // ft2: nan-ok (usize slot clamp, no floats involved)
+        let slot = block.min(ft2_model::MAX_BLOCK_HITS - 1);
+        self.step_block_hits[slot] = self.step_block_hits[slot].saturating_add(1);
+    }
+
+    fn correct(&mut self, block: usize, data: &mut Matrix, bounds: Option<LayerBounds>) {
         let nan_to_zero = self.nan_policy == NanPolicy::ToZero;
         // A correction is severe when the value lies beyond even the
         // extra-widened bound — a benign clip never lands that far out.
@@ -220,6 +231,7 @@ impl Protector {
                     self.stats.nans_corrected += 1;
                     self.step_nans += 1;
                     self.step_severe += 1;
+                    self.hit_block(block);
                 }
                 continue;
             }
@@ -236,6 +248,7 @@ impl Protector {
                     };
                     self.stats.clipped += 1;
                     self.step_clamps += 1;
+                    self.hit_block(block);
                 }
             }
         }
@@ -262,7 +275,7 @@ impl LayerTap for Protector {
         match &mut self.mode {
             BoundsMode::Offline(store) => {
                 let b = store.get(&ctx.point).copied();
-                self.correct(data, b);
+                self.correct(ctx.point.block, data, b);
             }
             BoundsMode::FirstToken { scale, recording } => {
                 if ctx.step == 0 {
@@ -271,19 +284,26 @@ impl LayerTap for Protector {
                     recording.observe_all(ctx.point, data.as_slice());
                     let nan_to_zero = self.nan_policy == NanPolicy::ToZero;
                     if nan_to_zero {
+                        let mut nans = 0u64;
                         for v in data.as_mut_slice() {
                             if v.is_nan() {
                                 *v = 0.0;
-                                self.stats.nans_corrected += 1;
-                                self.step_nans += 1;
-                                self.step_severe += 1;
+                                nans += 1;
+                            }
+                        }
+                        if nans > 0 {
+                            self.stats.nans_corrected += nans;
+                            self.step_nans += nans;
+                            self.step_severe += nans;
+                            for _ in 0..nans {
+                                self.hit_block(ctx.point.block);
                             }
                         }
                     }
                 } else {
                     let eff = Self::escalated_scale(*scale, self.escalation);
                     let b = recording.get(&ctx.point).map(|b| b.scaled(eff));
-                    self.correct(data, b);
+                    self.correct(ctx.point.block, data, b);
                 }
             }
         }
@@ -301,6 +321,7 @@ impl LayerTap for Protector {
         let clamps = std::mem::take(&mut self.step_clamps);
         let nans = std::mem::take(&mut self.step_nans);
         let severe = std::mem::take(&mut self.step_severe);
+        let block_hits = std::mem::take(&mut self.step_block_hits);
         let verdict = if severe > 0 || clamps + nans >= self.storm_threshold {
             AnomalyVerdict::Storm
         } else if clamps + nans > 0 {
@@ -312,6 +333,7 @@ impl LayerTap for Protector {
             clamps,
             nans,
             verdict,
+            block_hits,
         }
     }
 
@@ -469,6 +491,31 @@ mod tests {
         assert_eq!(r.verdict, AnomalyVerdict::Corrected);
         // Counters reset between steps.
         assert_eq!(p.end_step(2), StepReport::default());
+    }
+
+    #[test]
+    fn block_hits_attribute_corrections_to_the_faulting_block() {
+        let mut p = Protector::ft2_online(vproj_coverage(), 2.0);
+        let mut c0 = ctx(0, LayerKind::VProj, HookKind::LinearOutput);
+        let mut c3 = ctx(0, LayerKind::VProj, HookKind::LinearOutput);
+        c3.point.block = 3;
+        // Step 0: profile both blocks.
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&c0, &mut m);
+        let mut m = Matrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        p.on_output(&c3, &mut m);
+        let _ = p.end_step(0);
+        // Step 1: one clamp on block 3 only.
+        c0.step = 1;
+        c3.step = 1;
+        let mut m = Matrix::from_vec(1, 1, vec![1.0]);
+        p.on_output(&c0, &mut m);
+        let mut m = Matrix::from_vec(1, 1, vec![5.0]);
+        p.on_output(&c3, &mut m);
+        let r = p.end_step(1);
+        assert_eq!(r.hit_blocks().collect::<Vec<_>>(), vec![(3, 1)]);
+        // Counters reset between steps.
+        assert_eq!(p.end_step(2).hit_blocks().count(), 0);
     }
 
     #[test]

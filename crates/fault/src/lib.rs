@@ -37,11 +37,14 @@
 //!   the cross-replica failover runtime, and the typed
 //!   [`ReplicaHangAbort`] panic payload behind its hang classification
 //!   (mapping into [`Outcome::FailedOver`]).
+//! * [`live`] — typed faults ([`LiveFault`]) parsed from the web demo's
+//!   `POST /inject` control and mapped onto the injectors above.
 
 pub mod campaign;
 pub mod checkpoint;
 pub mod dmr;
 pub mod inject;
+pub mod live;
 pub mod model;
 pub mod outcome;
 pub mod replica;
@@ -57,6 +60,7 @@ pub use campaign::{
 pub use checkpoint::{CampaignCheckpoint, CHECKPOINT_VERSION};
 pub use dmr::{run_dmr_campaign, DmrReport};
 pub use inject::{FaultInjector, StateFaultInjector};
+pub use live::LiveFault;
 pub use model::{FaultDuration, FaultModel, FaultTarget};
 pub use outcome::{ExactJudge, Outcome, OutcomeCounts, OutcomeJudge};
 pub use replica::{ReplicaFaultKind, ReplicaFaultSpec, ReplicaHangAbort};

@@ -30,15 +30,21 @@
 //!   schema-stable BENCH_shards.json baseline. Knobs: FT2_SHARDS,
 //!   FT2_SHARD_DEGRADE=1, FT2_SHARD_HEARTBEAT_MS, FT2_QUICK=1.
 //!
-//! ft2-repro serve [--json] [--out PATH] [--smoke]
-//!   continuous-batching serving gate: requests/s, accepted tok/s and
-//!   p50/p99 token latency for batch sizes {1, 4, 8}, batch-N vs solo
-//!   token identity on fault-free traffic, and a per-request fault storm
-//!   (one lane of a batch-4 run) that must heal by rollback while every
-//!   clean request stays token-identical — clean-request p99 inflation is
-//!   reported. --json writes the schema-stable BENCH_serve.json baseline.
+//! ft2-repro serve [--json] [--out PATH] [--smoke] [--web]
+//!   continuous-batching serving gate: requests/s, accepted tok/s, TTFT
+//!   and decode-only p50/p99 token latency for batch sizes {1, 4, 8},
+//!   batch-N vs solo token identity on fault-free traffic, and a
+//!   per-request fault storm (one lane of a batch-4 run) that must heal
+//!   by rollback while every clean request stays token-identical —
+//!   clean-request p99 inflation is reported. --json writes the
+//!   schema-stable BENCH_serve.json baseline. --web instead serves
+//!   continuous live traffic behind a zero-dependency HTTP/SSE endpoint:
+//!   GET / is an embedded viewer (verdict-colored tokens, per-block
+//!   heatmap, recovery markers, replica health), GET /events streams the
+//!   scheduler's decisions as Server-Sent Events, and POST /inject takes
+//!   live fault specs (kind=flip&block=2, kind=crash&replica=0, ...).
 //!   Knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN,
-//!   FT2_QUICK=1.
+//!   FT2_WEB_ADDR, FT2_WEB_MAX_CLIENTS, FT2_QUICK=1.
 //!
 //! ft2-repro replicas [--json] [--out PATH] [--smoke]
 //!   cross-replica failover gate: a replica crash mid-batch hands its
@@ -76,8 +82,8 @@
 use ft2_harness::experiments::replay::ReplaySpec;
 use ft2_harness::experiments::{self, ExperimentCtx};
 use ft2_harness::{
-    bench, lint, replicas, serve, shards, BENCH_BASELINE_PATH, REPLICAS_BASELINE_PATH,
-    SERVE_BASELINE_PATH, SHARDS_BASELINE_PATH,
+    bench, lint, replicas, serve, shards, webserve, BENCH_BASELINE_PATH,
+    REPLICAS_BASELINE_PATH, SERVE_BASELINE_PATH, SHARDS_BASELINE_PATH,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -230,12 +236,14 @@ fn run_shards(args: &[String]) -> Result<bool, String> {
 fn run_serve(args: &[String]) -> Result<bool, String> {
     let mut json = false;
     let mut smoke = false;
+    let mut web = false;
     let mut out = PathBuf::from(SERVE_BASELINE_PATH);
     let mut rest = args.iter();
     while let Some(key) = rest.next() {
         match key.as_str() {
             "--json" => json = true,
             "--smoke" => smoke = true,
+            "--web" => web = true,
             "--out" => {
                 out = PathBuf::from(
                     rest.next().ok_or("option --out needs a value")?,
@@ -245,6 +253,23 @@ fn run_serve(args: &[String]) -> Result<bool, String> {
         }
     }
     let pool = ft2_parallel::WorkStealingPool::with_default_threads();
+    if web {
+        let config = webserve::WebServeConfig::from_env();
+        // Runs until the process is stopped; the stop flag exists for
+        // library callers (tests bound the loop instead).
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let stats = webserve::run(&pool, &config, &stop, |addr| {
+            println!("listening on http://{addr}");
+        })?;
+        println!(
+            "served {} (failed {}), {} live injects, identity {}",
+            stats.served,
+            stats.failed,
+            stats.injects,
+            if stats.identity_ok { "ok" } else { "VIOLATED" }
+        );
+        return Ok(stats.identity_ok);
+    }
     let t0 = Instant::now();
     let report = serve::run(&pool, smoke);
     eprintln!("### serve done in {:.1?}", t0.elapsed());
@@ -304,12 +329,16 @@ fn main() {
         println!("         repair vs full restart, crash + degraded-mode serving; --json");
         println!("         writes the schema-stable {SHARDS_BASELINE_PATH} baseline;");
         println!("         knobs: FT2_SHARDS, FT2_SHARD_DEGRADE=1, FT2_SHARD_HEARTBEAT_MS");
-        println!("       ft2-repro serve [--json] [--out PATH] [--smoke]");
-        println!("         continuous-batching serving gate: requests/s, p50/p99 token");
-        println!("         latency for batch sizes {{1, 4, 8}}, batch-vs-solo token identity,");
-        println!("         and clean-request p99 inflation under a per-request fault storm;");
-        println!("         --json writes the schema-stable {SERVE_BASELINE_PATH} baseline;");
-        println!("         knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN");
+        println!("       ft2-repro serve [--json] [--out PATH] [--smoke] [--web]");
+        println!("         continuous-batching serving gate: requests/s, TTFT and decode-only");
+        println!("         p50/p99 token latency for batch sizes {{1, 4, 8}}, batch-vs-solo");
+        println!("         token identity, and clean-request p99 inflation under a");
+        println!("         per-request fault storm; --json writes the schema-stable");
+        println!("         {SERVE_BASELINE_PATH} baseline; --web serves live traffic behind");
+        println!("         an HTTP/SSE endpoint (embedded viewer on GET /, event stream on");
+        println!("         GET /events, live fault injection on POST /inject);");
+        println!("         knobs: FT2_SERVE_MAX_BATCH, FT2_SERVE_QUEUE_DEPTH, FT2_BENCH_GEN,");
+        println!("         FT2_WEB_ADDR, FT2_WEB_MAX_CLIENTS");
         println!("       ft2-repro replicas [--json] [--out PATH] [--smoke]");
         println!("         cross-replica failover gate: zero-token-loss bit-identical");
         println!("         crash handoff, breaker-driven quarantine under a one-replica");

@@ -1,0 +1,165 @@
+//! Shared latency accounting for the serving/replica harnesses.
+//!
+//! Both `ft2-repro serve` and `ft2-repro replicas` report per-token
+//! latency percentiles from the schedulers' accept timestamps
+//! (`Completion::token_ns`, nanoseconds since the wave started). Two
+//! subtleties live here so the harnesses cannot drift apart again:
+//!
+//! * **TTFT is not a decode gap.** The first timestamp spans queue wait
+//!   *plus* prefill; folding it into the per-token distribution inflates
+//!   p99 by an order of magnitude at small request counts. [`split_latencies`]
+//!   separates time-to-first-token from the consecutive decode gaps, and
+//!   the reports carry `ttft_ms` as its own field.
+//! * **Ratios over ~0 baselines are noise.** `storm_p99 / clean_p99` on a
+//!   sub-microsecond baseline prints absurd five-digit inflations.
+//!   [`inflation_ratio`] floors the baseline at
+//!   [`INFLATION_BASELINE_FLOOR_MS`] and caps the report at
+//!   [`INFLATION_CAP`]; degenerate (sample-free) inputs report the neutral
+//!   `1.0`.
+//!
+//! Percentiles use the **nearest-rank** method on the sorted samples:
+//! `index = round((p / 100) * (len - 1))`. p=0 is the minimum, p=100 the
+//! maximum, and a single sample is every percentile of itself.
+
+/// Floor applied to the clean baseline before dividing, in milliseconds.
+/// Baselines below one microsecond are timer noise, not a denominator.
+pub const INFLATION_BASELINE_FLOOR_MS: f64 = 0.001;
+
+/// Cap on any reported inflation ratio. Anything past this is "the
+/// baseline was degenerate", not a meaningful tail measurement.
+pub const INFLATION_CAP: f64 = 1000.0;
+
+/// Percentile (0..=100) of latency samples in nanoseconds, returned in
+/// milliseconds. Nearest-rank: `index = round((p / 100) * (len - 1))` on
+/// the sorted samples. An empty sample set reports `0.0`.
+pub fn percentile_ms(mut ns: Vec<u64>, p: f64) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    ns.sort_unstable();
+    let idx = ((p / 100.0) * (ns.len() - 1) as f64).round() as usize;
+    ns[idx.min(ns.len() - 1)] as f64 / 1e6
+}
+
+/// Split one completion's accept timestamps into time-to-first-token and
+/// decode gaps.
+///
+/// `token_ns` holds nanosecond timestamps since the wave started, one per
+/// accepted token. The first timestamp *is* the TTFT (queue wait +
+/// prefill); each later token's latency is the gap to its predecessor.
+/// Returns `(ttft_ns, decode_gaps_ns)`; an empty slice yields `(None, [])`.
+pub fn split_latencies(token_ns: &[u64]) -> (Option<u64>, Vec<u64>) {
+    let Some((&first, rest)) = token_ns.split_first() else {
+        return (None, Vec::new());
+    };
+    let mut gaps = Vec::with_capacity(rest.len());
+    let mut prev = first;
+    for &t in rest {
+        gaps.push(t.saturating_sub(prev));
+        prev = t;
+    }
+    (Some(first), gaps)
+}
+
+/// Split many completions' timestamps at once; returns all TTFTs and all
+/// decode gaps pooled (the inputs the reports' percentiles run over).
+pub fn split_all<'a, I>(waves: I) -> (Vec<u64>, Vec<u64>)
+where
+    I: IntoIterator<Item = &'a [u64]>,
+{
+    let mut ttfts = Vec::new();
+    let mut gaps = Vec::new();
+    for token_ns in waves {
+        let (ttft, g) = split_latencies(token_ns);
+        ttfts.extend(ttft);
+        gaps.extend(g);
+    }
+    (ttfts, gaps)
+}
+
+/// Tail-latency inflation of a fault drill over its fault-free baseline,
+/// clamped to stay meaningful.
+///
+/// The baseline is floored at [`INFLATION_BASELINE_FLOOR_MS`] and the
+/// ratio capped at [`INFLATION_CAP`] so a ~0 ms baseline (tiny smoke runs,
+/// coarse timers) cannot print an absurd ratio. When *neither* side has
+/// samples (both ≤ 0) the ratio is the neutral `1.0` — no data is not a
+/// speedup.
+pub fn inflation_ratio(storm_ms: f64, clean_ms: f64) -> f64 {
+    if storm_ms <= 0.0 && clean_ms <= 0.0 {
+        return 1.0;
+    }
+    (storm_ms.max(0.0) / clean_ms.max(INFLATION_BASELINE_FLOOR_MS)).min(INFLATION_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert!((percentile_ms(ns.clone(), 50.0) - 50.0).abs() < 2.0);
+        assert!((percentile_ms(ns.clone(), 99.0) - 99.0).abs() < 2.0);
+        // p=0 is the minimum, p=100 the maximum.
+        assert_eq!(percentile_ms(ns.clone(), 0.0), 1.0);
+        assert_eq!(percentile_ms(ns, 100.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_ms(vec![], 99.0), 0.0, "empty set is 0, not NaN");
+        // A single sample is every percentile of itself.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_ms(vec![3_000_000], p), 3.0);
+        }
+        // Unsorted input is sorted internally.
+        assert_eq!(percentile_ms(vec![5_000_000, 1_000_000], 0.0), 1.0);
+    }
+
+    #[test]
+    fn split_separates_ttft_from_decode_gaps() {
+        // TTFT 10 ms (queue + prefill), then 1 ms decode gaps.
+        let (ttft, gaps) = split_latencies(&[10_000_000, 11_000_000, 12_000_000]);
+        assert_eq!(ttft, Some(10_000_000));
+        assert_eq!(gaps, vec![1_000_000, 1_000_000]);
+        // The old bug: treating TTFT as a gap from t=0 put the 10 ms
+        // prefill into the decode distribution and owned its p99.
+        let p99_with_bug = percentile_ms(vec![10_000_000, 1_000_000, 1_000_000], 99.0);
+        let p99_fixed = percentile_ms(gaps, 99.0);
+        assert_eq!(p99_with_bug, 10.0);
+        assert_eq!(p99_fixed, 1.0);
+    }
+
+    #[test]
+    fn split_edge_cases() {
+        assert_eq!(split_latencies(&[]), (None, Vec::new()));
+        // One token: a TTFT but no decode gaps.
+        assert_eq!(split_latencies(&[7_000_000]), (Some(7_000_000), Vec::new()));
+        // Out-of-order timestamps saturate to 0 instead of wrapping.
+        let (_, gaps) = split_latencies(&[5, 3]);
+        assert_eq!(gaps, vec![0]);
+    }
+
+    #[test]
+    fn split_all_pools_across_completions() {
+        let a = [10_000_000u64, 11_000_000];
+        let b = [20_000_000u64, 21_000_000, 23_000_000];
+        let (ttfts, gaps) = split_all([&a[..], &b[..]]);
+        assert_eq!(ttfts, vec![10_000_000, 20_000_000]);
+        assert_eq!(gaps, vec![1_000_000, 1_000_000, 2_000_000]);
+    }
+
+    #[test]
+    fn inflation_is_clamped_and_neutral_on_no_data() {
+        assert!((inflation_ratio(2.5, 2.0) - 1.25).abs() < 1e-9);
+        // A ~0 baseline cannot print an absurd ratio anymore.
+        assert_eq!(inflation_ratio(5.0, 0.0), INFLATION_CAP);
+        assert_eq!(inflation_ratio(5.0, 1e-12), INFLATION_CAP);
+        // No samples on either side: neutral, not 0 or infinity.
+        assert_eq!(inflation_ratio(0.0, 0.0), 1.0);
+        // No storm samples against a real baseline: 0 (and never negative).
+        assert_eq!(inflation_ratio(0.0, 2.0), 0.0);
+        assert_eq!(inflation_ratio(-1.0, 2.0), 0.0);
+    }
+}

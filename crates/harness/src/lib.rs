@@ -13,12 +13,14 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod latency;
 pub mod lint;
 pub mod replicas;
 pub mod report;
 pub mod serve;
 pub mod settings;
 pub mod shards;
+pub mod webserve;
 
 pub use bench::{BenchReport, BENCH_BASELINE_PATH, BENCH_SCHEMA_VERSION};
 pub use replicas::{ReplicasReport, REPLICAS_BASELINE_PATH, REPLICAS_SCHEMA_VERSION};

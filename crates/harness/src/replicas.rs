@@ -14,8 +14,9 @@
 //! * **blast-radius isolation** — a persistent activation storm on one
 //!   replica trips the error-rate breaker (quarantine) while the clean
 //!   replica's requests stay token-identical; the clean replica's p99
-//!   token latency is reported as an inflation ratio over a fault-free run
-//!   (informational).
+//!   decode-gap latency (time-to-first-token excluded — see
+//!   [`crate::latency`]) is reported as a clamped inflation ratio over a
+//!   fault-free run (informational).
 //! * **rebuild beats restart** — a quarantined replica with corrupted
 //!   weights rebuilds live (incremental checksum sweep against the golden
 //!   copy, survivors keep serving) and rejoins; the measured
@@ -30,6 +31,7 @@
 //! Knobs: `FT2_REPLICAS`, `FT2_REPLICA_RETRY_BUDGET`,
 //! `FT2_REPLICA_BACKOFF_MS`, `FT2_REPLICA_QUARANTINE_ERRS`.
 
+use crate::latency::{inflation_ratio, percentile_ms, split_all};
 use crate::settings::{env_usize, quick_mode};
 use ft2_fault::{Outcome as FaultOutcome, OutcomeCounts, ReplicaFaultKind, ReplicaFaultSpec};
 use ft2_model::{Model, TapList, ZooModel};
@@ -43,7 +45,7 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Version of the JSON report schema. Bump when a key changes meaning.
-pub const REPLICAS_SCHEMA_VERSION: u64 = 1;
+pub const REPLICAS_SCHEMA_VERSION: u64 = 2;
 
 /// Default output path for the JSON report.
 pub const REPLICAS_BASELINE_PATH: &str = "BENCH_replicas.json";
@@ -87,11 +89,14 @@ pub struct ReplicasReport {
     pub storm_evictions: u64,
     /// Every storm-drill request still completed bit-identical to solo.
     pub storm_identity_ok: bool,
-    /// Clean requests' p99 token latency under the one-replica storm, ms.
+    /// Clean requests' p99 decode-gap latency under the one-replica
+    /// storm, ms (TTFT excluded).
     pub storm_clean_p99_ms: f64,
-    /// Fault-free p99 token latency baseline, ms.
+    /// Fault-free median time-to-first-token (queue wait + prefill), ms.
+    pub ttft_ms: f64,
+    /// Fault-free p99 decode-gap latency baseline, ms.
     pub clean_p99_ms: f64,
-    /// `storm_clean_p99_ms / clean_p99_ms` (informational).
+    /// Clamped tail inflation via [`inflation_ratio`] (informational).
     pub clean_p99_inflation: f64,
 
     /// Rebuild drill: weight tiles the sweep restored from golden.
@@ -152,6 +157,7 @@ impl ReplicasReport {
         let _ = writeln!(s, "  \"storm_evictions\": {},", self.storm_evictions);
         let _ = writeln!(s, "  \"storm_identity_ok\": {},", self.storm_identity_ok);
         let _ = writeln!(s, "  \"storm_clean_p99_ms\": {:.3},", self.storm_clean_p99_ms);
+        let _ = writeln!(s, "  \"ttft_ms\": {:.3},", self.ttft_ms);
         let _ = writeln!(s, "  \"clean_p99_ms\": {:.3},", self.clean_p99_ms);
         let _ = writeln!(s, "  \"clean_p99_inflation\": {:.3},", self.clean_p99_inflation);
         let _ = writeln!(s, "  \"tiles_repaired\": {},", self.tiles_repaired);
@@ -195,10 +201,11 @@ impl ReplicasReport {
         );
         let _ = writeln!(
             s,
-            "one-replica storm: quarantined {}, {} evictions retried clean, clean p99 \
-             {:.3} ms = {:.2}x fault-free, identity {}",
+            "one-replica storm: quarantined {}, {} evictions retried clean, ttft {:.3} ms, \
+             clean decode p99 {:.3} ms = {:.2}x fault-free, identity {}",
             self.storm_quarantined,
             self.storm_evictions,
+            self.ttft_ms,
             self.storm_clean_p99_ms,
             self.clean_p99_inflation,
             if self.storm_identity_ok { "ok" } else { "DRIFT" }
@@ -220,27 +227,6 @@ impl ReplicasReport {
         let _ = write!(s, "overall: {}", if self.ok() { "ok" } else { "FAIL" });
         s
     }
-}
-
-/// Percentile (0..=100) of per-token latencies, in milliseconds.
-fn percentile_ms(mut ns: Vec<u64>, p: f64) -> f64 {
-    if ns.is_empty() {
-        return 0.0;
-    }
-    ns.sort_unstable();
-    let idx = ((p / 100.0) * (ns.len() - 1) as f64).round() as usize;
-    ns[idx.min(ns.len() - 1)] as f64 / 1e6
-}
-
-/// Per-token latency gaps of one completion.
-fn token_latencies_ns(c: &ReplicaCompletion) -> Vec<u64> {
-    let mut out = Vec::with_capacity(c.inner.token_ns.len());
-    let mut prev = 0u64;
-    for &t in &c.inner.token_ns {
-        out.push(t.saturating_sub(prev));
-        prev = t;
-    }
-    out
 }
 
 fn replica_config(replicas: usize, retry: RetryPolicy, quarantine_errs: u32) -> ReplicaConfig {
@@ -322,10 +308,10 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ReplicasReport {
         requests,
         None,
     );
-    let clean_p99_ms = percentile_ms(
-        clean_done.iter().flat_map(token_latencies_ns).collect(),
-        99.0,
-    );
+    let (clean_ttfts, clean_decode_ns) =
+        split_all(clean_done.iter().map(|c| c.inner.token_ns.as_slice()));
+    let ttft_ms = percentile_ms(clean_ttfts, 50.0);
+    let clean_p99_ms = percentile_ms(clean_decode_ns, 99.0);
 
     // Drill (a): replica 0 crashes mid-batch; zero-token-loss handoff.
     let (crash_done, crash_set) = replica_wave(
@@ -375,12 +361,13 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ReplicasReport {
     let storm_stats = *storm_set.stats();
     // Tail of requests that never touched the storming replica: served
     // end-to-end by a clean survivor (failovers == 0).
-    let storm_clean_ns: Vec<u64> = storm_done
-        .iter()
-        .filter(|c| c.failovers == 0)
-        .flat_map(token_latencies_ns)
-        .collect();
-    let storm_clean_p99_ms = percentile_ms(storm_clean_ns, 99.0);
+    let (_, storm_clean_decode_ns) = split_all(
+        storm_done
+            .iter()
+            .filter(|c| c.failovers == 0)
+            .map(|c| c.inner.token_ns.as_slice()),
+    );
+    let storm_clean_p99_ms = percentile_ms(storm_clean_decode_ns, 99.0);
 
     // Drill (c): quarantine a replica, corrupt its weights, and measure
     // quarantine→rebuild→rejoin against building a replacement replica
@@ -446,8 +433,9 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ReplicasReport {
         storm_evictions: storm_stats.storm_evictions,
         storm_identity_ok,
         storm_clean_p99_ms,
+        ttft_ms,
         clean_p99_ms,
-        clean_p99_inflation: storm_clean_p99_ms / clean_p99_ms.max(1e-9),
+        clean_p99_inflation: inflation_ratio(storm_clean_p99_ms, clean_p99_ms),
         tiles_repaired: rebuild_stats.tiles_repaired,
         rebuild_ms,
         restart_ms,
@@ -488,6 +476,7 @@ mod tests {
             storm_evictions: 6,
             storm_identity_ok: true,
             storm_clean_p99_ms: 2.5,
+            ttft_ms: 4.75,
             clean_p99_ms: 2.0,
             clean_p99_inflation: 1.25,
             tiles_repaired: 8,
@@ -502,7 +491,7 @@ mod tests {
     fn json_schema_is_stable() {
         let json = sample().to_json();
         for key in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"model\": \"OPT-6.7B\"",
             "\"replicas\": 2",
             "\"retry_budget\": 3",
@@ -515,6 +504,7 @@ mod tests {
             "\"storm_quarantined\": true",
             "\"storm_evictions\": 6",
             "\"storm_identity_ok\": true",
+            "\"ttft_ms\": 4.750",
             "\"clean_p99_inflation\": 1.250",
             "\"tiles_repaired\": 8",
             "\"rebuild_ms\": 1.750",
@@ -557,5 +547,9 @@ mod tests {
         assert!(report.crash_failovers >= 1);
         assert!(report.handoff_tokens >= 1);
         assert!(report.storm_quarantined);
+        // Latency accounting fix: TTFT is measured (and no longer pollutes
+        // the decode-gap percentiles), and the inflation ratio is clamped.
+        assert!(report.ttft_ms > 0.0, "fault-free wave lost its TTFT");
+        assert!(report.clean_p99_inflation <= crate::latency::INFLATION_CAP);
     }
 }

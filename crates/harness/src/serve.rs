@@ -5,8 +5,9 @@
 //! prompts) and reports:
 //!
 //! * **throughput** — requests/s and accepted tokens/s for batch sizes
-//!   {1, 4, 8} (capped by `FT2_SERVE_MAX_BATCH`), with p50/p99 per-token
-//!   latency;
+//!   {1, 4, 8} (capped by `FT2_SERVE_MAX_BATCH`), with median
+//!   time-to-first-token (`ttft_ms`: queue wait + prefill) and p50/p99
+//!   per-token latency over **decode gaps only** (see [`crate::latency`]);
 //! * **identity** — every request served at batch size N emits tokens
 //!   bit-identical to its single-sequence [`ft2_model::Model::generate`]
 //!   (the core serving guarantee; a batch must never change anyone's
@@ -25,6 +26,7 @@
 //! informational. Sizing: `FT2_BENCH_GEN`, `FT2_QUICK=1` / `--smoke`;
 //! `FT2_SERVE_MAX_BATCH` and `FT2_SERVE_QUEUE_DEPTH` shape the scheduler.
 
+use crate::latency::{inflation_ratio, percentile_ms, split_all};
 use crate::settings::{env_usize, quick_mode};
 use ft2_model::{Model, RecoveryPolicy, TapList, ZooModel};
 use ft2_parallel::WorkStealingPool;
@@ -38,7 +40,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Version of the JSON report schema. Bump when a key changes meaning.
-pub const SERVE_SCHEMA_VERSION: u64 = 1;
+pub const SERVE_SCHEMA_VERSION: u64 = 2;
 
 /// Default output path for the JSON report.
 pub const SERVE_BASELINE_PATH: &str = "BENCH_serve.json";
@@ -54,9 +56,12 @@ pub struct ServeBatchPoint {
     pub requests_s: f64,
     /// Accepted tokens per second across the batch.
     pub tok_s: f64,
-    /// Median per-token latency, milliseconds.
+    /// Median time-to-first-token (queue wait + prefill), milliseconds.
+    pub ttft_ms: f64,
+    /// Median per-token decode latency (gap between consecutive accepts,
+    /// TTFT excluded), milliseconds.
     pub p50_token_ms: f64,
-    /// 99th-percentile per-token latency, milliseconds.
+    /// 99th-percentile per-token decode latency, milliseconds.
     pub p99_token_ms: f64,
     /// Every request matched its single-sequence generation bit-for-bit.
     pub identity_ok: bool,
@@ -81,13 +86,13 @@ pub struct ServeReport {
     pub storm_outcome: &'static str,
     /// Rollbacks the storming request took.
     pub storm_rollbacks: u32,
-    /// Clean requests' p99 token latency under the storm, milliseconds.
+    /// Clean requests' p99 decode-gap latency under the storm, ms.
     pub storm_clean_p99_ms: f64,
-    /// Fault-free batch-4 p99 token latency, milliseconds (the baseline
-    /// the storm tail is compared against).
+    /// Fault-free batch-4 p99 decode-gap latency, milliseconds (the
+    /// baseline the storm tail is compared against).
     pub clean_p99_ms: f64,
-    /// `storm_clean_p99_ms / clean_p99_ms` — tail-latency inflation the
-    /// storm imposed on its batchmates (informational).
+    /// Tail-latency inflation the storm imposed on its batchmates,
+    /// via [`inflation_ratio`] (floored baseline, capped; informational).
     pub clean_p99_inflation: f64,
     /// Every request of the storm drill — clean batchmates *and* the
     /// rolled-back storming request — matched its solo generation.
@@ -124,10 +129,10 @@ impl ServeReport {
             let _ = write!(
                 s,
                 "\n    {{\"batch\": {}, \"requests\": {}, \"requests_s\": {:.3}, \
-                 \"tok_s\": {:.3}, \"p50_token_ms\": {:.3}, \"p99_token_ms\": {:.3}, \
-                 \"identity_ok\": {}}}",
-                b.batch, b.requests, b.requests_s, b.tok_s, b.p50_token_ms, b.p99_token_ms,
-                b.identity_ok
+                 \"tok_s\": {:.3}, \"ttft_ms\": {:.3}, \"p50_token_ms\": {:.3}, \
+                 \"p99_token_ms\": {:.3}, \"identity_ok\": {}}}",
+                b.batch, b.requests, b.requests_s, b.tok_s, b.ttft_ms, b.p50_token_ms,
+                b.p99_token_ms, b.identity_ok
             );
         }
         s.push_str("\n  ],\n");
@@ -152,10 +157,11 @@ impl ServeReport {
         for b in &self.batches {
             let _ = writeln!(
                 s,
-                "batch {:>2}  {:>8.2} req/s  {:>9.1} tok/s  p50 {:>7.3} ms  p99 {:>7.3} ms  identity {}",
+                "batch {:>2}  {:>8.2} req/s  {:>9.1} tok/s  ttft {:>7.3} ms  p50 {:>7.3} ms  p99 {:>7.3} ms  identity {}",
                 b.batch,
                 b.requests_s,
                 b.tok_s,
+                b.ttft_ms,
                 b.p50_token_ms,
                 b.p99_token_ms,
                 if b.identity_ok { "ok" } else { "DRIFT" }
@@ -174,28 +180,6 @@ impl ServeReport {
         let _ = write!(s, "overall: {}", if self.ok() { "ok" } else { "FAIL" });
         s
     }
-}
-
-/// Percentile (0..=100) of per-token latencies, in milliseconds.
-fn percentile_ms(mut ns: Vec<u64>, p: f64) -> f64 {
-    if ns.is_empty() {
-        return 0.0;
-    }
-    ns.sort_unstable();
-    let idx = ((p / 100.0) * (ns.len() - 1) as f64).round() as usize;
-    ns[idx.min(ns.len() - 1)] as f64 / 1e6
-}
-
-/// Per-token latencies of one completion: the gap between consecutive
-/// token acceptances (the first token's latency spans the prefill).
-fn token_latencies_ns(c: &Completion) -> Vec<u64> {
-    let mut out = Vec::with_capacity(c.token_ns.len());
-    let mut prev = 0u64;
-    for &t in &c.token_ns {
-        out.push(t.saturating_sub(prev));
-        prev = t;
-    }
-    out
 }
 
 struct RunStats {
@@ -284,15 +268,17 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ServeReport {
                 .completions
                 .iter()
                 .all(|c| c.outcome == Outcome::Completed && matches_solo(c));
-        let token_ns: Vec<u64> = stats.completions.iter().flat_map(token_latencies_ns).collect();
+        let (ttfts, decode_ns) =
+            split_all(stats.completions.iter().map(|c| c.token_ns.as_slice()));
         let total_tokens: usize = stats.completions.iter().map(|c| c.tokens.len()).sum();
         let point = ServeBatchPoint {
             batch,
             requests,
             requests_s: requests as f64 / stats.wall_s.max(1e-9),
             tok_s: total_tokens as f64 / stats.wall_s.max(1e-9),
-            p50_token_ms: percentile_ms(token_ns.clone(), 50.0),
-            p99_token_ms: percentile_ms(token_ns, 99.0),
+            ttft_ms: percentile_ms(ttfts, 50.0),
+            p50_token_ms: percentile_ms(decode_ns.clone(), 50.0),
+            p99_token_ms: percentile_ms(decode_ns, 99.0),
             identity_ok,
         };
         if batch == 4 {
@@ -325,13 +311,14 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ServeReport {
         None => "Missing",
     };
     let storm_rollbacks = stormer.map(|c| c.rollbacks).unwrap_or(0);
-    let clean_ns: Vec<u64> = stats
-        .completions
-        .iter()
-        .filter(|c| c.id != 0)
-        .flat_map(token_latencies_ns)
-        .collect();
-    let storm_clean_p99_ms = percentile_ms(clean_ns, 99.0);
+    let (_, clean_decode_ns) = split_all(
+        stats
+            .completions
+            .iter()
+            .filter(|c| c.id != 0)
+            .map(|c| c.token_ns.as_slice()),
+    );
+    let storm_clean_p99_ms = percentile_ms(clean_decode_ns, 99.0);
     let storm_identity_ok = stats.completions.iter().all(matches_solo);
 
     ServeReport {
@@ -345,7 +332,7 @@ pub fn run(pool: &WorkStealingPool, smoke: bool) -> ServeReport {
         storm_rollbacks,
         storm_clean_p99_ms,
         clean_p99_ms,
-        clean_p99_inflation: storm_clean_p99_ms / clean_p99_ms.max(1e-9),
+        clean_p99_inflation: inflation_ratio(storm_clean_p99_ms, clean_p99_ms),
         storm_identity_ok,
     }
 }
@@ -375,6 +362,7 @@ mod tests {
                 requests: 8,
                 requests_s: 12.345,
                 tok_s: 197.52,
+                ttft_ms: 4.25,
                 p50_token_ms: 0.85,
                 p99_token_ms: 2.125,
                 identity_ok: true,
@@ -392,7 +380,7 @@ mod tests {
     fn json_schema_is_stable() {
         let json = sample().to_json();
         for key in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"model\": \"OPT-6.7B\"",
             "\"gen_tokens\": 16",
             "\"max_batch\": 8",
@@ -400,6 +388,7 @@ mod tests {
             "\"batch\": 4",
             "\"requests_s\": 12.345",
             "\"tok_s\": 197.520",
+            "\"ttft_ms\": 4.250",
             "\"p50_token_ms\": 0.850",
             "\"p99_token_ms\": 2.125",
             "\"identity_ok\": true",
@@ -430,14 +419,6 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_sane() {
-        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
-        assert!((percentile_ms(ns.clone(), 50.0) - 50.0).abs() < 2.0);
-        assert!((percentile_ms(ns, 99.0) - 99.0).abs() < 2.0);
-        assert_eq!(percentile_ms(vec![], 99.0), 0.0);
-    }
-
-    #[test]
     fn smoke_run_upholds_identity_and_isolation() {
         let pool = WorkStealingPool::new(3);
         let report = run(&pool, true);
@@ -446,5 +427,19 @@ mod tests {
         assert!(report.batches.iter().any(|b| b.batch >= 4));
         assert_eq!(report.storm_outcome, "Completed");
         assert!(report.storm_rollbacks >= 1, "the storm must have struck");
+        // The accounting fix: TTFT (queue + prefill) is its own field and
+        // must dominate any single decode gap, so the decode p99 can no
+        // longer be a disguised prefill measurement.
+        for b in &report.batches {
+            assert!(b.ttft_ms > 0.0, "batch {} lost its TTFT", b.batch);
+            assert!(
+                b.ttft_ms >= b.p50_token_ms,
+                "batch {}: TTFT {:.3} ms below median decode gap {:.3} ms",
+                b.batch,
+                b.ttft_ms,
+                b.p50_token_ms
+            );
+        }
+        assert!(report.clean_p99_inflation <= crate::latency::INFLATION_CAP);
     }
 }

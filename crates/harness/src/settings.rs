@@ -17,6 +17,8 @@ pub enum KnobKind {
     Flag,
     /// Filesystem path.
     Path,
+    /// Free-form string (e.g. a socket address), taken verbatim.
+    Text,
 }
 
 /// One row of the central env-knob registry: the single source of truth
@@ -257,6 +259,20 @@ pub const KNOB_REGISTRY: &[KnobSpec] = &[
         doc: "per-trial generation-step watchdog (deterministic abort)",
         site: "ft2-harness",
     },
+    KnobSpec {
+        name: "FT2_WEB_ADDR",
+        kind: KnobKind::Text,
+        default: "127.0.0.1:8472",
+        doc: "bind address of the `serve --web` HTTP/SSE endpoint (port 0 = ephemeral)",
+        site: "ft2-harness",
+    },
+    KnobSpec {
+        name: "FT2_WEB_MAX_CLIENTS",
+        kind: KnobKind::Integer,
+        default: "16",
+        doc: "concurrent SSE clients of the `serve --web` event stream (extras get 503)",
+        site: "ft2-harness",
+    },
 ];
 
 /// The registered knob names (what the `env-knob` lint validates literals
@@ -405,6 +421,12 @@ pub(crate) fn env_flag(name: &str) -> bool {
 pub(crate) fn env_path(name: &str) -> Option<std::path::PathBuf> {
     let _ = knob_spec(name);
     std::env::var(name).ok().map(std::path::PathBuf::from)
+}
+
+/// A registered string-valued knob, taken verbatim (no parsing to fail).
+pub(crate) fn env_string(name: &str) -> Option<String> {
+    let _ = knob_spec(name);
+    std::env::var(name).ok()
 }
 
 /// Whether `FT2_QUICK=1` smoke-test sizing is in effect.

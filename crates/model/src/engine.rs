@@ -878,9 +878,8 @@ mod tests {
             };
             self.stormed_this_step = false;
             StepReport {
-                clamps: 0,
-                nans: 0,
                 verdict,
+                ..StepReport::default()
             }
         }
         fn on_rollback(&mut self, _step: usize, _attempt: u32) {

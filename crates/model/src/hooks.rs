@@ -67,6 +67,12 @@ pub enum AnomalyVerdict {
     Storm,
 }
 
+/// Widest decoder-block count across the model zoo (OPT-6.7B-class configs
+/// top out at 32 blocks). Sized as a fixed array so [`StepReport`] stays
+/// `Copy` and allocation-free on the per-step hot path; deeper blocks fold
+/// into the last slot.
+pub const MAX_BLOCK_HITS: usize = 32;
+
 /// What a tap observed (and corrected) during one generation step.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StepReport {
@@ -76,6 +82,11 @@ pub struct StepReport {
     pub nans: u64,
     /// The tap's severity verdict for the step.
     pub verdict: AnomalyVerdict,
+    /// Anomalies attributed per decoder block this step (corrections
+    /// applied by protection taps, strikes recorded by injector taps),
+    /// indexed by block; blocks `>= MAX_BLOCK_HITS` fold into the last
+    /// slot. Drives the per-layer heatmap of the live event stream.
+    pub block_hits: [u32; MAX_BLOCK_HITS],
 }
 
 impl StepReport {
@@ -84,12 +95,31 @@ impl StepReport {
         self.clamps + self.nans
     }
 
+    /// Record one correction against `block` (saturating; deep blocks fold
+    /// into the last slot).
+    pub fn record_block_hit(&mut self, block: usize) {
+        let slot = block.min(MAX_BLOCK_HITS - 1);
+        self.block_hits[slot] = self.block_hits[slot].saturating_add(1);
+    }
+
+    /// Blocks with at least one correction this step, as `(block, hits)`.
+    pub fn hit_blocks(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.block_hits
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h > 0)
+            .map(|(b, &h)| (b, h))
+    }
+
     /// Merge another tap's report: counts add, the verdict takes the
     /// maximum severity.
     pub fn merge(&mut self, other: &StepReport) {
         self.clamps += other.clamps;
         self.nans += other.nans;
         self.verdict = self.verdict.max(other.verdict);
+        for (mine, theirs) in self.block_hits.iter_mut().zip(other.block_hits.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
     }
 }
 
@@ -295,11 +325,14 @@ mod tests {
     impl LayerTap for Stormy {
         fn on_output(&mut self, _ctx: &TapCtx, _data: &mut Matrix) {}
         fn end_step(&mut self, _step: usize) -> StepReport {
-            StepReport {
+            let mut r = StepReport {
                 clamps: 3,
                 nans: 1,
                 verdict: AnomalyVerdict::Storm,
-            }
+                ..StepReport::default()
+            };
+            r.record_block_hit(2);
+            r
         }
     }
 
@@ -314,6 +347,22 @@ mod tests {
         assert_eq!(report.nans, 1);
         assert_eq!(report.corrections(), 4);
         assert_eq!(report.verdict, AnomalyVerdict::Storm);
+        assert_eq!(report.hit_blocks().collect::<Vec<_>>(), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn block_hits_merge_elementwise_and_fold_deep_blocks() {
+        let mut a = StepReport::default();
+        a.record_block_hit(0);
+        a.record_block_hit(2);
+        let mut b = StepReport::default();
+        b.record_block_hit(2);
+        b.record_block_hit(MAX_BLOCK_HITS + 7); // folds into the last slot
+        a.merge(&b);
+        assert_eq!(
+            a.hit_blocks().collect::<Vec<_>>(),
+            vec![(0, 1), (2, 2), (MAX_BLOCK_HITS - 1, 1)]
+        );
     }
 
     #[test]
@@ -325,6 +374,7 @@ mod tests {
             clamps: 1,
             nans: 0,
             verdict: AnomalyVerdict::Corrected,
+            ..StepReport::default()
         });
         assert_eq!(r.verdict, AnomalyVerdict::Corrected);
         r.merge(&StepReport::default()); // clean merge cannot downgrade

@@ -52,7 +52,7 @@ pub use engine::{
 pub use graph::{ArchGraph, OpClass};
 pub use hooks::{
     AnomalyVerdict, HookKind, LayerTap, NoTaps, RecordingTap, StepReport, TapCtx, TapList,
-    TapPoint,
+    TapPoint, MAX_BLOCK_HITS,
 };
 pub use shard::{
     balanced_spans, DegradeEvent, PartialMut, RepairScope, ShardBlockWeights, ShardFailure,

@@ -34,16 +34,28 @@
 //! * [`storm`] — a per-request fault-storm injector
 //!   ([`storm::StormTap`]) driving tests and the serving bench's
 //!   fault-storm drill, scheduled by [`ft2_fault::FaultDuration`].
+//! * [`event`] — the live observation stream: schedulers and replica sets
+//!   mirror every ladder decision (token accept with its
+//!   [`ft2_model::StepReport`], rollback, repair, eviction, completion,
+//!   health transitions) onto an [`event::EventSink`] without perturbing
+//!   the decode path.
+//! * [`web`] — a zero-dependency HTTP/SSE front end
+//!   ([`web::WebServer`]): streams [`event::ServeEvent`]s as Server-Sent
+//!   Events, serves an embedded single-page viewer, and accepts live
+//!   fault injection over `POST /inject`.
 
 pub mod arena;
 pub mod engine;
+pub mod event;
 pub mod replica;
 pub mod scheduler;
 pub mod server;
 pub mod storm;
+pub mod web;
 
 pub use arena::{KvArena, KvGuard, KvSeq, KV_PAGE};
 pub use engine::{batch_step, BatchLane, BatchScratch};
+pub use event::{EventSink, ServeEvent};
 pub use replica::{
     HealthTracker, ReplicaCompletion, ReplicaConfig, ReplicaHealth, ReplicaSet, ReplicaSetStats,
     RetryPolicy,
@@ -52,4 +64,5 @@ pub use scheduler::{
     Completion, EvictReason, Outcome, RejectReason, Request, Scheduler, ServeConfig, SubmitError,
 };
 pub use server::Server;
-pub use storm::StormTap;
+pub use storm::{StormTap, StrikeMode};
+pub use web::{WebConfig, WebServer};

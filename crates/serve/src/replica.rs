@@ -69,6 +69,7 @@ use ft2_model::weights::ModelWeights;
 use ft2_model::Model;
 use ft2_parallel::{catch_quiet, HeartbeatMonitor, WorkStealingPool};
 
+use crate::event::EventSink;
 use crate::scheduler::{
     Completion, Outcome, RejectReason, Request, Scheduler, ServeConfig, SubmitError,
 };
@@ -339,6 +340,9 @@ pub struct ReplicaSet {
     pending: VecDeque<PendingRoute>,
     done: Vec<ReplicaCompletion>,
     stats: ReplicaSetStats,
+    /// Optional observation stream: each replica's scheduler gets the sink
+    /// tagged with its index, and rebuilt schedulers are re-attached.
+    sink: Option<EventSink>,
 }
 
 impl ReplicaSet {
@@ -374,7 +378,27 @@ impl ReplicaSet {
             pending: VecDeque::new(),
             done: Vec::new(),
             stats: ReplicaSetStats::default(),
+            sink: None,
         }
+    }
+
+    /// Mirror every replica's ladder decisions onto `sink`, tagged with
+    /// the replica index. Schedulers stamped later (rebuild rejoin) are
+    /// attached automatically. Observation only — serving behaviour and
+    /// token identity are unchanged.
+    pub fn set_event_sink(&mut self, sink: EventSink) {
+        for (r, rep) in self.replicas.iter_mut().enumerate() {
+            if let Some(sched) = rep.sched.as_mut() {
+                sched.set_event_sink(sink.for_replica(r));
+            }
+        }
+        self.sink = Some(sink);
+    }
+
+    /// Decode steps replica `r` has taken (fault specs are keyed on this
+    /// replica-local counter; live injection reads it to strike "now").
+    pub fn replica_steps(&self, r: usize) -> u64 {
+        self.replicas[r].steps
     }
 
     /// Number of replicas.
@@ -815,10 +839,11 @@ impl ReplicaSet {
         self.stats.tiles_checked += checked as u64;
         self.stats.tiles_repaired += repaired as u64;
         if rep.rebuild_cursor >= self.checksums.num_tiles() {
-            rep.sched = Some(Scheduler::new(
-                Arc::clone(&rep.model),
-                self.config.inner.clone(),
-            ));
+            let mut sched = Scheduler::new(Arc::clone(&rep.model), self.config.inner.clone());
+            if let Some(sink) = &self.sink {
+                sched.set_event_sink(sink.for_replica(r));
+            }
+            rep.sched = Some(sched);
             rep.health.rejoin();
             rep.rebuild_cursor = 0;
             self.stats.rebuilds += 1;

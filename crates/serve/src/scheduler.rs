@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use crate::arena::{KvArena, KvGuard, KvSeq};
 use crate::engine::{batch_step, BatchLane, BatchScratch};
+use crate::event::{EventSink, ServeEvent};
 use ft2_model::engine::KvCache;
 use ft2_model::hooks::{AnomalyVerdict, LayerTap, TapList};
 use ft2_model::{Model, RecoveryPolicy};
@@ -145,6 +146,18 @@ pub enum Outcome {
     Rejected(RejectReason),
 }
 
+impl Outcome {
+    /// Short label for the event stream (`"Completed"` / `"Evicted"` /
+    /// `"Rejected"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Completed => "Completed",
+            Outcome::Evicted(_) => "Evicted",
+            Outcome::Rejected(_) => "Rejected",
+        }
+    }
+}
+
 /// Everything the caller gets back for one request.
 #[derive(Clone, Debug)]
 pub struct Completion {
@@ -233,6 +246,8 @@ pub struct Scheduler {
     active: Vec<ActiveRequest>,
     completions: Vec<Completion>,
     scratch: BatchScratch,
+    /// Optional observation-only event stream (never blocks the ladder).
+    sink: Option<EventSink>,
 }
 
 impl Scheduler {
@@ -248,7 +263,30 @@ impl Scheduler {
             active: Vec::new(),
             completions: Vec::new(),
             scratch: BatchScratch::new(),
+            sink: None,
         }
+    }
+
+    /// Mirror every ladder decision onto `sink` as [`ServeEvent`]s.
+    /// Observation only: emission is non-blocking and fault-silent, so
+    /// streamed tokens stay bit-identical to an un-instrumented scheduler.
+    pub fn set_event_sink(&mut self, sink: EventSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Push a completion, emitting the matching terminal event.
+    fn finish(&mut self, completion: Completion) {
+        if let Some(sink) = &self.sink {
+            sink.emit(ServeEvent::Completed {
+                replica: sink.replica(),
+                id: completion.id,
+                outcome: completion.outcome.label(),
+                tokens: completion.tokens.len(),
+                rollbacks: completion.rollbacks,
+                storms: completion.storms,
+            });
+        }
+        self.completions.push(completion);
     }
 
     /// Requests waiting for a lane.
@@ -317,7 +355,7 @@ impl Scheduler {
             return Err(SubmitError::QueueFull);
         }
         if accepted.len() >= req.gen_tokens {
-            self.completions.push(Completion {
+            self.finish(Completion {
                 id: req.id,
                 outcome: Outcome::Completed,
                 tokens: accepted,
@@ -342,9 +380,10 @@ impl Scheduler {
     /// dropped. Active lanes are untouched. Returns how many requests
     /// were rejected.
     pub fn drain_queue_rejected(&mut self, reason: RejectReason) -> usize {
-        let n = self.queue.len();
-        for q in self.queue.drain(..) {
-            self.completions.push(Completion {
+        let drained: Vec<Queued> = self.queue.drain(..).collect();
+        let n = drained.len();
+        for q in drained {
+            self.finish(Completion {
                 id: q.req.id,
                 outcome: Outcome::Rejected(reason),
                 tokens: q.resume,
@@ -472,6 +511,13 @@ impl Scheduler {
                 guard.seal(&self.arena, &ar.seq, j);
             }
         }
+        if let Some(sink) = &self.sink {
+            sink.emit(ServeEvent::Admitted {
+                replica: sink.replica(),
+                id: ar.id,
+                resumed: if resuming { ar.tokens.len() } else { 0 },
+            });
+        }
         if resuming {
             let now = admitted_at.elapsed().as_nanos() as u64;
             ar.token_ns.resize(ar.tokens.len(), now);
@@ -479,11 +525,23 @@ impl Scheduler {
             let last = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
             let first = argmax(&self.model.logits(&last)) as u32;
             ar.tokens.push(first);
-            ar.token_ns.push(admitted_at.elapsed().as_nanos() as u64);
+            let t_ns = admitted_at.elapsed().as_nanos() as u64;
+            ar.token_ns.push(t_ns);
+            if let Some(sink) = &self.sink {
+                sink.emit(ServeEvent::Token {
+                    replica: sink.replica(),
+                    id: ar.id,
+                    step: 0,
+                    token: first,
+                    report,
+                    t_ns,
+                });
+            }
         }
         if ar.tokens.len() >= ar.gen_tokens {
             ar.seq.release(&mut self.arena);
-            self.completions.push(ar.into_completion(Outcome::Completed));
+            let completion = ar.into_completion(Outcome::Completed);
+            self.finish(completion);
         } else {
             self.active.push(ar);
         }
@@ -587,20 +645,48 @@ impl Scheduler {
                     ar.redecodes += 1;
                 };
                 if ar.redecodes < policy.max_retries {
+                    let attempt = ar.redecodes;
                     rollback(ar, &mut self.arena);
+                    if let Some(sink) = &self.sink {
+                        sink.emit(ServeEvent::Rollback {
+                            replica: sink.replica(),
+                            id: ar.id,
+                            step,
+                            attempt,
+                            report,
+                        });
+                    }
                     continue;
                 }
                 if policy.enabled() && policy.repair && !ar.repaired_this_step {
+                    let attempt = ar.redecodes;
                     rollback(ar, &mut self.arena);
                     let bad = ar
                         .guard
                         .as_ref()
                         .and_then(|g| g.verify(&self.arena, &ar.seq));
+                    let mut rebuilt = 0;
                     if let Some(bad) = bad {
-                        ar.kv_repairs += Self::rebuild_kv(&self.model, &mut self.arena, ar, bad);
+                        rebuilt = Self::rebuild_kv(&self.model, &mut self.arena, ar, bad);
+                        ar.kv_repairs += rebuilt;
                     }
                     ar.repair_retries += 1;
                     ar.repaired_this_step = true;
+                    if let Some(sink) = &self.sink {
+                        sink.emit(ServeEvent::Rollback {
+                            replica: sink.replica(),
+                            id: ar.id,
+                            step,
+                            attempt,
+                            report,
+                        });
+                        sink.emit(ServeEvent::Repair {
+                            replica: sink.replica(),
+                            id: ar.id,
+                            step,
+                            positions: rebuilt,
+                        });
+                    }
                     continue;
                 }
                 if policy.enabled() {
@@ -611,6 +697,14 @@ impl Scheduler {
                             redecodes: ar.redecodes,
                         }),
                     ));
+                    if let Some(sink) = &self.sink {
+                        sink.emit(ServeEvent::Evicted {
+                            replica: sink.replica(),
+                            id: ar.id,
+                            step,
+                            redecodes: ar.redecodes,
+                        });
+                    }
                     continue;
                 }
                 // Disabled policy: fall through and accept the storming
@@ -618,12 +712,22 @@ impl Scheduler {
             }
             // Accept.
             ar.tokens.push(next[i]);
-            ar.token_ns
-                .push(ar.admitted_at.elapsed().as_nanos() as u64);
+            let t_ns = ar.admitted_at.elapsed().as_nanos() as u64;
+            ar.token_ns.push(t_ns);
             ar.redecodes = 0;
             ar.repaired_this_step = false;
             if let Some(guard) = &mut ar.guard {
                 guard.seal(&self.arena, &ar.seq, pos);
+            }
+            if let Some(sink) = &self.sink {
+                sink.emit(ServeEvent::Token {
+                    replica: sink.replica(),
+                    id: ar.id,
+                    step,
+                    token: next[i],
+                    report,
+                    t_ns,
+                });
             }
             if ar.tokens.len() >= ar.gen_tokens {
                 finished.push((i, Outcome::Completed));
@@ -636,7 +740,8 @@ impl Scheduler {
         for (i, outcome) in finished {
             let mut ar = self.active.remove(i);
             ar.seq.release(&mut self.arena);
-            self.completions.push(ar.into_completion(outcome));
+            let completion = ar.into_completion(outcome);
+            self.finish(completion);
         }
         true
     }

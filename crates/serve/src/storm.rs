@@ -18,9 +18,23 @@ use ft2_tensor::Matrix;
 /// activation range, so downstream detectors cannot miss it.
 const STORM_MAGNITUDE: f32 = 1.0e3;
 
-/// Fault injector confined to one request: storms the VProj output of
-/// block 0 according to a [`FaultDuration`] schedule.
+/// How a strike corrupts the struck output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrikeMode {
+    /// Add [`STORM_MAGNITUDE`] to every element (the classic storm).
+    AddMagnitude,
+    /// Flip a high exponent bit of the first element — the single-bit-upset
+    /// model driven by the live `/inject` endpoint ("flip a bit in block 2
+    /// now"): one element jumps orders of magnitude while the rest of the
+    /// output is untouched.
+    BitFlip,
+}
+
+/// Fault injector confined to one request: storms the VProj output of a
+/// configurable block (default 0) according to a [`FaultDuration`] schedule.
 pub struct StormTap {
+    /// Decoder block whose VProj output is struck.
+    pub block: usize,
     /// First generation step the storm can strike.
     pub target_step: usize,
     /// Strike schedule relative to `target_step`.
@@ -29,6 +43,8 @@ pub struct StormTap {
     /// intermittent storms model re-strikes of a fading fault; persistent
     /// storms ignore this).
     pub heal_after: u32,
+    /// How a strike corrupts the output.
+    pub mode: StrikeMode,
     attempts: u32,
     stormed_this_step: bool,
     /// Total strikes delivered (visible to tests).
@@ -46,16 +62,38 @@ impl StormTap {
         StormTap::new(target_step, FaultDuration::Persistent, u32::MAX)
     }
 
-    /// Fully parameterised constructor.
+    /// A single-bit upset in `block` at `target_step`, healing after one
+    /// rollback: the live-injection fault of the `--web` demo.
+    pub fn flip(block: usize, target_step: usize) -> StormTap {
+        StormTap::new(target_step, FaultDuration::Transient, 1)
+            .with_block(block)
+            .with_mode(StrikeMode::BitFlip)
+    }
+
+    /// Fully parameterised constructor (block 0, add-magnitude strikes).
     pub fn new(target_step: usize, duration: FaultDuration, heal_after: u32) -> StormTap {
         StormTap {
+            block: 0,
             target_step,
             duration,
             heal_after,
+            mode: StrikeMode::AddMagnitude,
             attempts: 0,
             stormed_this_step: false,
             strikes: 0,
         }
+    }
+
+    /// Strike a different decoder block.
+    pub fn with_block(mut self, block: usize) -> StormTap {
+        self.block = block;
+        self
+    }
+
+    /// Change how strikes corrupt the output.
+    pub fn with_mode(mut self, mode: StrikeMode) -> StormTap {
+        self.mode = mode;
+        self
     }
 
     fn strikes_at(&self, step: usize) -> bool {
@@ -75,15 +113,28 @@ impl StormTap {
 
 impl LayerTap for StormTap {
     fn on_output(&mut self, ctx: &TapCtx, data: &mut Matrix) {
-        if ctx.point.block != 0
+        if ctx.point.block != self.block
             || ctx.point.layer != LayerKind::VProj
             || ctx.hook != HookKind::LinearOutput
             || !self.strikes_at(ctx.step)
         {
             return;
         }
-        for v in data.as_mut_slice() {
-            *v += STORM_MAGNITUDE;
+        match self.mode {
+            StrikeMode::AddMagnitude => {
+                for v in data.as_mut_slice() {
+                    *v += STORM_MAGNITUDE;
+                }
+            }
+            StrikeMode::BitFlip => {
+                let slice = data.as_mut_slice();
+                if let Some(v) = slice.first_mut() {
+                    // Flip bit 30 (the high exponent bit below the sign):
+                    // a finite value jumps orders of magnitude, exactly the
+                    // excursion shape of a real single-bit upset.
+                    *v = f32::from_bits(v.to_bits() ^ (1 << 30));
+                }
+            }
         }
         self.stormed_this_step = true;
         self.strikes += 1;
@@ -95,12 +146,15 @@ impl LayerTap for StormTap {
         } else {
             AnomalyVerdict::Clean
         };
-        self.stormed_this_step = false;
-        StepReport {
-            clamps: 0,
-            nans: 0,
+        let mut report = StepReport {
             verdict,
+            ..StepReport::default()
+        };
+        if self.stormed_this_step {
+            report.record_block_hit(self.block);
         }
+        self.stormed_this_step = false;
+        report
     }
 
     fn on_rollback(&mut self, _step: usize, _attempt: u32) {
@@ -158,8 +212,43 @@ mod tests {
             dtype: ft2_tensor::DType::F32,
         };
         tap.on_output(&ctx, &mut data);
-        assert_eq!(tap.end_step(1).verdict, AnomalyVerdict::Storm);
+        let report = tap.end_step(1);
+        assert_eq!(report.verdict, AnomalyVerdict::Storm);
+        assert_eq!(report.hit_blocks().collect::<Vec<_>>(), vec![(0, 1)]);
         assert_eq!(tap.end_step(1).verdict, AnomalyVerdict::Clean, "flag resets");
         assert!(data.row(0).iter().all(|&v| v == STORM_MAGNITUDE));
+    }
+
+    #[test]
+    fn flip_targets_its_block_and_flips_one_exponent_bit() {
+        let mut tap = StormTap::flip(2, 1);
+        let mut data = Matrix::from_vec(1, 4, vec![1.5, 1.5, 1.5, 1.5]);
+        let mut ctx = TapCtx {
+            point: ft2_model::hooks::TapPoint {
+                block: 0,
+                layer: LayerKind::VProj,
+            },
+            hook: HookKind::LinearOutput,
+            step: 1,
+            first_pos: 5,
+            dtype: ft2_tensor::DType::F32,
+        };
+        // Block 0 is not the target: untouched.
+        tap.on_output(&ctx, &mut data);
+        assert!(data.row(0).iter().all(|&v| v == 1.5));
+        assert_eq!(tap.end_step(1).verdict, AnomalyVerdict::Clean);
+        // Block 2 is: exactly one element changes, by an exponent flip
+        // (compare bits — depending on the value, the flip may land on a
+        // non-finite encoding, which is exactly what a real SBU can do).
+        ctx.point.block = 2;
+        tap.on_output(&ctx, &mut data);
+        assert_eq!(data.get(0, 0).to_bits(), 1.5f32.to_bits() ^ (1 << 30));
+        assert!(data.row(0)[1..].iter().all(|&v| v == 1.5));
+        let report = tap.end_step(1);
+        assert_eq!(report.verdict, AnomalyVerdict::Storm);
+        assert_eq!(report.hit_blocks().collect::<Vec<_>>(), vec![(2, 1)]);
+        // Transient with heal_after=1: one rollback heals it.
+        tap.on_rollback(1, 0);
+        assert!(!tap.strikes_at(1));
     }
 }

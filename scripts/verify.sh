@@ -97,7 +97,7 @@ echo "== serve smoke (per-request fault isolation + JSON baseline) =="
 # subcommand itself exits non-zero if any guarantee fails.
 SERVE_TMP="$(mktemp -d)/BENCH_serve.json"
 ./target/release/ft2-repro serve --smoke --json --out "$SERVE_TMP"
-for key in '"schema": 1' '"requests_s"' '"p50_token_ms"' '"p99_token_ms"' \
+for key in '"schema": 2' '"requests_s"' '"ttft_ms"' '"p50_token_ms"' '"p99_token_ms"' \
            '"identity_ok": true' '"storm_outcome": "Completed"' \
            '"clean_p99_inflation"' '"storm_identity_ok": true' '"ok": true'; do
     grep -q "$key" "$SERVE_TMP" || {
@@ -118,9 +118,9 @@ echo "== replicas smoke (cross-replica failover + JSON baseline) =="
 # subcommand itself exits non-zero if any guarantee fails.
 REPLICAS_TMP="$(mktemp -d)/BENCH_replicas.json"
 ./target/release/ft2-repro replicas --smoke --json --out "$REPLICAS_TMP"
-for key in '"schema": 1' '"crash_identity_ok": true' '"handoff_tokens"' \
+for key in '"schema": 2' '"crash_identity_ok": true' '"handoff_tokens"' \
            '"crash_failed_over"' '"storm_quarantined": true' \
-           '"storm_identity_ok": true' '"clean_p99_inflation"' \
+           '"storm_identity_ok": true' '"ttft_ms"' '"clean_p99_inflation"' \
            '"rebuild_beats_restart": true' '"rejoin_ok": true' \
            '"ok": true'; do
     grep -q "$key" "$REPLICAS_TMP" || {
@@ -130,5 +130,56 @@ for key in '"schema": 1' '"crash_identity_ok": true' '"handoff_tokens"' \
     }
 done
 rm -f "$REPLICAS_TMP"
+
+echo "== serve --web smoke (live SSE observability + injection) =="
+# Boot the live-observability endpoint headless on an ephemeral port:
+# the embedded viewer must serve, the SSE stream must carry the
+# documented event JSON (verdict + sparse block_hits per token), and
+# POST /inject must accept a live fault spec and echo it on the stream.
+WEB_LOG="$(mktemp)"
+SSE_TMP="$(mktemp)"
+FT2_WEB_ADDR=127.0.0.1:0 FT2_QUICK=1 ./target/release/ft2-repro serve --web > "$WEB_LOG" 2>&1 &
+WEB_PID=$!
+WEB_URL=""
+i=0
+while [ $i -lt 150 ]; do
+    WEB_URL="$(sed -n 's#^listening on \(http://[^ ]*\)$#\1#p' "$WEB_LOG")"
+    [ -n "$WEB_URL" ] && break
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$WEB_URL" ]; then
+    echo "verify: serve --web never reported its address" >&2
+    cat "$WEB_LOG" >&2
+    kill "$WEB_PID" 2>/dev/null || true
+    exit 1
+fi
+web_fail() {
+    echo "verify: $1" >&2
+    cat "$WEB_LOG" >&2
+    kill "$WEB_PID" 2>/dev/null || true
+    exit 1
+}
+curl -s "$WEB_URL/" | grep -q "ft2 live token stream" \
+    || web_fail "serve --web viewer page missing"
+# Attach the SSE capture first so the inject echo is observed, then fire
+# a live block-2 bit flip and let the stream run a few seconds.
+curl -sN -m 6 "$WEB_URL/events" > "$SSE_TMP" 2>/dev/null &
+SSE_PID=$!
+sleep 1
+curl -s -d 'kind=flip&block=2' "$WEB_URL/inject" \
+    | grep -q '"ok":true,"what":"flip block 2"' \
+    || web_fail "POST /inject did not accept the fault spec"
+wait "$SSE_PID" 2>/dev/null || true
+for pat in '"ev":"token"' '"verdict":"' '"block_hits":' '"t_ns":' \
+           '"ev":"inject","replica":0,"what":"flip block 2"'; do
+    grep -q "$pat" "$SSE_TMP" || {
+        head -c 2000 "$SSE_TMP" >&2
+        web_fail "SSE stream is missing $pat"
+    }
+done
+kill "$WEB_PID" 2>/dev/null || true
+wait "$WEB_PID" 2>/dev/null || true
+rm -f "$WEB_LOG" "$SSE_TMP"
 
 echo "verify: OK"
