@@ -240,8 +240,14 @@ fn closes_raw(chars: &[char], i: usize, fence: u32) -> bool {
 fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1) {
         Some('\\') => {
-            // Escaped char: scan to the next unescaped quote.
-            let mut j = i + 2;
+            // Escaped char: the character after the backslash is consumed
+            // by the escape (`'\''`, `'\\'`), so the closing quote can be
+            // no earlier than `i + 3`. Scanning from `i + 2` would take the
+            // *escaped* quote of `'\''` as the terminator and leave the
+            // real closing quote dangling in the stream, where it can open
+            // a bogus literal and swallow following code (including raw
+            // strings with `//` inside macro invocations).
+            let mut j = i + 3;
             while j < chars.len() {
                 if chars[j] == '\'' {
                     return Some(j);
@@ -320,6 +326,39 @@ mod tests {
         let f = scan("let c = '\\n'; let q = '\\''; let l: &'static str = \"\";\n");
         assert!(f.lines[0].code.contains("&'static str"));
         assert_eq!(f.lines[0].strings, vec![String::new()]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_consumes_its_closing_quote() {
+        // `'\''` must consume exactly four chars; the regression left the
+        // closing quote dangling, which could open a bogus char literal.
+        let f = scan("let p = ('\\'','\"'); let s = \"REAL_STR\";\n");
+        assert_eq!(f.lines[0].strings, vec!["REAL_STR".to_string()]);
+        assert!(f.lines[0].code.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_string_with_comment_marker_inside_macro_invocation() {
+        // Regression: an escaped-quote char literal directly before a raw
+        // string inside a macro invocation used to corrupt all three
+        // channels — the `//` inside the raw string leaked toward the
+        // comment channel and the code channel lost the call tail.
+        let f = scan("m!('\\'','\"',r#\"//\"#); // tail\nlet x = 1;\n");
+        assert_eq!(f.lines[0].strings, vec!["//".to_string()]);
+        assert_eq!(f.lines[0].comment.trim(), "tail");
+        assert!(!f.lines[0].code.contains("//"));
+        assert!(f.lines[1].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_inside_macros_stay_out_of_the_comment_channel() {
+        let f = scan("println!(r#\"// not a comment\"#); write!(w, r\"//{}\", x);\n");
+        assert_eq!(
+            f.lines[0].strings,
+            vec!["// not a comment".to_string(), "//{}".to_string()]
+        );
+        assert!(f.lines[0].comment.trim().is_empty());
+        assert!(!f.lines[0].code.contains("//"));
     }
 
     #[test]

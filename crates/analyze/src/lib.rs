@@ -25,20 +25,35 @@
 //! offline-build constraint) and never on the harness, which *consumes* it
 //! — the knob registry is passed in by name through [`LintConfig`].
 
+pub mod concurrency;
 pub mod coverage;
 pub mod lexer;
 pub mod lints;
+pub mod model;
 pub mod report;
+pub mod shutdown;
 
+pub use concurrency::{ConcurrencyReport, LockEdge, RankedLock, DETERMINISM_MODULES};
 pub use coverage::{analyse as analyse_coverage, CoverageReport};
 pub use lints::{collect_rs_files, run_lints, LintConfig, NAN_CRITICAL_MODULES, ZERO_SKIP_MODULES};
+pub use model::{scan_tree, ScannedTree};
 pub use report::{AnalysisReport, Finding, LintKind, LINT_SCHEMA_VERSION};
+pub use shutdown::ShutdownReport;
 
-/// Run the full analysis: source lints over `cfg.root` plus the
-/// (tree-independent) protection-coverage proof.
+/// Run the full analysis: source lints and concurrency lints over one
+/// scan of `cfg.root`, the (tree-independent) protection-coverage proof,
+/// and the shutdown proof.
 pub fn analyze(cfg: &LintConfig) -> Result<AnalysisReport, String> {
+    let tree = model::scan_tree(&cfg.root)?;
+    let mut findings = lints::run_source_lints(&tree, cfg);
+    let (concurrency_findings, concurrency) = concurrency::run_concurrency(&tree, cfg);
+    findings.extend(concurrency_findings);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
+    });
     Ok(AnalysisReport {
-        findings: lints::run_lints(cfg)?,
+        findings,
         coverage: coverage::analyse(),
+        concurrency,
     })
 }

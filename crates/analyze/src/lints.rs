@@ -15,7 +15,9 @@
 //!   guard — normally unnecessary because `KernelPolicy::Fast` on the
 //!   guard line (or just above it) already licenses the skip.
 
-use crate::lexer::{scan, Line, ScannedFile};
+use crate::concurrency::{RankedLock, DETERMINISM_MODULES};
+use crate::lexer::{Line, ScannedFile};
+use crate::model::ScannedTree;
 use crate::report::{Finding, LintKind};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -64,6 +66,16 @@ pub struct LintConfig {
     /// Require every registered knob to be read somewhere in the scanned
     /// sources (only meaningful when scanning the full workspace).
     pub check_knob_used: bool,
+    /// The declared lock-order registry (from
+    /// `ft2_parallel::LOCK_REGISTRY` for the real tree; fixture trees
+    /// declare their own).
+    pub locks: Vec<RankedLock>,
+    /// Path substrings selecting bit-identity-critical modules for the
+    /// nondeterminism lint.
+    pub det_modules: Vec<String>,
+    /// Run the shutdown proof (only meaningful when the scanned tree
+    /// contains the serving topology).
+    pub check_shutdown: bool,
 }
 
 impl LintConfig {
@@ -75,10 +87,23 @@ impl LintConfig {
             // Only demand knob usage when the scanned tree contains the
             // registry's own crate; a fixture tree can't read every knob.
             check_knob_used: root.join("crates/harness").is_dir(),
+            // The shutdown proof needs the whole serving topology.
+            check_shutdown: root.join("crates/serve").is_dir()
+                && root.join("crates/parallel").is_dir()
+                && root.join("crates/harness").is_dir(),
             root,
             knobs,
             nan_modules: NAN_CRITICAL_MODULES.iter().map(|s| s.to_string()).collect(),
             zero_skip_modules: ZERO_SKIP_MODULES.iter().map(|s| s.to_string()).collect(),
+            locks: ft2_parallel::LOCK_REGISTRY
+                .iter()
+                .map(|l| RankedLock {
+                    name: l.name.to_string(),
+                    rank: l.rank,
+                    site: l.site.to_string(),
+                })
+                .collect(),
+            det_modules: DETERMINISM_MODULES.iter().map(|s| s.to_string()).collect(),
         }
     }
 }
@@ -109,39 +134,38 @@ pub fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
 
 /// Run every source lint over the tree. `Err` is reserved for environment
 /// problems (unreadable root); lint violations come back as findings.
+/// Scans the tree itself; [`crate::analyze`] scans once and uses
+/// [`run_source_lints`] directly.
 pub fn run_lints(cfg: &LintConfig) -> Result<Vec<Finding>, String> {
-    if !cfg.root.is_dir() {
-        return Err(format!("lint root {} is not a directory", cfg.root.display()));
-    }
-    let files = collect_rs_files(&cfg.root);
-    if files.is_empty() {
-        return Err(format!("no .rs files under {}", cfg.root.display()));
-    }
+    let tree = crate::model::scan_tree(&cfg.root)?;
+    Ok(run_source_lints(&tree, cfg))
+}
+
+/// The four PR 5 source lints over an already-scanned tree.
+pub fn run_source_lints(tree: &ScannedTree, cfg: &LintConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut used_knobs: BTreeSet<String> = BTreeSet::new();
-    for path in &files {
-        let rel = rel_path(&cfg.root, path);
-        let src = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let scanned = scan(&src);
-        lint_unsafe(&rel, &scanned, &mut findings);
-        if matches_any(&rel, &cfg.nan_modules) {
-            lint_nan_comparison(&rel, &scanned, &mut findings);
+    for file in &tree.files {
+        let rel = &file.rel;
+        let scanned = &file.scanned;
+        lint_unsafe(rel, scanned, &mut findings);
+        if matches_any(rel, &cfg.nan_modules) {
+            lint_nan_comparison(rel, scanned, &mut findings);
         }
-        if matches_any(&rel, &cfg.zero_skip_modules) {
-            lint_zero_skip(&rel, &scanned, &mut findings);
+        if matches_any(rel, &cfg.zero_skip_modules) {
+            lint_zero_skip(rel, scanned, &mut findings);
         }
-        lint_knob_literals(&rel, &scanned, &cfg.knobs, &mut used_knobs, &mut findings);
+        lint_knob_literals(rel, scanned, &cfg.knobs, &mut used_knobs, &mut findings);
     }
     lint_knob_registry(cfg, &used_knobs, &mut findings);
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
     });
-    Ok(findings)
+    findings
 }
 
 /// `root`-relative path with forward slashes (stable across platforms).
-fn rel_path(root: &Path, path: &Path) -> String {
+pub(crate) fn rel_path(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);
     rel.components()
         .map(|c| c.as_os_str().to_string_lossy())
@@ -154,7 +178,7 @@ fn matches_any(rel: &str, needles: &[String]) -> bool {
 }
 
 /// Does `code` contain `word` as a standalone token?
-fn contains_word(code: &str, word: &str) -> bool {
+pub(crate) fn contains_word(code: &str, word: &str) -> bool {
     let bytes = code.as_bytes();
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
@@ -386,7 +410,7 @@ mod tests {
     use super::*;
 
     fn scan_str(src: &str) -> ScannedFile {
-        scan(src)
+        crate::lexer::scan(src)
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! `BENCH_decode.json`: `scripts/verify.sh` greps its keys, so renaming or
 //! dropping one is a CI-visible change, not a silent one.
 
+use crate::concurrency::ConcurrencyReport;
 use crate::coverage::CoverageReport;
 use std::fmt::Write as _;
 
 /// Report schema version, bumped on any key rename/removal.
 pub const LINT_SCHEMA_VERSION: u32 = 1;
 
-/// The four source-lint classes.
+/// The nine source-lint classes: the four PR 5 source lints plus the
+/// five concurrency-soundness lints (see [`crate::concurrency`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LintKind {
     /// `unsafe` without a `// SAFETY:` (or `# Safety`) justification.
@@ -23,15 +25,36 @@ pub enum LintKind {
     EnvKnob,
     /// `== 0.0` zero-skip guard outside `KernelPolicy::Fast`-gated code.
     ZeroSkip,
+    /// Nested lock acquisition violating the `LOCK_REGISTRY` rank order,
+    /// an unregistered lock in a nested acquisition, or a cycle in the
+    /// acquisition graph (potential deadlock).
+    LockOrder,
+    /// A mutex guard live across a blocking call (`recv`/`join`/socket
+    /// write/sleep) without a `// ft2: blocking-ok` justification.
+    HoldAcrossBlocking,
+    /// A spawned thread never joined in its file and not annotated
+    /// `// ft2: detached`, or a failed shutdown-proof obligation.
+    ThreadLifecycle,
+    /// `lock().unwrap()`-style poison-aborting acquisition without a
+    /// `// ft2: poison-fatal` justification (use `lock_clean`).
+    PoisonedLock,
+    /// Unordered `HashMap`/`HashSet`, wall-clock input, or unordered
+    /// float reduction in a bit-identity-critical module.
+    Nondeterminism,
 }
 
 impl LintKind {
     /// Every lint class, in report order.
-    pub const ALL: [LintKind; 4] = [
+    pub const ALL: [LintKind; 9] = [
         LintKind::UnsafeSafety,
         LintKind::NanComparison,
         LintKind::EnvKnob,
         LintKind::ZeroSkip,
+        LintKind::LockOrder,
+        LintKind::HoldAcrossBlocking,
+        LintKind::ThreadLifecycle,
+        LintKind::PoisonedLock,
+        LintKind::Nondeterminism,
     ];
 
     /// Stable kebab-case lint name (appears in reports and annotations).
@@ -41,6 +64,11 @@ impl LintKind {
             LintKind::NanComparison => "nan-comparison",
             LintKind::EnvKnob => "env-knob",
             LintKind::ZeroSkip => "zero-skip",
+            LintKind::LockOrder => "lock-order",
+            LintKind::HoldAcrossBlocking => "hold-across-blocking",
+            LintKind::ThreadLifecycle => "thread-lifecycle",
+            LintKind::PoisonedLock => "poisoned-lock",
+            LintKind::Nondeterminism => "nondeterminism",
         }
     }
 }
@@ -60,19 +88,23 @@ pub struct Finding {
 }
 
 /// The complete analysis result: source-lint findings plus the
-/// protection-coverage proof.
+/// protection-coverage proof and the concurrency pass (lock graph +
+/// shutdown proof).
 #[derive(Clone, Debug)]
 pub struct AnalysisReport {
     /// Source-lint findings, sorted by (file, line, lint).
     pub findings: Vec<Finding>,
     /// The coverage / pricing / checkpoint cross-checks.
     pub coverage: CoverageReport,
+    /// The lock-acquisition graph and the shutdown proof.
+    pub concurrency: ConcurrencyReport,
 }
 
 impl AnalysisReport {
-    /// Did the whole analysis pass (no findings, no coverage gaps)?
+    /// Did the whole analysis pass (no findings, no coverage gaps, no
+    /// lock cycles, shutdown proof intact)?
     pub fn ok(&self) -> bool {
-        self.findings.is_empty() && self.coverage.ok()
+        self.findings.is_empty() && self.coverage.ok() && self.concurrency.ok()
     }
 
     /// Findings of one lint class.
@@ -94,11 +126,14 @@ impl AnalysisReport {
             s.push('\n');
         }
         s.push_str(&self.coverage.render_text());
+        s.push('\n');
+        s.push_str(&self.concurrency.render_text());
         let _ = writeln!(
             s,
-            "\nlint: {} finding(s); coverage: {}",
+            "\nlint: {} finding(s); coverage: {}; concurrency: {}",
             self.findings.len(),
-            if self.coverage.ok() { "proved" } else { "GAPS FOUND" }
+            if self.coverage.ok() { "proved" } else { "GAPS FOUND" },
+            if self.concurrency.ok() { "proved" } else { "GAPS FOUND" }
         );
         s
     }
@@ -138,6 +173,9 @@ impl AnalysisReport {
         s.push_str("],\n");
         s.push_str("  \"coverage\": ");
         s.push_str(&indent_tail(&self.coverage.to_json(), 2));
+        s.push_str(",\n");
+        s.push_str("  \"concurrency\": ");
+        s.push_str(&indent_tail(&self.concurrency.to_json(), 2));
         s.push('\n');
         s.push_str("}\n");
         s
@@ -167,7 +205,7 @@ pub fn json_quote(s: &str) -> String {
 
 /// Re-indent every line but the first by `by` spaces (for nesting one
 /// pretty-printed JSON document inside another).
-fn indent_tail(doc: &str, by: usize) -> String {
+pub(crate) fn indent_tail(doc: &str, by: usize) -> String {
     let pad = " ".repeat(by);
     let mut lines = doc.trim_end().lines();
     let mut out = String::new();

@@ -1,0 +1,42 @@
+//! Seeded concurrency violations: exactly one per concurrency lint class
+//! (lock-order, hold-across-blocking, thread-lifecycle, poisoned-lock,
+//! nondeterminism). The golden test asserts the exact counts.
+
+pub struct Shared {
+    pub a_lock: std::sync::Mutex<u32>,
+    pub b_lock: std::sync::Mutex<u32>,
+}
+
+// lock-order: b_lock (rank 2) held while acquiring a_lock (rank 1).
+pub fn bad_order(s: &Shared) -> u32 {
+    let b = lock_clean(&s.b_lock);
+    let a = lock_clean(&s.a_lock);
+    *a + *b
+}
+
+// hold-across-blocking: guard live across a channel recv.
+pub fn bad_hold(s: &Shared, rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    let g = lock_clean(&s.a_lock);
+    let v = rx.recv().unwrap_or(0);
+    *g + v
+}
+
+// thread-lifecycle: spawned thread never joined, not marked detached.
+pub fn bad_spawn() {
+    std::thread::spawn(|| {});
+}
+
+// poisoned-lock: unwrap aborts the runtime once any holder panicked.
+pub fn bad_poison(s: &Shared) -> u32 {
+    *s.a_lock.lock().unwrap()
+}
+
+// nondeterminism: unordered map iteration in a bit-identity module.
+pub fn bad_nondet() -> usize {
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    m.len()
+}
+
+fn lock_clean<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -3,7 +3,7 @@
 //! (`fixtures/good_tree`). One violation per class is seeded, so the
 //! per-class counts are exact, not lower bounds.
 
-use ft2_analyze::{run_lints, LintConfig, LintKind};
+use ft2_analyze::{analyze, run_lints, LintConfig, LintKind, RankedLock};
 use std::path::PathBuf;
 
 fn fixture_config(name: &str) -> LintConfig {
@@ -19,18 +19,40 @@ fn fixture_config(name: &str) -> LintConfig {
         nan_modules: vec!["crates/core/src/bounds.rs".to_string()],
         zero_skip_modules: vec!["crates/tensor/src/".to_string()],
         check_knob_used: false,
+        // Fixture lock registry: sync.rs acquires a_lock / b_lock.
+        locks: vec![
+            RankedLock {
+                name: "a_lock".to_string(),
+                rank: 1,
+                site: "crates/core/src/sync.rs".to_string(),
+            },
+            RankedLock {
+                name: "b_lock".to_string(),
+                rank: 2,
+                site: "crates/core/src/sync.rs".to_string(),
+            },
+        ],
+        det_modules: vec!["crates/core/src/".to_string()],
+        // The fixture trees have no serving topology to prove.
+        check_shutdown: false,
     }
 }
 
 #[test]
 fn every_lint_class_fires_on_the_seeded_tree() {
-    let findings = run_lints(&fixture_config("bad_tree")).expect("bad_tree scans");
+    let report = analyze(&fixture_config("bad_tree")).expect("bad_tree scans");
+    let findings = &report.findings;
     let count = |k: LintKind| findings.iter().filter(|f| f.lint == k).count();
     assert_eq!(count(LintKind::UnsafeSafety), 1, "findings: {findings:?}");
     assert_eq!(count(LintKind::NanComparison), 1, "findings: {findings:?}");
     assert_eq!(count(LintKind::EnvKnob), 1, "findings: {findings:?}");
     assert_eq!(count(LintKind::ZeroSkip), 1, "findings: {findings:?}");
-    assert_eq!(findings.len(), 4);
+    assert_eq!(count(LintKind::LockOrder), 1, "findings: {findings:?}");
+    assert_eq!(count(LintKind::HoldAcrossBlocking), 1, "findings: {findings:?}");
+    assert_eq!(count(LintKind::ThreadLifecycle), 1, "findings: {findings:?}");
+    assert_eq!(count(LintKind::PoisonedLock), 1, "findings: {findings:?}");
+    assert_eq!(count(LintKind::Nondeterminism), 1, "findings: {findings:?}");
+    assert_eq!(findings.len(), 9);
 
     // Each finding points at the seeded file.
     let file_of = |k: LintKind| {
@@ -44,15 +66,49 @@ fn every_lint_class_fires_on_the_seeded_tree() {
     assert_eq!(file_of(LintKind::EnvKnob), "src/main.rs");
     assert_eq!(file_of(LintKind::NanComparison), "crates/core/src/bounds.rs");
     assert_eq!(file_of(LintKind::ZeroSkip), "crates/tensor/src/kernel.rs");
+    for k in [
+        LintKind::LockOrder,
+        LintKind::HoldAcrossBlocking,
+        LintKind::ThreadLifecycle,
+        LintKind::PoisonedLock,
+        LintKind::Nondeterminism,
+    ] {
+        assert_eq!(file_of(k), "crates/core/src/sync.rs");
+    }
 
     // Findings carry 1-based source lines into the seeded files.
     assert!(findings.iter().all(|f| f.line >= 1));
+
+    // The seeded rank inversion appears in the acquisition graph.
+    assert!(report
+        .concurrency
+        .edges
+        .iter()
+        .any(|e| e.from == "b_lock" && e.to == "a_lock"));
 }
 
 #[test]
 fn annotated_twin_tree_is_clean() {
-    let findings = run_lints(&fixture_config("good_tree")).expect("good_tree scans");
-    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    let report = analyze(&fixture_config("good_tree")).expect("good_tree scans");
+    assert!(
+        report.findings.is_empty(),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+    // The correctly-ordered nesting still shows up as a graph edge.
+    assert!(report
+        .concurrency
+        .edges
+        .iter()
+        .any(|e| e.from == "a_lock" && e.to == "b_lock"));
+    assert_eq!(report.concurrency.cycles, 0);
+    // Shutdown proof is vacuously ok when unchecked — and says so.
+    assert!(report.concurrency.shutdown.ok());
+    assert!(!report.concurrency.shutdown.checked);
+    let json = report.concurrency.to_json();
+    for key in ["\"lock_cycles\": 0", "\"shutdown_checked\": false"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
 }
 
 #[test]

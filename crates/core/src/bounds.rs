@@ -2,7 +2,7 @@
 //! priors that guard bound integrity against a poisoned profiling pass.
 
 use ft2_model::{LayerKind, TapPoint};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Largest |value| a healthy layer of this kind plausibly produces on the
 /// simulator, with a wide safety margin. Calibrated against offline profiles
@@ -128,7 +128,7 @@ impl LayerBounds {
 /// Bounds for a set of protected layers.
 #[derive(Clone, Debug, Default)]
 pub struct BoundsStore {
-    map: HashMap<TapPoint, LayerBounds>,
+    map: BTreeMap<TapPoint, LayerBounds>,
 }
 
 impl BoundsStore {

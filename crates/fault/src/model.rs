@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn exp_bits_stay_in_exponent_range() {
         let mut rng = Xoshiro256StarStar::new(3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..2000 {
             let bits = FaultModel::ExponentBit.sample_bits(&mut rng, FloatFormat::F16);
             assert_eq!(bits.len(), 1);

@@ -47,7 +47,7 @@ use crate::config::{Activation, ArchStyle, LayerKind, ModelConfig};
 use crate::engine::{KvCache, Model, RecoveryPolicy};
 use crate::scratch::{BlockScratch, DecodeScratch};
 use crate::weights::{Linear, ModelWeights};
-use ft2_parallel::{HeartbeatMonitor, ShardHeartbeat, WorkStealingPool};
+use ft2_parallel::{lock_clean, HeartbeatMonitor, ShardHeartbeat, WorkStealingPool};
 use ft2_tensor::{
     add_inplace, argmax, dot, gelu_inplace, matmul_transb_cols_f64, matmul_transb_into,
     reduce_seam_into, relu_inplace, silu_inplace, softmax_rows, Matrix,
@@ -673,13 +673,6 @@ struct ShardBuf {
     partial: Mutex<Vec<f64>>,
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    // A panicking injected fault can poison a buffer mutex; the buffer is
-    // fully rewritten before every read, so the poison flag carries no
-    // information and is safely cleared.
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
 /// A model partitioned across `N` logical shards, executable on a worker
 /// pool with shard-granular fault isolation and recovery.
 pub struct ShardedModel<'m> {
@@ -798,11 +791,11 @@ impl<'m> ShardedModel<'m> {
                 .expect("sharded layer present for this architecture");
             match mode {
                 SeamMode::Col => {
-                    let mut buf = lock(&bufs[s].dense);
+                    let mut buf = lock_clean(&bufs[s].dense);
                     matmul_transb_into(x, &lin.weight, &mut buf);
                 }
                 SeamMode::Row => {
-                    let mut part = lock(&bufs[s].partial);
+                    let mut part = lock_clean(&bufs[s].partial);
                     matmul_transb_cols_f64(x, &lin.weight, col_los[j], &mut part);
                 }
             }
@@ -831,13 +824,13 @@ impl<'m> ShardedModel<'m> {
     fn shard_buf_anomalous(&self, s: usize, layer: LayerKind) -> bool {
         match seam_mode(layer) {
             SeamMode::Col => {
-                let buf = lock(&self.bufs[s].dense);
+                let buf = lock_clean(&self.bufs[s].dense);
                 buf.as_slice()
                     .iter()
                     .any(|&v| !v.is_finite() || f64::from(v.abs()) > PARTIAL_ANOMALY_ABS)
             }
             SeamMode::Row => {
-                let part = lock(&self.bufs[s].partial);
+                let part = lock_clean(&self.bufs[s].partial);
                 part.iter()
                     .any(|&v| !v.is_finite() || v.abs() > PARTIAL_ANOMALY_ABS)
             }
@@ -859,7 +852,7 @@ impl<'m> ShardedModel<'m> {
                     if span.is_empty() {
                         continue;
                     }
-                    let buf = lock(&self.bufs[s].dense);
+                    let buf = lock_clean(&self.bufs[s].dense);
                     let bias = sw.blocks[block]
                         .layer(layer)
                         .and_then(|l| l.bias.as_deref());
@@ -876,7 +869,7 @@ impl<'m> ShardedModel<'m> {
             }
             SeamMode::Row => {
                 let guards: Vec<MutexGuard<'_, Vec<f64>>> =
-                    self.bufs.iter().map(|b| lock(&b.partial)).collect();
+                    self.bufs.iter().map(|b| lock_clean(&b.partial)).collect();
                 let parts: Vec<&[f64]> = guards.iter().map(|g| g.as_slice()).collect();
                 reduce_seam_into(&parts, n_rows, out_features, out);
                 drop(guards);
@@ -930,11 +923,11 @@ impl<'m> ShardedModel<'m> {
                 };
                 match seam_mode(layer) {
                     SeamMode::Col => {
-                        let mut guard = lock(&self.bufs[s].dense);
+                        let mut guard = lock_clean(&self.bufs[s].dense);
                         taps.on_partial(&ctx, &mut PartialMut::F32(&mut guard));
                     }
                     SeamMode::Row => {
-                        let mut guard = lock(&self.bufs[s].partial);
+                        let mut guard = lock_clean(&self.bufs[s].partial);
                         taps.on_partial(&ctx, &mut PartialMut::F64(&mut guard));
                     }
                 }

@@ -19,6 +19,10 @@
 //!   rather than once per batch. Every pool task runs under panic
 //!   isolation: a panicking trial is recorded as a [`pool::TaskPanic`]
 //!   instead of deadlocking the batch or killing a worker (see [`panics`]).
+//! * [`mod@lock_clean`] — poison-recovering lock helpers ([`lock_clean()`],
+//!   [`wait_clean()`]) and the central [`LOCK_REGISTRY`] declaring the
+//!   global lock-acquisition order that the `lock-order` lint in
+//!   `crates/analyze` enforces statically.
 //!
 //! Determinism contract: all combinators write results by *task index*, so
 //! the output of a parallel run is identical to the sequential run
@@ -27,11 +31,13 @@
 //! never from thread identity.
 
 pub mod heartbeat;
+pub mod lock_clean;
 pub mod panics;
 pub mod pool;
 pub mod scope;
 
 pub use heartbeat::{HeartbeatMonitor, ShardHeartbeat};
+pub use lock_clean::{lock_clean, lock_spec, wait_clean, LockKind, LockSpec, LOCK_REGISTRY};
 pub use panics::{catch_quiet, CaughtPanic};
 pub use pool::{TaskPanic, WorkStealingPool};
 pub use scope::{

@@ -23,6 +23,7 @@
 //! records instead, which is what the campaign engine builds its
 //! `Outcome::Crash` classification on.
 
+use crate::lock_clean::{lock_clean, wait_clean};
 use crate::panics::catch_quiet;
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
@@ -76,13 +77,13 @@ struct BatchState {
 impl BatchState {
     /// Pop a block: own queue from the back, siblings from the front.
     fn take_block(&self, own: usize) -> Option<(usize, usize)> {
-        if let Some(b) = self.queues[own].lock().expect("pool queue").pop_back() {
+        if let Some(b) = lock_clean(&self.queues[own]).pop_back() {
             return Some(b);
         }
         let n = self.queues.len();
         for off in 1..n {
             let victim = (own + off) % n;
-            if let Some(b) = self.queues[victim].lock().expect("pool queue").pop_front() {
+            if let Some(b) = lock_clean(&self.queues[victim]).pop_front() {
                 return Some(b);
             }
         }
@@ -93,7 +94,7 @@ impl BatchState {
     fn run_block(&self, job: &BatchFn, lo: usize, hi: usize) {
         for i in lo..hi {
             if let Err(caught) = catch_quiet(|| job(i)) {
-                let mut panics = self.panics.lock().expect("pool panic log");
+                let mut panics = lock_clean(&self.panics);
                 panics.push(TaskPanic {
                     index: i,
                     site: caught.site,
@@ -102,7 +103,7 @@ impl BatchState {
             }
         }
         if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _g = self.done_mx.lock().expect("pool done lock");
+            let _g = lock_clean(&self.done_mx);
             self.done_cv.notify_all();
         }
     }
@@ -187,8 +188,8 @@ impl WorkStealingPool {
 
         let blocks = n.div_ceil(grain);
         self.state.remaining.store(blocks, Ordering::SeqCst);
-        self.state.panics.lock().expect("pool panic log").clear();
-        *self.state.job.lock().expect("pool job slot") = Some(Arc::clone(&boxed));
+        lock_clean(&self.state.panics).clear();
+        *lock_clean(&self.state.job) = Some(Arc::clone(&boxed));
 
         // Distribute blocks round-robin over all deques (workers + caller).
         let slots = self.state.queues.len();
@@ -196,17 +197,14 @@ impl WorkStealingPool {
         let mut slot = 0;
         while lo < n {
             let hi = (lo + grain).min(n);
-            self.state.queues[slot]
-                .lock()
-                .expect("pool queue")
-                .push_back((lo, hi));
+            lock_clean(&self.state.queues[slot]).push_back((lo, hi));
             slot = (slot + 1) % slots;
             lo = hi;
         }
 
         // Publish the new generation and wake everyone.
         {
-            let mut g = self.state.work_mx.lock().expect("pool work lock");
+            let mut g = lock_clean(&self.state.work_mx);
             *g += 1;
             self.state.work_cv.notify_all();
         }
@@ -220,15 +218,15 @@ impl WorkStealingPool {
         // Wait until every block has run AND every worker has dropped its
         // clone of the batch closure (so borrows of the caller's stack
         // cannot outlive this call).
-        let mut guard = self.state.done_mx.lock().expect("pool done lock");
+        let mut guard = lock_clean(&self.state.done_mx);
         while self.state.remaining.load(Ordering::SeqCst) != 0
             || self.state.active.load(Ordering::SeqCst) != 0
         {
-            guard = self.state.done_cv.wait(guard).expect("pool done wait");
+            guard = wait_clean(&self.state.done_cv, guard);
         }
         drop(guard);
-        *self.state.job.lock().expect("pool job slot") = None;
-        std::mem::take(&mut *self.state.panics.lock().expect("pool panic log"))
+        *lock_clean(&self.state.job) = None;
+        std::mem::take(&mut *lock_clean(&self.state.panics))
     }
 
     /// Like [`WorkStealingPool::try_run`], but re-raises a summary panic
@@ -286,7 +284,7 @@ impl Drop for WorkStealingPool {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         {
-            let _g = self.state.work_mx.lock().expect("pool work lock");
+            let _g = lock_clean(&self.state.work_mx);
             self.state.work_cv.notify_all();
         }
         for h in self.handles.drain(..) {
@@ -300,16 +298,16 @@ fn worker_loop(wid: usize, state: Arc<BatchState>) {
     loop {
         // Wait for a new batch (or shutdown).
         {
-            let mut g = state.work_mx.lock().expect("pool work lock");
+            let mut g = lock_clean(&state.work_mx);
             while *g <= seen_gen && !state.shutdown.load(Ordering::SeqCst) {
-                g = state.work_cv.wait(g).expect("pool work wait");
+                g = wait_clean(&state.work_cv, g);
             }
             seen_gen = *g;
         }
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let job = state.job.lock().expect("pool job slot").clone();
+        let job = lock_clean(&state.job).clone();
         let Some(job) = job else { continue };
         state.active.fetch_add(1, Ordering::SeqCst);
 
@@ -322,7 +320,7 @@ fn worker_loop(wid: usize, state: Arc<BatchState>) {
         drop(job);
         state.active.fetch_sub(1, Ordering::SeqCst);
         {
-            let _g = state.done_mx.lock().expect("pool done lock");
+            let _g = lock_clean(&state.done_mx);
             state.done_cv.notify_all();
         }
     }

@@ -249,9 +249,7 @@ where
         .map(|c| std::sync::Mutex::new(Some(c)))
         .collect();
     parallel_for_dynamic(n, 1, |i| {
-        let c = cells[i]
-            .lock()
-            .expect("chunk cell")
+        let c = crate::lock_clean::lock_clean(&cells[i])
             .take()
             .expect("chunk taken twice");
         f(i, c);

@@ -58,7 +58,7 @@
 //! Rebuild touches only weights (the KV of a dead replica is discarded —
 //! survivors re-prefill), so it is far cheaper than a full restart.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -336,7 +336,7 @@ pub struct ReplicaSet {
     config: ReplicaConfig,
     monitor: HeartbeatMonitor,
     faults: Vec<ReplicaFaultSpec>,
-    meta: HashMap<u64, RouteMeta>,
+    meta: BTreeMap<u64, RouteMeta>,
     pending: VecDeque<PendingRoute>,
     done: Vec<ReplicaCompletion>,
     stats: ReplicaSetStats,
@@ -374,7 +374,7 @@ impl ReplicaSet {
             config,
             monitor,
             faults: Vec::new(),
-            meta: HashMap::new(),
+            meta: BTreeMap::new(),
             pending: VecDeque::new(),
             done: Vec::new(),
             stats: ReplicaSetStats::default(),

@@ -27,7 +27,7 @@ use crate::scheduler::{
 };
 use ft2_model::hooks::LayerTap;
 use ft2_model::Model;
-use ft2_parallel::WorkStealingPool;
+use ft2_parallel::{lock_clean, wait_clean, WorkStealingPool};
 
 struct State {
     pending: VecDeque<Request>,
@@ -98,9 +98,9 @@ impl Server {
                 let mut rejected: Vec<Completion> = Vec::new();
                 let draining;
                 {
-                    let mut st = worker_shared.state.lock().unwrap();
+                    let mut st = lock_clean(&worker_shared.state);
                     while st.pending.is_empty() && !st.shutdown && sched.is_idle() {
-                        st = worker_shared.cv.wait(st).unwrap();
+                        st = wait_clean(&worker_shared.cv, st);
                     }
                     draining = st.shutdown;
                     if draining {
@@ -127,7 +127,7 @@ impl Server {
                 let mut done = sched.drain_completions();
                 done.append(&mut rejected);
                 if !done.is_empty() {
-                    let mut st = worker_shared.state.lock().unwrap();
+                    let mut st = lock_clean(&worker_shared.state);
                     st.completed += done.len() as u64;
                     st.done.extend(done);
                     worker_shared.cv.notify_all();
@@ -162,7 +162,7 @@ impl Server {
         if requested > max_seq {
             return Err(SubmitError::TooLong { requested, max_seq });
         }
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_clean(&self.shared.state);
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -185,9 +185,9 @@ impl Server {
     /// Block until every submitted request has completed, been evicted,
     /// or been rejected, then drain and return the completions.
     pub fn wait_all(&self) -> Vec<Completion> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_clean(&self.shared.state);
         while st.completed < st.submitted {
-            st = self.shared.cv.wait(st).unwrap();
+            st = wait_clean(&self.shared.cv, st);
         }
         std::mem::take(&mut st.done)
     }
@@ -198,13 +198,13 @@ impl Server {
     /// request.
     pub fn shutdown(mut self) -> Vec<Completion> {
         self.stop();
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_clean(&self.shared.state);
         std::mem::take(&mut st.done)
     }
 
     fn stop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_clean(&self.shared.state);
             st.shutdown = true;
         }
         self.shared.cv.notify_all();

@@ -37,6 +37,7 @@ use std::time::Duration;
 
 use crate::event::ServeEvent;
 use ft2_fault::LiveFault;
+use ft2_parallel::lock_clean;
 
 /// Request heads larger than this are rejected (the demo endpoints need a
 /// few hundred bytes at most).
@@ -95,13 +96,16 @@ impl Shared {
     /// Write one frame to every client, dropping clients whose write
     /// fails (their slot frees immediately).
     fn broadcast(&self, kind: &str, data: &str) {
-        let mut clients = self.clients.lock().unwrap();
+        // ft2: blocking-ok (frame writes are bounded by IO_TIMEOUT; a failed
+        // write drops the client, which is the dead-slot reclaim mechanism)
+        let mut clients = lock_clean(&self.clients);
         clients.retain_mut(|c| write_frame(c, kind, data).and_then(|_| c.flush()).is_ok());
     }
 
     /// Keepalive comment — detects dead clients on quiet streams.
     fn ping(&self) {
-        let mut clients = self.clients.lock().unwrap();
+        // ft2: blocking-ok (keepalive writes are bounded by IO_TIMEOUT)
+        let mut clients = lock_clean(&self.clients);
         clients.retain_mut(|c| c.write_all(b": ping\n\n").and_then(|_| c.flush()).is_ok());
     }
 }
@@ -177,7 +181,9 @@ impl WebServer {
                     bcast_shared.broadcast(ev.kind(), &ev.to_json());
                 }
                 let shutdown = ServeEvent::Shutdown;
-                let mut clients = bcast_shared.clients.lock().unwrap();
+                // ft2: blocking-ok (final shutdown frames, IO_TIMEOUT-bounded;
+                // the accept loop is already stopped so nothing else contends)
+                let mut clients = lock_clean(&bcast_shared.clients);
                 for c in clients.iter_mut() {
                     let _ = write_frame(c, shutdown.kind(), &shutdown.to_json())
                         .and_then(|_| c.flush());
@@ -200,7 +206,7 @@ impl WebServer {
 
     /// Connected SSE clients right now.
     pub fn clients(&self) -> usize {
-        self.shared.clients.lock().unwrap().len()
+        lock_clean(&self.shared.clients).len()
     }
 
     /// Graceful drain: stop accepting, flush pending events, send every
@@ -264,7 +270,9 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             respond(&mut stream, 200, "text/html; charset=utf-8", VIEWER_HTML)
         }
         ("GET", "/events") => {
-            let mut clients = shared.clients.lock().unwrap();
+            // ft2: blocking-ok (holding the slot lock across the IO_TIMEOUT-
+            // bounded handshake writes is what makes slot reservation atomic)
+            let mut clients = lock_clean(&shared.clients);
             if clients.len() >= shared.max_clients {
                 drop(clients);
                 return respond(

@@ -15,16 +15,21 @@ cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 echo "== cargo test (offline, locked) =="
 cargo test -q --workspace --offline --locked
 
-echo "== static analysis (source lints + protection-coverage proof) =="
+echo "== static analysis (source + concurrency lints + coverage + shutdown proofs) =="
 # The in-tree analyser must pass on the real tree: zero lint findings, zero
 # unprotected critical layers across all seven zoo configs, every outcome
-# priced, every checkpoint version handled. Grep the schema keys like the
-# bench smoke does so the JSON contract cannot silently drift.
+# priced, every checkpoint version handled, no cycle in the
+# lock-acquisition graph, and the no-execution shutdown proof intact
+# (checked — the vacuous unchecked verdict must not slip through). Grep
+# the schema keys like the bench smoke does so the JSON contract cannot
+# silently drift.
 LINT_TMP="$(mktemp)"
 ./target/release/ft2-repro lint --json > "$LINT_TMP"
 for key in '"schema": 1' '"ok": true' '"finding_count": 0' \
            '"unprotected_critical_layers": 0' '"over_protected_layers": 0' \
-           '"unpriced_outcomes": 0' '"checkpoint_versions_ok": true'; do
+           '"unpriced_outcomes": 0' '"checkpoint_versions_ok": true' \
+           '"lock_cycles": 0' '"shutdown_checked": true' \
+           '"shutdown_ok": true'; do
     grep -q "$key" "$LINT_TMP" || {
         echo "verify: lint JSON is missing $key" >&2
         cat "$LINT_TMP" >&2
